@@ -1,0 +1,33 @@
+//! Criterion benchmark behind the escape-mechanism ablation: full reflection runs with
+//! the escape mechanism enabled vs disabled for a stuck-prone model profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rechisel_benchsuite::runner::{run_sample, ExperimentConfig};
+use rechisel_benchsuite::sampled_suite;
+use rechisel_llm::ModelProfile;
+
+fn bench_ablation(c: &mut Criterion) {
+    let suite = sampled_suite(4);
+    let profile = ModelProfile::gpt4o_mini();
+    for escape in [true, false] {
+        let config = ExperimentConfig::paper()
+            .with_samples(1)
+            .with_max_iterations(10)
+            .with_escape(escape);
+        let label = format!("ablation/escape_{}", if escape { "on" } else { "off" });
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                for (i, case) in suite.iter().enumerate() {
+                    std::hint::black_box(run_sample(case, &profile, &config, i as u32));
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the substrate: elaboration checking, lowering, Verilog
+//! emission and simulation throughput. These are the per-iteration costs that every
+//! reflection step of the ReChisel workflow pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rechisel_benchsuite::circuits::{combinational, sequential};
+use rechisel_benchsuite::SourceFamily;
+use rechisel_firrtl::{check_circuit, lower_circuit};
+use rechisel_sim::{run_testbench, Testbench};
+use rechisel_verilog::emit_verilog;
+
+fn bench_substrate(c: &mut Criterion) {
+    let comb = combinational::vector5().reference;
+    let seq = sequential::register_file(8, 8, SourceFamily::Rtllm).reference;
+
+    c.bench_function("check/vector5", |b| b.iter(|| check_circuit(std::hint::black_box(&comb))));
+    c.bench_function("check/regfile8x8", |b| b.iter(|| check_circuit(std::hint::black_box(&seq))));
+    c.bench_function("lower/vector5", |b| b.iter(|| lower_circuit(std::hint::black_box(&comb)).unwrap()));
+    c.bench_function("lower/regfile8x8", |b| b.iter(|| lower_circuit(std::hint::black_box(&seq)).unwrap()));
+
+    let comb_netlist = lower_circuit(&comb).unwrap();
+    let seq_netlist = lower_circuit(&seq).unwrap();
+    c.bench_function("emit_verilog/regfile8x8", |b| {
+        b.iter(|| emit_verilog(std::hint::black_box(&seq_netlist)).unwrap())
+    });
+
+    let comb_tb = Testbench::random_for(&comb_netlist, 32, 0, 1);
+    let seq_tb = Testbench::random_for(&seq_netlist, 32, 1, 1);
+    c.bench_function("simulate/vector5_32pts", |b| {
+        b.iter(|| run_testbench(&comb_netlist, &comb_netlist, std::hint::black_box(&comb_tb)).unwrap())
+    });
+    c.bench_function("simulate/regfile8x8_32pts", |b| {
+        b.iter(|| run_testbench(&seq_netlist, &seq_netlist, std::hint::black_box(&seq_tb)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark behind Table I: the cost of one zero-shot evaluation (generate,
+//! compile, simulate) per model, which is the unit of work the baseline columns are
+//! built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rechisel_benchsuite::runner::{run_sample, ExperimentConfig};
+use rechisel_benchsuite::sampled_suite;
+use rechisel_llm::ModelProfile;
+
+fn bench_zero_shot(c: &mut Criterion) {
+    let suite = sampled_suite(4);
+    let config = ExperimentConfig::paper().with_samples(1).with_max_iterations(0);
+    for profile in [ModelProfile::gpt4o(), ModelProfile::claude35_sonnet()] {
+        let label = format!("table1/zero_shot/{}", profile.name.replace(' ', "_"));
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                for (i, case) in suite.iter().enumerate() {
+                    std::hint::black_box(run_sample(case, &profile, &config, i as u32));
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_zero_shot
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark behind Table III / Fig. 6: the cost of one full ReChisel
+//! reflection run (up to 10 iterations of generate → compile → simulate → review).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rechisel_benchsuite::runner::{run_sample, ExperimentConfig};
+use rechisel_benchsuite::sampled_suite;
+use rechisel_llm::ModelProfile;
+
+fn bench_reflection(c: &mut Criterion) {
+    let suite = sampled_suite(4);
+    let config = ExperimentConfig::paper().with_samples(1).with_max_iterations(10);
+    for profile in [ModelProfile::gpt4o_mini(), ModelProfile::claude35_sonnet()] {
+        let label = format!("table3/reflection/{}", profile.name.replace(' ', "_"));
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                for (i, case) in suite.iter().enumerate() {
+                    std::hint::black_box(run_sample(case, &profile, &config, i as u32));
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reflection
+}
+criterion_main!(benches);

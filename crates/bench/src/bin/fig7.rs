@@ -1,0 +1,37 @@
+//! Reproduces Fig. 7 of the ReChisel paper: the proportion of syntax and functional
+//! errors across reflection iterations (GPT-4o, Pass@1 protocol).
+
+use rechisel_bench::Scale;
+use rechisel_benchsuite::report::format_series;
+use rechisel_benchsuite::{run_model, ExperimentConfig};
+use rechisel_llm::{Language, ModelProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    print!("{}", scale.banner("Fig. 7: error proportions across iterations (GPT-4o)"));
+    let suite = scale.suite();
+    let config = ExperimentConfig::paper()
+        .with_samples(scale.samples)
+        .with_max_iterations(10)
+        .with_language(Language::Chisel);
+
+    let outcome = run_model(&ModelProfile::gpt4o(), &suite, &config);
+    let mut syntax_series = Vec::new();
+    let mut functional_series = Vec::new();
+    let mut success_series = Vec::new();
+    for n in 0..=10u32 {
+        let (syntax, functional, success) = outcome.status_proportions(n);
+        syntax_series.push(syntax);
+        functional_series.push(functional);
+        success_series.push(success);
+    }
+    println!("iterations:            {}", (0..=10).map(|i| format!("{i:5} ")).collect::<String>());
+    println!("{}", format_series("syntax error %", &syntax_series));
+    println!("{}", format_series("functional error %", &functional_series));
+    println!("{}", format_series("success %", &success_series));
+    println!(
+        "\nExpected shape (paper): both error types shrink as iterations proceed (54.9% total \
+         errors at n=0 down to ~22.5% at n=10 for GPT-4o), with occasional small upticks in \
+         syntax errors when fixing functional ones reintroduces them."
+    );
+}

@@ -1,0 +1,50 @@
+//! Reproduces Table I of the ReChisel paper: baseline (zero-shot) capabilities of the
+//! five models generating Chisel vs Verilog, measured as Pass@1/5/10.
+
+use rechisel_autochip::{run_autochip_model, AutoChipConfig};
+use rechisel_bench::Scale;
+use rechisel_benchsuite::report::{format_table, pct};
+use rechisel_benchsuite::{run_model, ExperimentConfig};
+use rechisel_llm::{Language, ModelProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    print!("{}", scale.banner("Table I: LLM baseline capabilities, Chisel (CHS) vs Verilog (VRL)"));
+    let suite = scale.suite();
+
+    let chisel_config = ExperimentConfig::paper()
+        .with_samples(scale.samples)
+        .with_max_iterations(0)
+        .with_language(Language::Chisel);
+    let verilog_config = AutoChipConfig {
+        samples: scale.samples,
+        max_iterations: 0,
+        ..AutoChipConfig::paper()
+    };
+
+    let mut rows = Vec::new();
+    for profile in ModelProfile::paper_models() {
+        let chisel = run_model(&profile, &suite, &chisel_config);
+        let verilog = run_autochip_model(&profile, &suite, &verilog_config);
+        rows.push(vec![
+            profile.name.clone(),
+            pct(chisel.pass_at_k(1, 0)),
+            pct(verilog.pass_at_k(1, 0)),
+            pct(chisel.pass_at_k(5, 0)),
+            pct(verilog.pass_at_k(5, 0)),
+            pct(chisel.pass_at_k(10, 0)),
+            pct(verilog.pass_at_k(10, 0)),
+        ]);
+        eprintln!("  finished {}", profile.name);
+    }
+    let table = format_table(
+        "Pass@k (%) in zero-shot generation",
+        &["Model", "P@1 CHS", "P@1 VRL", "P@5 CHS", "P@5 VRL", "P@10 CHS", "P@10 VRL"],
+        &rows,
+    );
+    println!("{table}");
+    println!(
+        "Paper reference (Pass@1 CHS/VRL): GPT-4 Turbo 45.54/67.61, GPT-4o 45.07/69.48, \
+         GPT-4o mini 11.27/59.15, Claude 3.5 Sonnet 33.33/77.93, Claude 3.5 Haiku 26.29/75.59"
+    );
+}

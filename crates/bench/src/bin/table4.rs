@@ -1,0 +1,52 @@
+//! Reproduces Table IV of the ReChisel paper: ReChisel (Chisel generation) compared to
+//! the AutoChip baseline (direct Verilog generation) at the same iteration budget.
+
+use rechisel_autochip::{run_autochip_model, AutoChipConfig};
+use rechisel_bench::Scale;
+use rechisel_benchsuite::report::{format_table, pct};
+use rechisel_benchsuite::{run_model, ExperimentConfig};
+use rechisel_llm::{Language, ModelProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    print!("{}", scale.banner("Table IV: ReChisel vs AutoChip"));
+    let suite = scale.suite();
+    let rechisel_config = ExperimentConfig::paper()
+        .with_samples(scale.samples)
+        .with_max_iterations(10)
+        .with_language(Language::Chisel);
+    let autochip_config = AutoChipConfig {
+        samples: scale.samples,
+        max_iterations: 10,
+        ..AutoChipConfig::paper()
+    };
+
+    let mut per_k: Vec<(usize, Vec<Vec<String>>)> = vec![(1, Vec::new()), (5, Vec::new()), (10, Vec::new())];
+    for profile in ModelProfile::comparison_models() {
+        let rechisel = run_model(&profile, &suite, &rechisel_config);
+        let autochip = run_autochip_model(&profile, &suite, &autochip_config);
+        eprintln!("  finished {}", profile.name);
+        for (k, rows) in per_k.iter_mut() {
+            rows.push(vec![
+                profile.name.clone(),
+                pct(rechisel.pass_at_k(*k, 10)),
+                pct(autochip.pass_at_k(*k, 10)),
+            ]);
+        }
+    }
+    for (k, rows) in per_k {
+        println!(
+            "{}",
+            format_table(
+                &format!("Pass@{k} (%), n = 10"),
+                &["Model", "ReChisel (Chisel)", "AutoChip (Verilog)"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Paper reference (Pass@1): GPT-4 Turbo 73.24 vs 79.81, GPT-4o 77.46 vs 78.40, Claude \
+         3.5 Sonnet 84.98 vs 91.08 — ReChisel reaches a level comparable to direct Verilog \
+         generation."
+    );
+}

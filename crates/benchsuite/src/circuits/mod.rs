@@ -1,0 +1,10 @@
+//! The reference-design library.
+//!
+//! Each submodule groups parameterized circuit generators for one design category. The
+//! full 216-case benchmark (mirroring the filtered VerilogEval + HDLBits + RTLLM suite
+//! of the ReChisel paper) is assembled from these generators by [`crate::suite`].
+
+pub mod arithmetic;
+pub mod combinational;
+pub mod fsm;
+pub mod sequential;

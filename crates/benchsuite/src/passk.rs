@@ -1,0 +1,89 @@
+//! The Pass@k metric.
+//!
+//! The paper evaluates with the unbiased Pass@k estimator of Chen et al. (the Codex
+//! paper): given `n` samples of which `c` are correct, the probability that at least one
+//! of `k` drawn samples is correct is `1 - C(n-c, k) / C(n, k)`.
+
+/// Unbiased Pass@k estimate for one problem.
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k == 0`.
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "correct count cannot exceed sample count");
+    assert!(k > 0, "k must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.min(n);
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        // Fewer incorrect samples than draws: at least one correct sample is guaranteed.
+        return 1.0;
+    }
+    // 1 - prod_{i=0..k-1} (n - c - i) / (n - i), computed in floating point.
+    let mut failure = 1.0f64;
+    for i in 0..k {
+        failure *= (n - c - i) as f64 / (n - i) as f64;
+    }
+    1.0 - failure
+}
+
+/// Mean Pass@k across problems, each given as `(n, c)`.
+pub fn mean_pass_at_k(per_problem: &[(usize, usize)], k: usize) -> f64 {
+    if per_problem.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = per_problem.iter().map(|(n, c)| pass_at_k(*n, *c, k)).sum();
+    sum / per_problem.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(pass_at_k(10, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 10, 1), 1.0);
+        assert_eq!(pass_at_k(10, 5, 10), 1.0);
+        assert_eq!(pass_at_k(0, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn pass_at_1_equals_success_fraction() {
+        let p = pass_at_k(10, 3, 1);
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pass_at_k_is_monotone_in_k() {
+        let p1 = pass_at_k(10, 3, 1);
+        let p5 = pass_at_k(10, 3, 5);
+        let p10 = pass_at_k(10, 3, 10);
+        assert!(p1 < p5);
+        assert!(p5 < p10 + 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // n=10, c=2, k=5: 1 - C(8,5)/C(10,5) = 1 - 56/252.
+        let p = pass_at_k(10, 2, 5);
+        assert!((p - (1.0 - 56.0 / 252.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_problems() {
+        let problems = vec![(10, 10), (10, 0)];
+        assert!((mean_pass_at_k(&problems, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_pass_at_k(&[], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        pass_at_k(10, 1, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Experiment runners: sweeping models × cases × samples through the ReChisel workflow
+//! and aggregating the metrics the paper reports.
+//!
+//! A [`ModelOutcome`] holds every [`WorkflowResult`] of one model over one suite; the
+//! aggregation methods compute the quantities behind the paper's tables and figures:
+//! Pass@k at a given iteration cap (Tables I/III/IV, Fig. 6) and per-iteration error
+//! proportions (Figs. 1 and 7).
+
+use rechisel_core::{TraceInspector, Workflow, WorkflowConfig, WorkflowResult};
+use rechisel_llm::{Language, ModelProfile, SyntheticLlm};
+
+use crate::case::BenchmarkCase;
+use crate::passk::mean_pass_at_k;
+
+/// Configuration of one experiment sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Samples per case (the paper uses 10).
+    pub samples: u32,
+    /// Maximum reflection iterations (the paper caps at 10).
+    pub max_iterations: u32,
+    /// Whether the escape mechanism is enabled.
+    pub escape_enabled: bool,
+    /// Whether the common-error knowledge base is provided to the Reviewer.
+    pub knowledge_enabled: bool,
+    /// Generated language (Chisel for ReChisel, Verilog for the AutoChip baseline).
+    pub language: Language,
+    /// Worker threads used to evaluate cases in parallel.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's main configuration: 10 samples, 10 iterations, escape and knowledge
+    /// on, Chisel generation.
+    pub fn paper() -> Self {
+        Self {
+            samples: 10,
+            max_iterations: 10,
+            escape_enabled: true,
+            knowledge_enabled: true,
+            language: Language::Chisel,
+            threads: default_threads(),
+        }
+    }
+
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { samples: 3, max_iterations: 5, ..Self::paper() }
+    }
+
+    /// Switches the generated language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+
+    /// Sets the number of samples per case.
+    pub fn with_samples(mut self, samples: u32) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Enables or disables the escape mechanism.
+    pub fn with_escape(mut self, enabled: bool) -> Self {
+        self.escape_enabled = enabled;
+        self
+    }
+
+    fn workflow_config(&self) -> WorkflowConfig {
+        WorkflowConfig {
+            max_iterations: self.max_iterations,
+            escape_enabled: self.escape_enabled,
+            knowledge_enabled: self.knowledge_enabled,
+            feedback_detail: rechisel_core::FeedbackDetail::Full,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// All samples of one case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case id.
+    pub case_id: String,
+    /// One workflow result per sample.
+    pub samples: Vec<WorkflowResult>,
+}
+
+impl CaseOutcome {
+    /// `(n, c)` pair for Pass@k: total samples and samples that succeeded within
+    /// `within_iterations` reflection iterations.
+    pub fn pass_counts(&self, within_iterations: u32) -> (usize, usize) {
+        let n = self.samples.len();
+        let c = self.samples.iter().filter(|r| r.success_within(within_iterations)).count();
+        (n, c)
+    }
+}
+
+/// All results of one model over one suite.
+#[derive(Debug, Clone)]
+pub struct ModelOutcome {
+    /// Model display name.
+    pub model: String,
+    /// Generated language.
+    pub language: Language,
+    /// Per-case outcomes, in suite order.
+    pub cases: Vec<CaseOutcome>,
+}
+
+impl ModelOutcome {
+    /// Mean Pass@k over the suite, counting a sample as correct when it succeeded
+    /// within `within_iterations` reflection iterations.
+    pub fn pass_at_k(&self, k: usize, within_iterations: u32) -> f64 {
+        let counts: Vec<(usize, usize)> =
+            self.cases.iter().map(|c| c.pass_counts(within_iterations)).collect();
+        mean_pass_at_k(&counts, k)
+    }
+
+    /// Proportions of (syntax error, functional error, success) over all case × sample
+    /// runs at reflection iteration `n` (Fig. 1 uses `n = 0`, Fig. 7 sweeps `n`).
+    pub fn status_proportions(&self, n: u32) -> (f64, f64, f64) {
+        let mut syntax = 0usize;
+        let mut functional = 0usize;
+        let mut success = 0usize;
+        let mut total = 0usize;
+        for case in &self.cases {
+            for sample in &case.samples {
+                total += 1;
+                match sample.status_at(n) {
+                    rechisel_core::IterationStatus::Success => success += 1,
+                    rechisel_core::IterationStatus::SyntaxError => syntax += 1,
+                    rechisel_core::IterationStatus::FunctionalError => functional += 1,
+                }
+            }
+        }
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (syntax as f64 / t, functional as f64 / t, success as f64 / t)
+    }
+
+    /// Total number of escape events and the fraction of runs that needed at least one.
+    pub fn escape_stats(&self) -> (u64, f64) {
+        let mut events = 0u64;
+        let mut runs_with_escape = 0usize;
+        let mut total = 0usize;
+        for case in &self.cases {
+            for sample in &case.samples {
+                total += 1;
+                events += u64::from(sample.escapes);
+                if sample.escapes > 0 {
+                    runs_with_escape += 1;
+                }
+            }
+        }
+        let fraction = if total == 0 { 0.0 } else { runs_with_escape as f64 / total as f64 };
+        (events, fraction)
+    }
+
+    /// Mean number of reflection iterations spent per run (a cost proxy).
+    pub fn mean_iterations(&self) -> f64 {
+        let mut total = 0usize;
+        let mut runs = 0usize;
+        for case in &self.cases {
+            for sample in &case.samples {
+                total += sample.iterations_evaluated();
+                runs += 1;
+            }
+        }
+        if runs == 0 {
+            0.0
+        } else {
+            total as f64 / runs as f64
+        }
+    }
+}
+
+/// Runs one sample of one case through the workflow.
+pub fn run_sample(
+    case: &BenchmarkCase,
+    profile: &ModelProfile,
+    config: &ExperimentConfig,
+    sample: u32,
+) -> WorkflowResult {
+    let tester = case.tester();
+    let mut llm =
+        SyntheticLlm::new(profile.clone(), config.language, case.reference.clone(), case.seed());
+    let mut reviewer = rechisel_core::TemplateReviewer::new();
+    let mut inspector = TraceInspector::new();
+    let workflow = Workflow::new(config.workflow_config());
+    workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, sample)
+}
+
+/// Runs every sample of one case.
+pub fn run_case(
+    case: &BenchmarkCase,
+    profile: &ModelProfile,
+    config: &ExperimentConfig,
+) -> CaseOutcome {
+    let tester = case.tester();
+    let workflow = Workflow::new(config.workflow_config());
+    let mut samples = Vec::with_capacity(config.samples as usize);
+    for sample in 0..config.samples {
+        let mut llm = SyntheticLlm::new(
+            profile.clone(),
+            config.language,
+            case.reference.clone(),
+            case.seed(),
+        );
+        let mut reviewer = rechisel_core::TemplateReviewer::new();
+        let mut inspector = TraceInspector::new();
+        samples.push(workflow.run(
+            &mut llm,
+            &mut reviewer,
+            &mut inspector,
+            &case.spec,
+            &tester,
+            sample,
+        ));
+    }
+    CaseOutcome { case_id: case.id.clone(), samples }
+}
+
+/// Runs a full model × suite sweep, evaluating cases in parallel.
+pub fn run_model(
+    profile: &ModelProfile,
+    suite: &[BenchmarkCase],
+    config: &ExperimentConfig,
+) -> ModelOutcome {
+    let threads = config.threads.max(1);
+    let mut outcomes: Vec<Option<CaseOutcome>> = vec![None; suite.len()];
+    if threads == 1 || suite.len() <= 1 {
+        for (i, case) in suite.iter().enumerate() {
+            outcomes[i] = Some(run_case(case, profile, config));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<(usize, CaseOutcome)>> =
+            std::sync::Mutex::new(Vec::with_capacity(suite.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(suite.len()) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= suite.len() {
+                        break;
+                    }
+                    let outcome = run_case(&suite[index], profile, config);
+                    results.lock().expect("runner mutex").push((index, outcome));
+                });
+            }
+        });
+        for (index, outcome) in results.into_inner().expect("runner mutex") {
+            outcomes[index] = Some(outcome);
+        }
+    }
+    ModelOutcome {
+        model: profile.name.clone(),
+        language: config.language,
+        cases: outcomes.into_iter().map(|o| o.expect("all cases evaluated")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::sampled_suite;
+
+    #[test]
+    fn quick_sweep_produces_consistent_aggregates() {
+        let suite = sampled_suite(6);
+        let config = ExperimentConfig::quick().with_samples(2);
+        let outcome = run_model(&ModelProfile::claude35_sonnet(), &suite, &config);
+        assert_eq!(outcome.cases.len(), 6);
+        for case in &outcome.cases {
+            assert_eq!(case.samples.len(), 2);
+        }
+        let p1_zero = outcome.pass_at_k(1, 0);
+        let p1_full = outcome.pass_at_k(1, config.max_iterations);
+        assert!((0.0..=1.0).contains(&p1_zero));
+        assert!(p1_full >= p1_zero, "reflection must not reduce pass@1");
+        let (syntax, functional, success) = outcome.status_proportions(0);
+        assert!((syntax + functional + success - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let suite = sampled_suite(4);
+        let config_serial =
+            ExperimentConfig { threads: 1, ..ExperimentConfig::quick().with_samples(2) };
+        let config_parallel =
+            ExperimentConfig { threads: 4, ..ExperimentConfig::quick().with_samples(2) };
+        let a = run_model(&ModelProfile::gpt4o(), &suite, &config_serial);
+        let b = run_model(&ModelProfile::gpt4o(), &suite, &config_parallel);
+        assert_eq!(a.pass_at_k(1, 5), b.pass_at_k(1, 5));
+        assert_eq!(a.status_proportions(3), b.status_proportions(3));
+    }
+
+    #[test]
+    fn run_sample_matches_run_case_entry() {
+        let suite = sampled_suite(1);
+        let config = ExperimentConfig::quick().with_samples(1);
+        let via_case = run_case(&suite[0], &ModelProfile::gpt4_turbo(), &config);
+        let via_sample = run_sample(&suite[0], &ModelProfile::gpt4_turbo(), &config, 0);
+        assert_eq!(via_case.samples[0].success, via_sample.success);
+        assert_eq!(
+            via_case.samples[0].success_iteration,
+            via_sample.success_iteration
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Assembly of the 216-case benchmark suite.
+//!
+//! The ReChisel paper filters VerilogEval Spec-to-RTL, AutoChip's HDLBits and RTLLM down
+//! to 216 valid module-level cases (§V-A). This module assembles the same number of
+//! cases from the reference-design library, covering the same design categories
+//! (combinational logic, vectors/bit manipulation, arithmetic, sequential logic and
+//! FSMs) and tagging each case with the benchmark family it is modelled after.
+
+use crate::case::{BenchmarkCase, SourceFamily};
+use crate::circuits::{arithmetic, combinational, fsm, sequential};
+
+/// The number of cases in the full suite (matching the paper).
+pub const SUITE_SIZE: usize = 216;
+
+/// Builds the full 216-case suite.
+pub fn full_suite() -> Vec<BenchmarkCase> {
+    let mut cases = all_generated_cases();
+    assert!(
+        cases.len() >= SUITE_SIZE,
+        "generator library produced only {} cases",
+        cases.len()
+    );
+    cases.truncate(SUITE_SIZE);
+    cases
+}
+
+/// Builds a smaller deterministic subset (every `stride`-th case), useful for tests and
+/// quick experiments.
+pub fn sampled_suite(count: usize) -> Vec<BenchmarkCase> {
+    let all = full_suite();
+    if count >= all.len() {
+        return all;
+    }
+    let stride = (all.len() / count).max(1);
+    all.into_iter().step_by(stride).take(count).collect()
+}
+
+/// Every case the generator library can produce, in suite order (most distinctive cases
+/// first so that truncation to [`SUITE_SIZE`] only drops redundant gate variants).
+fn all_generated_cases() -> Vec<BenchmarkCase> {
+    use SourceFamily::*;
+    let mut cases: Vec<BenchmarkCase> = Vec::with_capacity(256);
+
+    // --- the paper's case-study circuit goes first ------------------------------------
+    cases.push(combinational::vector5());
+
+    // --- arithmetic --------------------------------------------------------------------
+    for w in [2u32, 4, 6, 8, 12, 16] {
+        cases.push(arithmetic::adder(w, VerilogEval));
+    }
+    for w in [2u32, 4, 8, 16] {
+        cases.push(arithmetic::subtractor(w, HdlBits));
+    }
+    cases.push(arithmetic::full_adder(HdlBits));
+    for w in [2u32, 4, 8, 16] {
+        cases.push(arithmetic::alu(w, Rtllm));
+    }
+    for w in [2u32, 3, 4, 8] {
+        cases.push(arithmetic::multiplier(w, Rtllm));
+    }
+    for w in [2u32, 4, 8, 16] {
+        cases.push(arithmetic::saturating_adder(w, VerilogEval));
+    }
+    for w in [2u32, 4, 8, 16] {
+        cases.push(arithmetic::inc_dec(w, HdlBits));
+    }
+    for w in [2u32, 4, 8] {
+        cases.push(arithmetic::mac(w, Rtllm));
+    }
+
+    // --- sequential ---------------------------------------------------------------------
+    for w in [1u32, 2, 4, 8, 16] {
+        cases.push(sequential::dff_enable(w, VerilogEval));
+    }
+    for w in [2u32, 3, 4, 6, 8, 16] {
+        cases.push(sequential::counter_up(w, HdlBits));
+    }
+    for w in [2u32, 4, 8] {
+        cases.push(sequential::counter_updown(w, VerilogEval));
+    }
+    for modulus in [3u32, 5, 10, 12, 60] {
+        cases.push(sequential::counter_mod(modulus, Rtllm));
+    }
+    for depth in [2u32, 4, 8, 16] {
+        cases.push(sequential::shift_register(depth, HdlBits));
+    }
+    cases.push(sequential::edge_detector(HdlBits));
+    cases.push(sequential::toggle_ff(VerilogEval));
+    for w in [2u32, 4, 8, 16] {
+        cases.push(sequential::accumulator(w, Rtllm));
+    }
+    for w in [3u32, 4, 8, 16] {
+        cases.push(sequential::lfsr(w, HdlBits));
+    }
+    for (w, depth) in [(2u32, 2usize), (4, 2), (8, 3), (8, 4)] {
+        cases.push(sequential::delay_line(w, depth, VerilogEval));
+    }
+    for w in [4u32, 8, 16] {
+        cases.push(sequential::max_tracker(w, Rtllm));
+    }
+    for (w, entries) in [(4u32, 4usize), (8, 4), (8, 8)] {
+        cases.push(sequential::register_file(w, entries, Rtllm));
+    }
+    for w in [3u32, 4, 6] {
+        cases.push(sequential::pwm(w, VerilogEval));
+    }
+    for w in [4u32, 6, 8, 12] {
+        cases.push(sequential::timer(w, Rtllm));
+    }
+
+    // --- FSMs ---------------------------------------------------------------------------
+    let patterns: [&[u8]; 6] =
+        [&[1, 0, 1], &[1, 1, 0], &[1, 1, 0, 1], &[1, 0, 0, 1], &[1, 1, 1], &[0, 1, 1, 0]];
+    for p in patterns {
+        cases.push(fsm::sequence_detector(p, HdlBits));
+    }
+    for (g, y, r) in [(3u32, 1u32, 2u32), (4, 2, 3), (5, 1, 4)] {
+        cases.push(fsm::traffic_light(g, y, r, Rtllm));
+    }
+    for price in [3u32, 5, 7] {
+        cases.push(fsm::vending_machine(price, Rtllm));
+    }
+    cases.push(fsm::parity_fsm(VerilogEval));
+    cases.push(fsm::arbiter2(VerilogEval));
+    cases.push(fsm::handshake(Rtllm));
+    for half in [2u32, 4, 8, 16] {
+        cases.push(fsm::blinker(half, HdlBits));
+    }
+
+    // --- combinational / bit manipulation ------------------------------------------------
+    for w in [1u32, 2, 4, 8, 16, 32] {
+        cases.push(combinational::mux2(w, VerilogEval));
+    }
+    for w in [2u32, 4, 8, 16] {
+        cases.push(combinational::mux4(w, HdlBits));
+    }
+    for bits in [2u32, 3, 4] {
+        cases.push(combinational::decoder(bits, Rtllm));
+    }
+    for w in [4u32, 6, 8, 16] {
+        cases.push(combinational::priority_encoder(w, VerilogEval));
+    }
+    for w in [3u32, 4, 5, 8, 12, 16] {
+        cases.push(combinational::popcount_circuit(w, HdlBits));
+    }
+    for w in [3u32, 4, 5, 8, 12, 16] {
+        cases.push(combinational::parity(w, HdlBits));
+    }
+    for w in [2u32, 4, 6, 8, 12, 16] {
+        cases.push(combinational::comparator(w, Rtllm));
+    }
+    for w in [4u32, 6, 8, 12, 16] {
+        cases.push(combinational::bit_reverse(w, HdlBits));
+    }
+    for w in [4u32, 8, 12, 16] {
+        cases.push(combinational::word_split(w, VerilogEval));
+    }
+    for bytes in [2u32, 4, 8] {
+        cases.push(combinational::byte_swap(bytes, HdlBits));
+    }
+    for w in [2u32, 4, 8, 12, 16] {
+        cases.push(combinational::min_max(w, VerilogEval));
+    }
+    for w in [2u32, 4, 8, 16] {
+        cases.push(combinational::abs_diff(w, Rtllm));
+    }
+    for w in [4u32, 8, 16] {
+        cases.push(combinational::barrel_shifter(w, Rtllm));
+    }
+    for w in [2u32, 4, 8, 16] {
+        cases.push(combinational::word_flags(w, VerilogEval));
+    }
+    for w in [3u32, 4, 8, 12, 16] {
+        cases.push(combinational::gray_encoder(w, HdlBits));
+    }
+    // Gates last: the most redundant variants, dropped first by truncation.
+    for op in ["and", "or", "xor", "nand", "nor", "xnor"] {
+        for w in [1u32, 2, 3, 4, 5, 6, 8, 12, 16] {
+            cases.push(combinational::gate(op, w, HdlBits));
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn suite_has_exactly_216_cases_with_unique_ids() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), SUITE_SIZE);
+        let ids: BTreeSet<&str> = suite.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids.len(), SUITE_SIZE, "duplicate case ids");
+    }
+
+    #[test]
+    fn suite_covers_all_families_and_categories() {
+        let suite = full_suite();
+        let families: BTreeSet<_> = suite.iter().map(|c| c.family).collect();
+        assert_eq!(families.len(), 3);
+        let categories: BTreeSet<_> = suite.iter().map(|c| c.category).collect();
+        assert_eq!(categories.len(), 5);
+    }
+
+    #[test]
+    fn suite_contains_the_case_study() {
+        let suite = full_suite();
+        assert!(suite.iter().any(|c| c.id == "hdlbits/vector5"));
+    }
+
+    #[test]
+    fn sampled_suite_is_a_subset() {
+        let sample = sampled_suite(20);
+        assert_eq!(sample.len(), 20);
+        let full_ids: BTreeSet<String> = full_suite().into_iter().map(|c| c.id).collect();
+        for case in &sample {
+            assert!(full_ids.contains(&case.id));
+        }
+    }
+
+    #[test]
+    fn every_reference_design_compiles_and_passes_its_own_testbench() {
+        // The heavyweight validation: each of the 216 references must check cleanly,
+        // lower, and match itself in simulation.
+        for case in full_suite() {
+            let report = rechisel_firrtl::check_circuit(&case.reference);
+            assert!(!report.has_errors(), "{} fails checking: {report:?}", case.id);
+            let tester = case.tester();
+            assert!(
+                tester.test(tester.reference()).passed(),
+                "{} fails its own testbench",
+                case.id
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Generation candidates.
+//!
+//! A [`Candidate`] is one version of the Chisel code produced by the Generator agent:
+//! the elaborated circuit plus the pseudo-Chisel source text shown in traces and in the
+//! case-study walkthrough (paper Fig. 8).
+
+use rechisel_firrtl::ir::Circuit;
+use rechisel_firrtl::print_chisel;
+
+/// One generated design version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Unique id within a workflow run (used by the synthetic LLM to track its internal
+    /// defect bookkeeping; a real LLM backend can ignore it).
+    pub id: u64,
+    /// Which reflection iteration produced this candidate (0 = zero-shot).
+    pub iteration: u32,
+    /// The elaborated design.
+    pub circuit: Circuit,
+    /// Pseudo-Chisel source text of the design.
+    pub source: String,
+}
+
+impl Candidate {
+    /// Creates a candidate, rendering its source text from the circuit.
+    pub fn new(id: u64, iteration: u32, circuit: Circuit) -> Self {
+        let source = print_chisel(&circuit);
+        Self { id, iteration, circuit, source }
+    }
+
+    /// Line count of the rendered source (a rough size proxy reported by benches).
+    pub fn source_lines(&self) -> usize {
+        self.source.lines().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::ir::{Direction, Expression, Module, ModuleKind, Port, SourceInfo, Statement, Type};
+
+    #[test]
+    fn candidate_renders_source() {
+        let mut m = Module::new("Tiny", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("a", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("y", Direction::Output, Type::bool()));
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("y"),
+            expr: Expression::reference("a"),
+            info: SourceInfo::unknown(),
+        });
+        let c = Candidate::new(1, 0, Circuit::single(m));
+        assert!(c.source.contains("class Tiny extends Module"));
+        assert!(c.source_lines() > 3);
+        assert_eq!(c.iteration, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Common-error knowledge base (in-context learning).
+//!
+//! The ReChisel paper pre-organises the causes and fix guidance for the common syntax
+//! errors of Table II and includes them in the Reviewer's prompt (§IV-B, "we employ
+//! in-context learning to further enhance the effectiveness of reviews").
+//! [`CommonErrorKnowledge`] is that knowledge base: a map from compiler error class to
+//! cause/fix guidance, pre-populated with every Table II row.
+
+use std::collections::BTreeMap;
+
+use rechisel_firrtl::diagnostics::ErrorCode;
+
+/// Guidance for one error class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorGuidance {
+    /// Why this class of error happens.
+    pub cause: String,
+    /// How to fix it.
+    pub fix: String,
+}
+
+/// A knowledge base mapping error classes to guidance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonErrorKnowledge {
+    entries: BTreeMap<ErrorCode, ErrorGuidance>,
+}
+
+impl Default for CommonErrorKnowledge {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl CommonErrorKnowledge {
+    /// An empty knowledge base (used by the "knowledge disabled" ablation).
+    pub fn empty() -> Self {
+        Self { entries: BTreeMap::new() }
+    }
+
+    /// The standard knowledge base covering every row of the paper's Table II.
+    pub fn standard() -> Self {
+        use ErrorCode::*;
+        let mut kb = Self::empty();
+        let mut add = |code: ErrorCode, cause: &str, fix: &str| {
+            kb.entries.insert(
+                code,
+                ErrorGuidance { cause: cause.to_string(), fix: fix.to_string() },
+            );
+        };
+        add(
+            UnknownReference,
+            "an identifier is misspelled or used before it is declared",
+            "check the spelling against the declaration; the compiler's 'did you mean' hint \
+             usually names the intended signal",
+        );
+        add(
+            ScalaChiselMixup,
+            "Scala-level casts such as asInstanceOf operate on Scala objects, not on hardware \
+             values",
+            "use the Chisel hardware casts (.asUInt, .asSInt, .asBool) instead of asInstanceOf",
+        );
+        add(
+            BadInvocation,
+            "a method is called with the wrong number or kind of arguments (e.g. Seq.apply with \
+             two indices)",
+            "check the method signature; extract a bit range with x(hi, lo) on hardware values \
+             and a single element with seq(i) on Scala collections",
+        );
+        add(
+            AbstractResetNotInferred,
+            "a port declared as Reset() stays abstract when nothing constrains it to a \
+             synchronous or asynchronous reset",
+            "declare the port as Bool() for a synchronous reset or AsyncReset() for an \
+             asynchronous one",
+        );
+        add(
+            BareChiselType,
+            "Input(...)/Output(...) only create a direction marker; without IO(...) the value is \
+             a bare Chisel type, not hardware",
+            "wrap interface declarations in IO(...), e.g. val clk = IO(Input(Clock()))",
+        );
+        add(
+            NotFullyInitialized,
+            "a Wire is only assigned inside some when branches, so some execution path leaves it \
+             undriven (which would synthesize a latch)",
+            "give the signal a default with WireDefault(...) at its definition, or add an \
+             .otherwise branch covering the remaining cases",
+        );
+        add(
+            BundleFieldMismatch,
+            "the sink and source bundles have different fields, so the bulk connection cannot be \
+             completed",
+            "make both sides the same Bundle class, or connect the common fields individually",
+        );
+        add(
+            TypeMismatch,
+            "a value of one hardware type (e.g. Bool) is used where another (e.g. UInt) is \
+             required",
+            "insert an explicit conversion such as .asUInt, or change the declaration so both \
+             sides have the same type",
+        );
+        add(
+            UnsupportedCast,
+            "the requested conversion is not defined for the source type (e.g. asClock on a wide \
+             UInt)",
+            "convert through a supported intermediate type, e.g. take bit 0 with .asBool before \
+             .asClock",
+        );
+        add(
+            IndexOutOfBounds,
+            "a static index lies outside the declared range of the Vec or UInt",
+            "clamp the index to 0..length-1; remember Chisel vectors are zero-indexed",
+        );
+        add(
+            NoImplicitClock,
+            "registers inside a RawModule (or withClockAndReset-free multi-clock design) have no \
+             implicit clock to latch on",
+            "wrap the register in withClock(<clock>) { ... } or move it into a Module",
+        );
+        add(
+            CombinationalLoop,
+            "a signal's value combinationally depends on itself, which would oscillate in \
+             hardware",
+            "break the cycle with a register (RegNext) or restructure the logic so the \
+             dependency goes through state",
+        );
+        add(
+            MultipleDrivers,
+            "the same bits are driven from more than one unconditional statement",
+            "drive the signal from a single place, using when/otherwise to select the value",
+        );
+        add(
+            InvalidSink,
+            "the assignment target is read-only (an input port, a val, or individual bits of a \
+             UInt)",
+            "use a Vec of Bool for bit-level assignment and convert with .asUInt, or declare a \
+             Wire for intermediate values",
+        );
+        add(
+            WidthInferenceFailure,
+            "the compiler cannot determine a width for a declaration",
+            "give the declaration an explicit width, e.g. UInt(8.W)",
+        );
+        add(
+            UndrivenOutput,
+            "an output port is never assigned",
+            "assign every output on every path, possibly with a default assignment first",
+        );
+        kb
+    }
+
+    /// Looks up guidance for an error class.
+    pub fn lookup(&self, code: ErrorCode) -> Option<&ErrorGuidance> {
+        self.entries.get(&code)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the knowledge base has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the knowledge base as the in-context-learning prompt section.
+    pub fn to_prompt(&self) -> String {
+        let mut out = String::from("Common Chisel errors and how to fix them:\n");
+        for (code, guidance) in &self.entries {
+            out.push_str(&format!(
+                "- [{}] {}: cause: {}; fix: {}\n",
+                code.taxonomy_label(),
+                code.summary(),
+                guidance.cause,
+                guidance.fix
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_knowledge_covers_every_table2_row() {
+        let kb = CommonErrorKnowledge::standard();
+        for code in ErrorCode::all() {
+            if code.in_paper_taxonomy() {
+                assert!(kb.lookup(*code).is_some(), "missing guidance for {code:?}");
+            }
+        }
+        assert!(kb.len() >= 12);
+    }
+
+    #[test]
+    fn empty_knowledge_has_no_entries() {
+        let kb = CommonErrorKnowledge::empty();
+        assert!(kb.is_empty());
+        assert!(kb.lookup(ErrorCode::NotFullyInitialized).is_none());
+    }
+
+    #[test]
+    fn prompt_mentions_wiredefault_for_b3() {
+        let kb = CommonErrorKnowledge::standard();
+        let prompt = kb.to_prompt();
+        assert!(prompt.contains("[B3]"));
+        assert!(prompt.contains("WireDefault"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Revision plans.
+//!
+//! The Reviewer agent turns feedback into a [`RevisionPlan`]: for every error it lists
+//! the location, a root-cause analysis, and a concrete solution (paper Fig. 3). The
+//! Generator then applies the plan to produce the next candidate.
+
+use rechisel_firrtl::diagnostics::ErrorCode;
+use rechisel_firrtl::ir::SourceInfo;
+
+/// One item of a revision plan, addressing one error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevisionItem {
+    /// Where the error is.
+    pub location: SourceInfo,
+    /// Root-cause analysis.
+    pub cause: String,
+    /// Proposed fix.
+    pub solution: String,
+    /// The compiler error class this item addresses, when the error came from the
+    /// compiler (functional errors have `None`).
+    pub code: Option<ErrorCode>,
+    /// The signal or construct the item is about.
+    pub subject: Option<String>,
+}
+
+impl RevisionItem {
+    /// Creates an item for a compiler diagnostic.
+    pub fn for_diagnostic(
+        code: ErrorCode,
+        location: SourceInfo,
+        cause: impl Into<String>,
+        solution: impl Into<String>,
+    ) -> Self {
+        Self {
+            location,
+            cause: cause.into(),
+            solution: solution.into(),
+            code: Some(code),
+            subject: None,
+        }
+    }
+
+    /// Creates an item for a functional mismatch.
+    pub fn for_functional(cause: impl Into<String>, solution: impl Into<String>) -> Self {
+        Self {
+            location: SourceInfo::unknown(),
+            cause: cause.into(),
+            solution: solution.into(),
+            code: None,
+            subject: None,
+        }
+    }
+
+    /// Sets the subject signal.
+    pub fn with_subject(mut self, subject: impl Into<String>) -> Self {
+        self.subject = Some(subject.into());
+        self
+    }
+}
+
+/// A complete revision plan for one reflection iteration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RevisionPlan {
+    /// Per-error items.
+    pub items: Vec<RevisionItem>,
+    /// True when this plan was produced right after the escape mechanism discarded a
+    /// non-progress loop; the Generator is expected to try a different strategy
+    /// ("inherent diversity", paper §IV-C).
+    pub after_escape: bool,
+}
+
+impl RevisionPlan {
+    /// Creates a plan from items.
+    pub fn new(items: Vec<RevisionItem>) -> Self {
+        Self { items, after_escape: false }
+    }
+
+    /// Marks the plan as following an escape.
+    pub fn escaped(mut self) -> Self {
+        self.after_escape = true;
+        self
+    }
+
+    /// True when the plan carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Renders the plan in the "Location / Root Cause / Solution" layout of Fig. 3.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.after_escape {
+            out.push_str(
+                "(Note: previous attempts formed a non-progress loop and were discarded; try a \
+                 different strategy.)\n",
+            );
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            out.push_str(&format!("Error {}:\n", i + 1));
+            out.push_str(&format!("  Location: {}\n", item.location));
+            out.push_str(&format!("  Root Cause: {}\n", item.cause));
+            out.push_str(&format!("  Solution: {}\n", item.solution));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_text_has_fig3_layout() {
+        let plan = RevisionPlan::new(vec![RevisionItem::for_diagnostic(
+            ErrorCode::TypeMismatch,
+            SourceInfo::new("Main.scala", 18, 10),
+            "UInt indices are used to slice a bit vector",
+            "convert the index to a Scala Int at elaboration time",
+        )]);
+        let text = plan.to_text();
+        assert!(text.contains("Location: Main.scala:18:10"));
+        assert!(text.contains("Root Cause:"));
+        assert!(text.contains("Solution:"));
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn escaped_plans_note_the_discarded_loop() {
+        let plan = RevisionPlan::new(vec![]).escaped();
+        assert!(plan.after_escape);
+        assert!(plan.to_text().contains("non-progress loop"));
+    }
+}

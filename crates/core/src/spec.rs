@@ -1,0 +1,96 @@
+//! Module specifications.
+//!
+//! A [`Spec`] is what the benchmark hands to the Generator agent: a module name, a
+//! natural-language functional description, and the I/O signal definitions — the same
+//! information the VerilogEval Spec-to-RTL / HDLBits / RTLLM cases provide in the
+//! ReChisel paper's evaluation (§V-A).
+
+use rechisel_firrtl::ir::{Direction, Type};
+
+/// One I/O signal of the module interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortSpec {
+    /// Signal name.
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Hardware type.
+    pub ty: Type,
+}
+
+impl PortSpec {
+    /// An input signal.
+    pub fn input(name: impl Into<String>, ty: Type) -> Self {
+        Self { name: name.into(), direction: Direction::Input, ty }
+    }
+
+    /// An output signal.
+    pub fn output(name: impl Into<String>, ty: Type) -> Self {
+        Self { name: name.into(), direction: Direction::Output, ty }
+    }
+}
+
+/// A module-level specification: the input to the whole ReChisel workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Module name the generated design must use.
+    pub name: String,
+    /// Natural-language functional description.
+    pub description: String,
+    /// I/O signal definitions.
+    pub ports: Vec<PortSpec>,
+}
+
+impl Spec {
+    /// Creates a specification.
+    pub fn new(name: impl Into<String>, description: impl Into<String>, ports: Vec<PortSpec>) -> Self {
+        Self { name: name.into(), description: description.into(), ports }
+    }
+
+    /// Renders the specification as the prompt text a real LLM would receive.
+    pub fn to_prompt(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Module: {}\n", self.name));
+        out.push_str("Ports:\n");
+        for p in &self.ports {
+            let dir = match p.direction {
+                Direction::Input => "input",
+                Direction::Output => "output",
+            };
+            out.push_str(&format!("  - {dir} {} : {}\n", p.name, p.ty));
+        }
+        out.push_str("Description:\n");
+        out.push_str(&self.description);
+        out.push('\n');
+        out
+    }
+
+    /// Number of output ports (useful for sizing testbenches).
+    pub fn output_count(&self) -> usize {
+        self.ports.iter().filter(|p| p.direction == Direction::Output).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_contains_ports_and_description() {
+        let spec = Spec::new(
+            "Vector5",
+            "Given five 1-bit signals, compute all 25 pairwise one-bit comparisons.",
+            vec![
+                PortSpec::input("a", Type::bool()),
+                PortSpec::input("b", Type::bool()),
+                PortSpec::output("out", Type::uint(25)),
+            ],
+        );
+        let prompt = spec.to_prompt();
+        assert!(prompt.contains("Module: Vector5"));
+        assert!(prompt.contains("input a"));
+        assert!(prompt.contains("output out : UInt<25>"));
+        assert!(prompt.contains("pairwise"));
+        assert_eq!(spec.output_count(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! The external tools of the workflow: the Chisel→Verilog compiler wrapper and the
+//! functional tester (workflow steps ❷ and ❸ of the paper's Fig. 2).
+
+use rechisel_firrtl::check::{check_circuit_with, CheckOptions};
+use rechisel_firrtl::diagnostics::Diagnostic;
+use rechisel_firrtl::ir::Circuit;
+use rechisel_firrtl::lower::{lower_circuit, Netlist};
+use rechisel_sim::{run_testbench, SimReport, Testbench};
+use rechisel_verilog::emit_verilog;
+
+/// The output of a successful compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiled {
+    /// The lowered netlist (used for simulation).
+    pub netlist: Netlist,
+    /// The emitted Verilog source (what the original system hands to its simulator and
+    /// ultimately returns to the user).
+    pub verilog: String,
+}
+
+/// The "Compiler" external tool: checking, lowering and Verilog emission.
+#[derive(Debug, Clone)]
+pub struct ChiselCompiler {
+    options: CheckOptions,
+}
+
+impl Default for ChiselCompiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChiselCompiler {
+    /// A compiler with all checks enabled (the normal Chisel/FIRRTL pipeline).
+    pub fn new() -> Self {
+        Self { options: CheckOptions::all() }
+    }
+
+    /// A compiler with custom check options (used by ablations and by the AutoChip
+    /// baseline's Verilog-style checking).
+    pub fn with_options(options: CheckOptions) -> Self {
+        Self { options }
+    }
+
+    /// Compiles a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of error-severity diagnostics when any check fails or lowering
+    /// is impossible — the "syntax error" feedback of the ReChisel workflow.
+    pub fn compile(&self, circuit: &Circuit) -> Result<Compiled, Vec<Diagnostic>> {
+        let report = check_circuit_with(circuit, self.options);
+        if report.has_errors() {
+            return Err(report.errors().cloned().collect());
+        }
+        let netlist = lower_circuit(circuit).map_err(|d| vec![d])?;
+        let verilog = emit_verilog(&netlist).map_err(|e| {
+            vec![Diagnostic::error(
+                rechisel_firrtl::diagnostics::ErrorCode::WidthInferenceFailure,
+                rechisel_firrtl::ir::SourceInfo::unknown(),
+                format!("verilog emission failed: {e}"),
+            )]
+        })?;
+        Ok(Compiled { netlist, verilog })
+    }
+}
+
+/// The "Simulator" external tool: functional testing of a compiled design against the
+/// benchmark's reference model.
+#[derive(Debug, Clone)]
+pub struct FunctionalTester {
+    reference: Netlist,
+    testbench: Testbench,
+}
+
+impl FunctionalTester {
+    /// Creates a tester from a reference netlist and a testbench.
+    pub fn new(reference: Netlist, testbench: Testbench) -> Self {
+        Self { reference, testbench }
+    }
+
+    /// The testbench driven against DUT and reference.
+    pub fn testbench(&self) -> &Testbench {
+        &self.testbench
+    }
+
+    /// The reference netlist.
+    pub fn reference(&self) -> &Netlist {
+        &self.reference
+    }
+
+    /// Runs the functional tests on a compiled DUT.
+    ///
+    /// Simulation infrastructure errors (e.g. a DUT that is missing a port entirely)
+    /// are reported as a fully failing report rather than an `Err`, because from the
+    /// workflow's point of view they are simply a non-functional design.
+    pub fn test(&self, dut: &Netlist) -> SimReport {
+        match run_testbench(dut, &self.reference, &self.testbench) {
+            Ok(report) => report,
+            Err(_) => {
+                let total = self.testbench.checked_points();
+                SimReport {
+                    total_points: total,
+                    failures: (0..total)
+                        .map(|index| rechisel_sim::PointFailure {
+                            index,
+                            inputs: Vec::new(),
+                            expected: Vec::new(),
+                            actual: Vec::new(),
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_hcl::prelude::*;
+
+    fn passthrough(name: &str) -> Circuit {
+        let mut m = ModuleBuilder::new(name);
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        m.connect(&out, &a);
+        m.into_circuit()
+    }
+
+    #[test]
+    fn compile_success_produces_netlist_and_verilog() {
+        let compiler = ChiselCompiler::new();
+        let compiled = compiler.compile(&passthrough("Pass")).unwrap();
+        assert!(compiled.verilog.contains("module Pass"));
+        assert_eq!(compiled.netlist.defs.len(), 1);
+    }
+
+    #[test]
+    fn compile_failure_returns_diagnostics() {
+        let mut m = ModuleBuilder::new("Broken");
+        let _a = m.input("a", Type::uint(8));
+        let _out = m.output("out", Type::uint(8));
+        // Output never driven.
+        let compiler = ChiselCompiler::new();
+        let errs = compiler.compile(&m.into_circuit()).unwrap_err();
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn tester_passes_identical_designs_and_fails_different_ones() {
+        let compiler = ChiselCompiler::new();
+        let reference = compiler.compile(&passthrough("Ref")).unwrap().netlist;
+        let tb = Testbench::random_for(&reference, 8, 0, 3);
+        let tester = FunctionalTester::new(reference, tb);
+
+        let same = compiler.compile(&passthrough("Dut")).unwrap().netlist;
+        assert!(tester.test(&same).passed());
+
+        let mut m = ModuleBuilder::new("Wrong");
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        m.connect(&out, &a.not().bits(7, 0));
+        let wrong = compiler.compile(&m.into_circuit()).unwrap().netlist;
+        assert!(!tester.test(&wrong).passed());
+    }
+}

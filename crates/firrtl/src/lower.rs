@@ -1,0 +1,1162 @@
+//! Lowering from the checked IR to a flat, ground-typed [`Netlist`].
+//!
+//! The lowering pipeline mirrors what the FIRRTL compiler does before Verilog emission:
+//!
+//! 1. **Instance flattening** — child modules are inlined into their parent with
+//!    prefixed names; implicit `clock`/`reset` ports of children are wired to the
+//!    parent's implicit clock/reset when not connected explicitly.
+//! 2. **Width resolution** — width-less declarations take the width of their driver.
+//! 3. **Aggregate expansion** — vectors and bundles are split into ground elements with
+//!    mangled names (`io.out[3]` → `io_out_3`); dynamic reads become mux trees, dynamic
+//!    writes become per-element conditional connects.
+//! 4. **`when` expansion** — last-connect-wins semantics are resolved into exactly one
+//!    driving expression per ground sink (a mux tree over the conditions).
+//! 5. **Topological ordering** — combinational definitions are sorted so the simulator
+//!    can evaluate them in one forward pass.
+//!
+//! The resulting [`Netlist`] is consumed by the simulator (`rechisel-sim`) and the
+//! Verilog emitter (`rechisel-verilog`).
+//!
+//! Lowering assumes the circuit has already passed [`crate::check::check_circuit`];
+//! defect-carrier nodes or unresolved names produce an [`Err`] rather than a panic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::diagnostics::{Diagnostic, ErrorCode};
+use crate::ir::{
+    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, PrimOp, RegReset,
+    SourceInfo, Statement, Type,
+};
+use crate::passes::width::resolve_widths;
+use crate::paths::{ground_paths, mangle, static_path};
+use crate::typeenv::{ExprTyper, SymbolTable};
+
+/// A ground signal's physical properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalInfo {
+    /// Bit width.
+    pub width: u32,
+    /// True for two's-complement signed interpretation.
+    pub signed: bool,
+    /// True for clock-typed signals.
+    pub is_clock: bool,
+}
+
+impl SignalInfo {
+    fn from_type(ty: &Type) -> Self {
+        SignalInfo {
+            width: ty.width().unwrap_or(1),
+            signed: ty.is_signed(),
+            is_clock: ty.is_clock(),
+        }
+    }
+}
+
+/// A flattened port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetPort {
+    /// Mangled name.
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Physical properties.
+    pub info: SignalInfo,
+}
+
+/// A combinational definition: `name` is driven by `expr` every cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetDef {
+    /// Mangled signal name.
+    pub name: String,
+    /// Physical properties.
+    pub info: SignalInfo,
+    /// Driving expression over ground signals.
+    pub expr: Expression,
+}
+
+/// A register.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetReg {
+    /// Mangled register name.
+    pub name: String,
+    /// Physical properties.
+    pub info: SignalInfo,
+    /// Mangled name of the clock signal.
+    pub clock: String,
+    /// Next-state expression (already includes enable/when muxing; does not include
+    /// reset).
+    pub next: Expression,
+    /// Optional reset: (reset signal expression, init value expression).
+    pub reset: Option<(Expression, Expression)>,
+}
+
+/// A flat, ground-typed netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    /// Flattened ports.
+    pub ports: Vec<NetPort>,
+    /// Combinational definitions in evaluation order.
+    pub defs: Vec<NetDef>,
+    /// Registers.
+    pub regs: Vec<NetReg>,
+    /// Physical properties of every signal (ports, defs and regs).
+    pub signals: BTreeMap<String, SignalInfo>,
+}
+
+impl Netlist {
+    /// Flattened input ports (excluding clocks).
+    pub fn data_inputs(&self) -> impl Iterator<Item = &NetPort> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == Direction::Input && !p.info.is_clock)
+    }
+
+    /// Flattened output ports.
+    pub fn outputs(&self) -> impl Iterator<Item = &NetPort> {
+        self.ports.iter().filter(|p| p.direction == Direction::Output)
+    }
+
+    /// Looks up the physical properties of a signal.
+    pub fn signal(&self, name: &str) -> Option<SignalInfo> {
+        self.signals.get(name).copied()
+    }
+
+    /// Total number of state bits held in registers.
+    pub fn state_bits(&self) -> u64 {
+        self.regs.iter().map(|r| r.info.width as u64).sum()
+    }
+}
+
+/// Lowers a checked circuit to a netlist.
+///
+/// # Errors
+///
+/// Returns the first structural problem encountered. Circuits that pass
+/// [`crate::check::check_circuit`] lower successfully.
+pub fn lower_circuit(circuit: &Circuit) -> Result<Netlist, Diagnostic> {
+    let flat = flatten_instances(circuit)?;
+    let mut flat_circuit = Circuit::single(flat);
+    let snapshot = flat_circuit.clone();
+    resolve_widths(
+        flat_circuit.top_module_mut().expect("single module circuit"),
+        &snapshot,
+    );
+    let flat = flat_circuit.top_module().expect("single module circuit").clone();
+    let ground = expand_aggregates(&flat, &flat_circuit)?;
+    build_netlist(&ground)
+}
+
+// ---------------------------------------------------------------------------------
+// Step 1: instance flattening
+// ---------------------------------------------------------------------------------
+
+/// Inlines every child instance into the top module.
+pub fn flatten_instances(circuit: &Circuit) -> Result<Module, Diagnostic> {
+    let top = circuit.top_module().ok_or_else(|| {
+        Diagnostic::error(
+            ErrorCode::MissingTopModule,
+            SourceInfo::unknown(),
+            format!("top module {} is not defined", circuit.top),
+        )
+    })?;
+    flatten_module(top, circuit, 0)
+}
+
+fn flatten_module(module: &Module, circuit: &Circuit, depth: usize) -> Result<Module, Diagnostic> {
+    if depth > 16 {
+        return Err(Diagnostic::error(
+            ErrorCode::UnknownModule,
+            SourceInfo::unknown(),
+            "module instantiation hierarchy is too deep (possible recursion)",
+        ));
+    }
+    let mut out = Module::new(module.name.clone(), module.kind);
+    out.ports = module.ports.clone();
+    out.body = flatten_statements(&module.body, module, circuit, depth)?;
+    // Rewrite `inst.port` references in the (former) parent statements to the flattened
+    // `inst_port` wires.
+    let mut instance_names: BTreeSet<String> = BTreeSet::new();
+    module.visit_statements(&mut |s| {
+        if let Statement::Instance { name, .. } = s {
+            instance_names.insert(name.clone());
+        }
+    });
+    if !instance_names.is_empty() {
+        rewrite_instance_refs_in_statements(&mut out.body, &instance_names);
+    }
+    Ok(out)
+}
+
+/// Rewrites `SubField(Ref(inst), port)` into `Ref("inst_port")` for every instance name
+/// in `instances`, recursively through statements and expressions.
+fn rewrite_instance_refs_in_statements(stmts: &mut [Statement], instances: &BTreeSet<String>) {
+    for stmt in stmts {
+        match stmt {
+            Statement::Node { value, .. } => rewrite_instance_refs(value, instances),
+            Statement::Connect { loc, expr, .. } => {
+                rewrite_instance_refs(loc, instances);
+                rewrite_instance_refs(expr, instances);
+            }
+            Statement::Invalidate { loc, .. } => rewrite_instance_refs(loc, instances),
+            Statement::Reg { clock, reset, .. } => {
+                if let ClockSpec::Explicit(e) = clock {
+                    rewrite_instance_refs(e, instances);
+                }
+                if let Some(RegReset { reset, init }) = reset {
+                    rewrite_instance_refs(reset, instances);
+                    rewrite_instance_refs(init, instances);
+                }
+            }
+            Statement::When { cond, then_body, else_body, .. } => {
+                rewrite_instance_refs(cond, instances);
+                rewrite_instance_refs_in_statements(then_body, instances);
+                rewrite_instance_refs_in_statements(else_body, instances);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rewrite_instance_refs(expr: &mut Expression, instances: &BTreeSet<String>) {
+    // First rewrite children, then collapse `inst.port` at this level.
+    match expr {
+        Expression::SubField(inner, _)
+        | Expression::SubIndex(inner, _) => rewrite_instance_refs(inner, instances),
+        Expression::SubAccess(inner, idx) => {
+            rewrite_instance_refs(inner, instances);
+            rewrite_instance_refs(idx, instances);
+        }
+        Expression::Mux { cond, tval, fval } => {
+            rewrite_instance_refs(cond, instances);
+            rewrite_instance_refs(tval, instances);
+            rewrite_instance_refs(fval, instances);
+        }
+        Expression::Prim { args, .. } => {
+            for a in args {
+                rewrite_instance_refs(a, instances);
+            }
+        }
+        Expression::ScalaCast { arg, .. } => rewrite_instance_refs(arg, instances),
+        Expression::BadApply { target, args } => {
+            rewrite_instance_refs(target, instances);
+            for a in args {
+                rewrite_instance_refs(a, instances);
+            }
+        }
+        _ => {}
+    }
+    if let Expression::SubField(inner, field) = expr {
+        if let Expression::Ref(name) = inner.as_ref() {
+            if instances.contains(name) {
+                *expr = Expression::Ref(format!("{name}_{field}"));
+            }
+        }
+    }
+}
+
+fn flatten_statements(
+    stmts: &[Statement],
+    parent: &Module,
+    circuit: &Circuit,
+    depth: usize,
+) -> Result<Vec<Statement>, Diagnostic> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Statement::Instance { name, module: child_name, info } => {
+                let child = circuit.module(child_name).ok_or_else(|| {
+                    Diagnostic::error(
+                        ErrorCode::UnknownModule,
+                        info.clone(),
+                        format!("instantiated module {child_name} is not defined"),
+                    )
+                })?;
+                let child_flat = flatten_module(child, circuit, depth + 1)?;
+                let prefix = format!("{name}_");
+                // Child ports become wires in the parent named `<inst>_<port>`.
+                for port in &child_flat.ports {
+                    out.push(Statement::Wire {
+                        name: format!("{prefix}{}", port.name),
+                        ty: port.ty.clone(),
+                        info: info.clone(),
+                    });
+                }
+                // Auto-wire the implicit clock/reset of Module-kind children.
+                if child_flat.kind == ModuleKind::Module && parent.kind == ModuleKind::Module {
+                    for implicit in ["clock", "reset"] {
+                        if child_flat.port(implicit).is_some() && parent.port(implicit).is_some() {
+                            out.push(Statement::Connect {
+                                loc: Expression::reference(format!("{prefix}{implicit}")),
+                                expr: Expression::reference(implicit),
+                                info: info.clone(),
+                            });
+                        }
+                    }
+                }
+                // Inline the child body with renamed internals.
+                let child_names: BTreeSet<String> = child_flat
+                    .ports
+                    .iter()
+                    .map(|p| p.name.clone())
+                    .chain(child_flat.body.iter().filter_map(|s| {
+                        s.declared_name().map(|n| n.to_string())
+                    }))
+                    .chain(collect_all_declared(&child_flat.body))
+                    .collect();
+                for child_stmt in &child_flat.body {
+                    out.push(rename_statement(child_stmt, &prefix, &child_names));
+                }
+            }
+            Statement::When { cond, then_body, else_body, info } => {
+                out.push(Statement::When {
+                    cond: cond.clone(),
+                    then_body: flatten_statements(then_body, parent, circuit, depth)?,
+                    else_body: flatten_statements(else_body, parent, circuit, depth)?,
+                    info: info.clone(),
+                });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    // Rewrite `inst.port` accesses in the parent to the flattened wire names.
+    Ok(out)
+}
+
+fn collect_all_declared(stmts: &[Statement]) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if let Some(n) = s.declared_name() {
+            out.push(n.to_string());
+        }
+        if let Statement::When { then_body, else_body, .. } = s {
+            out.extend(collect_all_declared(then_body));
+            out.extend(collect_all_declared(else_body));
+        }
+    }
+    out
+}
+
+fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) -> Statement {
+    let rename = |n: &str| -> Option<String> {
+        if names.contains(n) {
+            Some(format!("{prefix}{n}"))
+        } else {
+            None
+        }
+    };
+    let mut cloned = stmt.clone();
+    match &mut cloned {
+        Statement::Wire { name, .. }
+        | Statement::Reg { name, .. }
+        | Statement::Node { name, .. }
+        | Statement::Instance { name, .. }
+        | Statement::BareIoDecl { name, .. } => {
+            if let Some(new) = rename(name) {
+                *name = new;
+            }
+        }
+        _ => {}
+    }
+    match &mut cloned {
+        Statement::Reg { clock, reset, .. } => {
+            if let ClockSpec::Explicit(e) = clock {
+                e.rename_refs(&rename);
+            }
+            if let Some(RegReset { reset, init }) = reset {
+                reset.rename_refs(&rename);
+                init.rename_refs(&rename);
+            }
+        }
+        Statement::Node { value, .. } => value.rename_refs(&rename),
+        Statement::Connect { loc, expr, .. } => {
+            loc.rename_refs(&rename);
+            expr.rename_refs(&rename);
+        }
+        Statement::Invalidate { loc, .. } => loc.rename_refs(&rename),
+        Statement::When { cond, then_body, else_body, .. } => {
+            cond.rename_refs(&rename);
+            let new_then: Vec<Statement> =
+                then_body.iter().map(|s| rename_statement(s, prefix, names)).collect();
+            let new_else: Vec<Statement> =
+                else_body.iter().map(|s| rename_statement(s, prefix, names)).collect();
+            *then_body = new_then;
+            *else_body = new_else;
+        }
+        _ => {}
+    }
+    cloned
+}
+
+// ---------------------------------------------------------------------------------
+// Step 2+3: aggregate expansion
+// ---------------------------------------------------------------------------------
+
+/// A module in which every port, wire and register is ground-typed and every reference
+/// is a plain mangled [`Expression::Ref`].
+#[derive(Debug, Clone)]
+pub struct GroundModule {
+    /// Module name.
+    pub name: String,
+    /// Ground ports.
+    pub ports: Vec<NetPort>,
+    /// Ground wire declarations.
+    pub wires: Vec<(String, SignalInfo)>,
+    /// Ground registers: (name, info, clock net, reset).
+    pub regs: Vec<(String, SignalInfo, String, Option<(Expression, Expression)>)>,
+    /// Ground statements: nodes become defs, and all connects reference ground names.
+    pub body: Vec<GroundStatement>,
+}
+
+/// Statements of a [`GroundModule`].
+#[derive(Debug, Clone)]
+pub enum GroundStatement {
+    /// Named combinational definition.
+    Node(String, SignalInfo, Expression),
+    /// `sink := expr`.
+    Connect(String, Expression),
+    /// Conditional block.
+    When(Expression, Vec<GroundStatement>, Vec<GroundStatement>),
+}
+
+/// Expands aggregates in `module`, producing a [`GroundModule`].
+pub fn expand_aggregates(
+    module: &Module,
+    circuit: &Circuit,
+) -> Result<GroundModule, Diagnostic> {
+    let symbols = SymbolTable::build(module, circuit);
+    let expander = Expander { module, symbols: &symbols };
+    expander.run()
+}
+
+struct Expander<'a> {
+    module: &'a Module,
+    symbols: &'a SymbolTable,
+}
+
+impl<'a> Expander<'a> {
+    fn run(&self) -> Result<GroundModule, Diagnostic> {
+        let mut out = GroundModule {
+            name: self.module.name.clone(),
+            ports: Vec::new(),
+            wires: Vec::new(),
+            regs: Vec::new(),
+            body: Vec::new(),
+        };
+        for port in &self.module.ports {
+            for (path, ty) in ground_paths(&port.name, &port.ty) {
+                out.ports.push(NetPort {
+                    name: mangle(&path),
+                    direction: port.direction,
+                    info: SignalInfo::from_type(&ty),
+                });
+            }
+        }
+        self.expand_decls(&self.module.body, &mut out)?;
+        out.body = self.expand_statements(&self.module.body)?;
+        Ok(out)
+    }
+
+    /// Declarations (wires and registers) are hoisted out of `when` blocks: in Chisel a
+    /// declaration inside a conditional scope still declares an unconditional signal.
+    fn expand_decls(&self, stmts: &[Statement], out: &mut GroundModule) -> Result<(), Diagnostic> {
+        for stmt in stmts {
+            match stmt {
+                Statement::Wire { name, ty, .. } => {
+                    for (path, gty) in ground_paths(name, ty) {
+                        out.wires.push((mangle(&path), SignalInfo::from_type(&gty)));
+                    }
+                }
+                Statement::Reg { name, ty, clock, reset, info } => {
+                    let clock_net = match clock {
+                        ClockSpec::Implicit => "clock".to_string(),
+                        ClockSpec::Explicit(e) => {
+                            let path = static_path(e).ok_or_else(|| {
+                                Diagnostic::error(
+                                    ErrorCode::NoImplicitClock,
+                                    info.clone(),
+                                    "withClock requires a named clock signal",
+                                )
+                            })?;
+                            mangle(&path)
+                        }
+                    };
+                    for (path, gty) in ground_paths(name, ty) {
+                        let ground_reset = match reset {
+                            None => None,
+                            Some(RegReset { reset, init }) => {
+                                let reset_e = self.expand_expr(reset)?;
+                                let init_e = self.project_init(init, name, &path, ty)?;
+                                Some((reset_e, init_e))
+                            }
+                        };
+                        out.regs.push((
+                            mangle(&path),
+                            SignalInfo::from_type(&gty),
+                            clock_net.clone(),
+                            ground_reset,
+                        ));
+                    }
+                }
+                Statement::When { then_body, else_body, .. } => {
+                    self.expand_decls(then_body, out)?;
+                    self.expand_decls(else_body, out)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects a register init expression onto one ground element of the register.
+    fn project_init(
+        &self,
+        init: &Expression,
+        reg_name: &str,
+        element_path: &str,
+        reg_ty: &Type,
+    ) -> Result<Expression, Diagnostic> {
+        if reg_ty.is_ground() {
+            return self.expand_expr(init);
+        }
+        // Aggregate register: the element path looks like `reg[2]` or `reg.field`.
+        let suffix = &element_path[reg_name.len()..];
+        match init {
+            // A literal init replicates across elements.
+            Expression::UIntLiteral { .. } | Expression::SIntLiteral { .. } => {
+                self.expand_expr(init)
+            }
+            _ => {
+                // Re-apply the element suffix to the init expression when it is a
+                // static path (e.g. RegInit of another aggregate signal).
+                if let Some(base) = static_path(init) {
+                    Ok(Expression::reference(mangle(&format!("{base}{suffix}"))))
+                } else {
+                    self.expand_expr(init)
+                }
+            }
+        }
+    }
+
+    fn expand_statements(&self, stmts: &[Statement]) -> Result<Vec<GroundStatement>, Diagnostic> {
+        let mut out = Vec::new();
+        for stmt in stmts {
+            match stmt {
+                Statement::Wire { .. } | Statement::Reg { .. } | Statement::Instance { .. } => {}
+                Statement::BareIoDecl { name, info, .. } => {
+                    return Err(Diagnostic::error(
+                        ErrorCode::BareChiselType,
+                        info.clone(),
+                        format!("cannot lower bare interface declaration {name}"),
+                    ));
+                }
+                Statement::Node { name, value, info } => {
+                    let mut typer = ExprTyper::new(self.symbols, self.module);
+                    let ty = typer.at(info).infer(value)?;
+                    let expr = self.expand_expr(value)?;
+                    out.push(GroundStatement::Node(
+                        name.clone(),
+                        SignalInfo::from_type(&ty),
+                        expr,
+                    ));
+                }
+                Statement::Connect { loc, expr, info } => {
+                    out.extend(self.expand_connect(loc, expr, info)?);
+                }
+                Statement::Invalidate { loc, info } => {
+                    // DontCare: drive with zero.
+                    let mut typer = ExprTyper::new(self.symbols, self.module);
+                    let ty = typer.at(info).infer(loc)?;
+                    let path = static_path(loc).ok_or_else(|| {
+                        Diagnostic::error(
+                            ErrorCode::InvalidSink,
+                            info.clone(),
+                            "cannot invalidate a dynamic path",
+                        )
+                    })?;
+                    for (gpath, _) in ground_paths(&path, &ty) {
+                        out.push(GroundStatement::Connect(
+                            mangle(&gpath),
+                            Expression::uint_lit(0),
+                        ));
+                    }
+                }
+                Statement::When { cond, then_body, else_body, .. } => {
+                    let cond_e = self.expand_expr(cond)?;
+                    let then_g = self.expand_statements(then_body)?;
+                    let else_g = self.expand_statements(else_body)?;
+                    out.push(GroundStatement::When(cond_e, then_g, else_g));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn expand_connect(
+        &self,
+        loc: &Expression,
+        expr: &Expression,
+        info: &SourceInfo,
+    ) -> Result<Vec<GroundStatement>, Diagnostic> {
+        let mut typer = ExprTyper::new(self.symbols, self.module);
+        let sink_ty = typer.at(info).infer(loc)?;
+
+        // Dynamic sink: expand into per-element conditional connects.
+        if let Expression::SubAccess(inner, index) = loc {
+            let mut typer = ExprTyper::new(self.symbols, self.module);
+            let inner_ty = typer.at(info).infer(inner)?;
+            let Type::Vec(_, len) = inner_ty else {
+                return Err(Diagnostic::error(
+                    ErrorCode::InvalidSink,
+                    info.clone(),
+                    "dynamic assignment requires a Vec sink",
+                ));
+            };
+            let base = static_path(inner).ok_or_else(|| {
+                Diagnostic::error(
+                    ErrorCode::InvalidSink,
+                    info.clone(),
+                    "nested dynamic sinks are not supported",
+                )
+            })?;
+            let index_e = self.expand_expr(index)?;
+            let value_e = self.expand_expr(expr)?;
+            let mut out = Vec::new();
+            for i in 0..len {
+                let cond = Expression::prim(
+                    PrimOp::Eq,
+                    vec![index_e.clone(), Expression::uint_lit(i as u128)],
+                    vec![],
+                );
+                out.push(GroundStatement::When(
+                    cond,
+                    vec![GroundStatement::Connect(
+                        mangle(&format!("{base}[{i}]")),
+                        value_e.clone(),
+                    )],
+                    vec![],
+                ));
+            }
+            return Ok(out);
+        }
+
+        let sink_path = static_path(loc).ok_or_else(|| {
+            Diagnostic::error(
+                ErrorCode::InvalidSink,
+                info.clone(),
+                format!("expression {loc} cannot be lowered as a connection target"),
+            )
+        })?;
+
+        if sink_ty.is_ground() {
+            let value = self.expand_expr(expr)?;
+            return Ok(vec![GroundStatement::Connect(mangle(&sink_path), value)]);
+        }
+
+        // Aggregate connect: element-wise.
+        let src_path = static_path(expr);
+        let mut out = Vec::new();
+        match src_path {
+            Some(src) => {
+                for (sink_elem, _) in ground_paths(&sink_path, &sink_ty) {
+                    let suffix = &sink_elem[sink_path.len()..];
+                    out.push(GroundStatement::Connect(
+                        mangle(&sink_elem),
+                        Expression::reference(mangle(&format!("{src}{suffix}"))),
+                    ));
+                }
+            }
+            None => {
+                return Err(Diagnostic::error(
+                    ErrorCode::InvalidSink,
+                    info.clone(),
+                    "aggregate connections require a named source",
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rewrites an expression so that every reference is a ground, mangled name.
+    fn expand_expr(&self, expr: &Expression) -> Result<Expression, Diagnostic> {
+        match expr {
+            Expression::SubIndex(inner, idx) => {
+                // A static index on a Vec selects an element signal; on a UInt/Bool it
+                // is a bit extract and must become a `bits` operation.
+                let mut typer = ExprTyper::new(self.symbols, self.module);
+                let inner_ty = typer
+                    .at(&SourceInfo::unknown())
+                    .infer(inner)
+                    .unwrap_or(Type::UInt(None));
+                match inner_ty {
+                    Type::Vec(..) => {
+                        let path =
+                            static_path(expr).expect("static path for vector element access");
+                        Ok(Expression::reference(mangle(&path)))
+                    }
+                    _ => {
+                        let base = self.expand_expr(inner)?;
+                        Ok(Expression::prim(PrimOp::Bits, vec![base], vec![*idx, *idx]))
+                    }
+                }
+            }
+            Expression::Ref(_) | Expression::SubField(..) => {
+                let path = static_path(expr).expect("static path for reference expression");
+                let mut typer = ExprTyper::new(self.symbols, self.module);
+                let ty = typer.at(&SourceInfo::unknown()).infer(expr).unwrap_or(Type::UInt(None));
+                if ty.is_ground() {
+                    Ok(Expression::reference(mangle(&path)))
+                } else {
+                    // Whole-aggregate read in expression position is only legal under
+                    // asUInt, handled below; represent it as a marker reference that
+                    // the asUInt expansion replaces.
+                    Ok(Expression::reference(mangle(&path)))
+                }
+            }
+            Expression::SubAccess(inner, index) => {
+                let mut typer = ExprTyper::new(self.symbols, self.module);
+                let inner_ty = typer.at(&SourceInfo::unknown()).infer(inner)?;
+                let index_e = self.expand_expr(index)?;
+                match inner_ty {
+                    Type::Vec(_, len) => {
+                        let base = static_path(inner).ok_or_else(|| {
+                            Diagnostic::error(
+                                ErrorCode::InvalidSink,
+                                SourceInfo::unknown(),
+                                "nested dynamic accesses are not supported",
+                            )
+                        })?;
+                        // Build a mux tree selecting the addressed element.
+                        let mut acc = Expression::reference(mangle(&format!("{base}[0]")));
+                        for i in 1..len {
+                            let cond = Expression::prim(
+                                PrimOp::Eq,
+                                vec![index_e.clone(), Expression::uint_lit(i as u128)],
+                                vec![],
+                            );
+                            acc = Expression::mux(
+                                cond,
+                                Expression::reference(mangle(&format!("{base}[{i}]"))),
+                                acc,
+                            );
+                        }
+                        Ok(acc)
+                    }
+                    Type::UInt(_) | Type::Bool => {
+                        // Dynamic bit select: (value >> index) & 1.
+                        let base = self.expand_expr(inner)?;
+                        Ok(Expression::prim(
+                            PrimOp::And,
+                            vec![
+                                Expression::prim(PrimOp::Dshr, vec![base, index_e], vec![]),
+                                Expression::uint_lit(1),
+                            ],
+                            vec![],
+                        ))
+                    }
+                    other => Err(Diagnostic::error(
+                        ErrorCode::TypeMismatch,
+                        SourceInfo::unknown(),
+                        format!("cannot index a value of type {}", other.chisel_name()),
+                    )),
+                }
+            }
+            Expression::UIntLiteral { .. } | Expression::SIntLiteral { .. } => Ok(expr.clone()),
+            Expression::Mux { cond, tval, fval } => Ok(Expression::mux(
+                self.expand_expr(cond)?,
+                self.expand_expr(tval)?,
+                self.expand_expr(fval)?,
+            )),
+            Expression::Prim { op, args, params } => {
+                // asUInt over an aggregate concatenates its elements (element 0 ends up
+                // in the least-significant bits, per Chisel semantics).
+                if *op == PrimOp::AsUInt && args.len() == 1 {
+                    let mut typer = ExprTyper::new(self.symbols, self.module);
+                    if let Ok(ty @ (Type::Vec(..) | Type::Bundle(..))) =
+                        typer.at(&SourceInfo::unknown()).infer(&args[0])
+                    {
+                        let base = static_path(&args[0]).ok_or_else(|| {
+                            Diagnostic::error(
+                                ErrorCode::TypeMismatch,
+                                SourceInfo::unknown(),
+                                "asUInt on an aggregate requires a named signal",
+                            )
+                        })?;
+                        let elements = ground_paths(&base, &ty);
+                        let mut iter = elements.iter();
+                        let first = iter.next().expect("aggregate has at least one element");
+                        let mut acc = Expression::reference(mangle(&first.0));
+                        for (path, _) in iter {
+                            acc = Expression::prim(
+                                PrimOp::Cat,
+                                vec![Expression::reference(mangle(path)), acc],
+                                vec![],
+                            );
+                        }
+                        return Ok(acc);
+                    }
+                }
+                let new_args = args
+                    .iter()
+                    .map(|a| self.expand_expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Expression::Prim { op: *op, args: new_args, params: params.clone() })
+            }
+            Expression::ScalaCast { .. } | Expression::BadApply { .. } => Err(Diagnostic::error(
+                ErrorCode::ScalaChiselMixup,
+                SourceInfo::unknown(),
+                "cannot lower a design containing front-end defects",
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Step 4+5: when expansion and netlist construction
+// ---------------------------------------------------------------------------------
+
+fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
+    let mut signals: BTreeMap<String, SignalInfo> = BTreeMap::new();
+    for p in &ground.ports {
+        signals.insert(p.name.clone(), p.info);
+    }
+    for (name, info) in &ground.wires {
+        signals.insert(name.clone(), *info);
+    }
+    for (name, info, _, _) in &ground.regs {
+        signals.insert(name.clone(), *info);
+    }
+    collect_node_infos(&ground.body, &mut signals);
+
+    let reg_names: BTreeSet<String> = ground.regs.iter().map(|(n, _, _, _)| n.clone()).collect();
+
+    // Expand when blocks: last-connect-wins, per ground sink.
+    let mut values: BTreeMap<String, Expression> = BTreeMap::new();
+    let mut nodes: Vec<(String, SignalInfo, Expression)> = Vec::new();
+    expand_when(&ground.body, &None, &reg_names, &mut values, &mut nodes);
+
+    // Combinational definitions: wires, outputs and nodes.
+    let mut defs: Vec<NetDef> = Vec::new();
+    for (name, info, expr) in &nodes {
+        defs.push(NetDef { name: name.clone(), info: *info, expr: expr.clone() });
+    }
+    for (name, info) in &ground.wires {
+        let expr = values.get(name).cloned().unwrap_or(Expression::uint_lit(0));
+        defs.push(NetDef { name: name.clone(), info: *info, expr });
+    }
+    for port in ground.ports.iter().filter(|p| p.direction == Direction::Output) {
+        let expr = values.get(&port.name).cloned().unwrap_or(Expression::uint_lit(0));
+        defs.push(NetDef { name: port.name.clone(), info: port.info, expr });
+    }
+
+    // Registers: the accumulated value (or the register itself when never assigned)
+    // becomes the next-state function.
+    let mut regs: Vec<NetReg> = Vec::new();
+    for (name, info, clock, reset) in &ground.regs {
+        let next = values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Expression::reference(name.clone()));
+        regs.push(NetReg {
+            name: name.clone(),
+            info: *info,
+            clock: clock.clone(),
+            next,
+            reset: reset.clone(),
+        });
+    }
+
+    let defs = topo_sort_defs(defs, &reg_names, &signals)?;
+    Ok(Netlist { name: ground.name.clone(), ports: ground.ports.clone(), defs, regs, signals })
+}
+
+fn collect_node_infos(body: &[GroundStatement], signals: &mut BTreeMap<String, SignalInfo>) {
+    for stmt in body {
+        match stmt {
+            GroundStatement::Node(name, info, _) => {
+                signals.insert(name.clone(), *info);
+            }
+            GroundStatement::When(_, t, e) => {
+                collect_node_infos(t, signals);
+                collect_node_infos(e, signals);
+            }
+            GroundStatement::Connect(..) => {}
+        }
+    }
+}
+
+/// Resolves last-connect-wins semantics under nested conditions.
+///
+/// The fallback value of a conditionally assigned sink is the sink's *previous*
+/// accumulated value; when there is none, registers fall back to themselves (hold) and
+/// wires/outputs fall back to zero (the initialization check has already guaranteed
+/// that every path assigns them, so the zero branch is unreachable).
+fn expand_when(
+    body: &[GroundStatement],
+    condition: &Option<Expression>,
+    regs: &BTreeSet<String>,
+    values: &mut BTreeMap<String, Expression>,
+    nodes: &mut Vec<(String, SignalInfo, Expression)>,
+) {
+    for stmt in body {
+        match stmt {
+            GroundStatement::Node(name, info, expr) => {
+                nodes.push((name.clone(), *info, expr.clone()));
+            }
+            GroundStatement::Connect(sink, expr) => {
+                let new_value = match condition {
+                    None => expr.clone(),
+                    Some(cond) => {
+                        let fallback = values.get(sink).cloned().unwrap_or_else(|| {
+                            if regs.contains(sink) {
+                                Expression::reference(sink.clone())
+                            } else {
+                                Expression::uint_lit(0)
+                            }
+                        });
+                        Expression::mux(cond.clone(), expr.clone(), fallback)
+                    }
+                };
+                values.insert(sink.clone(), new_value);
+            }
+            GroundStatement::When(cond, then_body, else_body) => {
+                let nested_then = and_conditions(condition, cond);
+                let nested_else = and_conditions(
+                    condition,
+                    &Expression::prim(PrimOp::Not, vec![cond.clone()], vec![]),
+                );
+                expand_when(then_body, &Some(nested_then), regs, values, nodes);
+                expand_when(else_body, &Some(nested_else), regs, values, nodes);
+            }
+        }
+    }
+}
+
+fn and_conditions(outer: &Option<Expression>, inner: &Expression) -> Expression {
+    match outer {
+        None => inner.clone(),
+        Some(o) => Expression::prim(PrimOp::And, vec![o.clone(), inner.clone()], vec![]),
+    }
+}
+
+/// Orders combinational definitions so every definition only reads signals defined
+/// earlier (inputs and registers are always available).
+fn topo_sort_defs(
+    defs: Vec<NetDef>,
+    regs: &BTreeSet<String>,
+    signals: &BTreeMap<String, SignalInfo>,
+) -> Result<Vec<NetDef>, Diagnostic> {
+    let mut by_name: BTreeMap<String, NetDef> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for d in defs {
+        order.push(d.name.clone());
+        by_name.insert(d.name.clone(), d);
+    }
+    let mut sorted: Vec<NetDef> = Vec::new();
+    let mut state: BTreeMap<String, u8> = BTreeMap::new();
+    for name in &order {
+        visit_def(name, &by_name, regs, signals, &mut state, &mut sorted)?;
+    }
+    Ok(sorted)
+}
+
+fn visit_def(
+    name: &str,
+    by_name: &BTreeMap<String, NetDef>,
+    regs: &BTreeSet<String>,
+    signals: &BTreeMap<String, SignalInfo>,
+    state: &mut BTreeMap<String, u8>,
+    sorted: &mut Vec<NetDef>,
+) -> Result<(), Diagnostic> {
+    match state.get(name).copied().unwrap_or(0) {
+        2 => return Ok(()),
+        1 => {
+            return Err(Diagnostic::error(
+                ErrorCode::CombinationalLoop,
+                SourceInfo::unknown(),
+                format!("detected combinational cycle involving {name} during lowering"),
+            ));
+        }
+        _ => {}
+    }
+    let Some(def) = by_name.get(name) else {
+        return Ok(());
+    };
+    state.insert(name.to_string(), 1);
+    for dep in def.expr.referenced_names() {
+        if regs.contains(&dep) || !by_name.contains_key(&dep) {
+            // Registers and ports/unknowns do not impose ordering constraints.
+            let _ = signals;
+            continue;
+        }
+        visit_def(&dep, by_name, regs, signals, state, sorted)?;
+    }
+    state.insert(name.to_string(), 2);
+    sorted.push(def.clone());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_circuit;
+    use crate::ir::Port;
+
+    fn passthrough() -> Circuit {
+        let mut m = Module::new("Pass", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("in", Direction::Input, Type::uint(8)));
+        m.ports.push(Port::new("out", Direction::Output, Type::uint(8)));
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("in"),
+            info: SourceInfo::unknown(),
+        });
+        Circuit::single(m)
+    }
+
+    #[test]
+    fn lower_passthrough() {
+        let c = passthrough();
+        assert!(!check_circuit(&c).has_errors());
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.name, "Pass");
+        assert_eq!(netlist.defs.len(), 1);
+        assert_eq!(netlist.defs[0].name, "out");
+        assert_eq!(netlist.regs.len(), 0);
+        assert_eq!(netlist.data_inputs().count(), 2); // reset + in
+        assert_eq!(netlist.outputs().count(), 1);
+    }
+
+    #[test]
+    fn lower_conditional_register() {
+        let mut m = Module::new("Counter", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("en", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("count", Direction::Output, Type::uint(8)));
+        m.body.push(Statement::Reg {
+            name: "r".into(),
+            ty: Type::uint(8),
+            clock: ClockSpec::Implicit,
+            reset: Some(RegReset {
+                reset: Expression::reference("reset"),
+                init: Expression::uint_lit(0),
+            }),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::When {
+            cond: Expression::reference("en"),
+            then_body: vec![Statement::Connect {
+                loc: Expression::reference("r"),
+                expr: Expression::prim(
+                    PrimOp::Add,
+                    vec![Expression::reference("r"), Expression::uint_lit(1)],
+                    vec![],
+                ),
+                info: SourceInfo::unknown(),
+            }],
+            else_body: vec![],
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("count"),
+            expr: Expression::reference("r"),
+            info: SourceInfo::unknown(),
+        });
+        let c = Circuit::single(m);
+        assert!(!check_circuit(&c).has_errors());
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.regs.len(), 1);
+        let reg = &netlist.regs[0];
+        assert_eq!(reg.name, "r");
+        assert!(reg.reset.is_some());
+        // Next state must be a mux over the enable.
+        assert!(matches!(reg.next, Expression::Mux { .. }));
+        assert_eq!(netlist.state_bits(), 8);
+    }
+
+    #[test]
+    fn lower_vector_port() {
+        let mut m = Module::new("VecOut", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("sel", Direction::Input, Type::uint(2)));
+        m.ports.push(Port::new("v", Direction::Input, Type::vec(Type::uint(4), 3)));
+        m.ports.push(Port::new("out", Direction::Output, Type::uint(4)));
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::SubAccess(
+                Box::new(Expression::reference("v")),
+                Box::new(Expression::reference("sel")),
+            ),
+            info: SourceInfo::unknown(),
+        });
+        let c = Circuit::single(m);
+        assert!(!check_circuit(&c).has_errors());
+        let netlist = lower_circuit(&c).unwrap();
+        // v expands to 3 input ports.
+        assert_eq!(netlist.data_inputs().count(), 1 + 1 + 3);
+        let out_def = netlist.defs.iter().find(|d| d.name == "out").unwrap();
+        assert!(matches!(out_def.expr, Expression::Mux { .. }));
+    }
+
+    #[test]
+    fn lower_instance_hierarchy() {
+        let mut child = Module::new("Inv", ModuleKind::Module);
+        child.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        child.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        child.ports.push(Port::new("x", Direction::Input, Type::bool()));
+        child.ports.push(Port::new("y", Direction::Output, Type::bool()));
+        child.body.push(Statement::Connect {
+            loc: Expression::reference("y"),
+            expr: Expression::prim(PrimOp::Not, vec![Expression::reference("x")], vec![]),
+            info: SourceInfo::unknown(),
+        });
+
+        let mut top = Module::new("Top", ModuleKind::Module);
+        top.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        top.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        top.ports.push(Port::new("a", Direction::Input, Type::bool()));
+        top.ports.push(Port::new("b", Direction::Output, Type::bool()));
+        top.body.push(Statement::Instance {
+            name: "inv".into(),
+            module: "Inv".into(),
+            info: SourceInfo::unknown(),
+        });
+        top.body.push(Statement::Connect {
+            loc: Expression::SubField(Box::new(Expression::reference("inv")), "x".into()),
+            expr: Expression::reference("a"),
+            info: SourceInfo::unknown(),
+        });
+        top.body.push(Statement::Connect {
+            loc: Expression::reference("b"),
+            expr: Expression::SubField(Box::new(Expression::reference("inv")), "y".into()),
+            info: SourceInfo::unknown(),
+        });
+
+        let c = Circuit::new("Top", vec![top, child]);
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let netlist = lower_circuit(&c).unwrap();
+        assert!(netlist.defs.iter().any(|d| d.name == "inv_y"));
+        assert!(netlist.defs.iter().any(|d| d.name == "b"));
+    }
+
+    #[test]
+    fn defect_carriers_fail_lowering() {
+        let mut c = passthrough();
+        c.top_module_mut().unwrap().body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::ScalaCast {
+                arg: Box::new(Expression::reference("in")),
+                target: "SInt".into(),
+            },
+            info: SourceInfo::unknown(),
+        });
+        assert!(lower_circuit(&c).is_err());
+    }
+}

@@ -1,0 +1,581 @@
+//! Connection, expression and declaration checking.
+//!
+//! This pass types every expression in the module (which surfaces the structural and
+//! typing defects of Table II rows A1–A3, B5–B7), validates connection sinks and
+//! sink/source type compatibility (rows B4/B5 and the Fig. 8 "bits of a UInt are
+//! read-only" error), rejects bare non-IO interface declarations (row B2), and verifies
+//! that instantiated modules exist.
+
+use crate::diagnostics::{Diagnostic, DiagnosticReport, ErrorCode};
+use crate::ir::{Circuit, Expression, Module, RegReset, SourceInfo, Statement, Type};
+use crate::typeenv::{ExprTyper, SymbolKind, SymbolTable};
+
+/// Runs the connection/typing checks over `module`.
+pub fn check_connects(module: &Module, circuit: &Circuit) -> DiagnosticReport {
+    let symbols = SymbolTable::build(module, circuit);
+    let mut report = DiagnosticReport::new();
+    for d in symbols.duplicates() {
+        report.push(d.clone());
+    }
+    let mut checker = ConnectChecker { module, circuit, symbols: &symbols, report: &mut report };
+    checker.run();
+    report
+}
+
+struct ConnectChecker<'a> {
+    module: &'a Module,
+    circuit: &'a Circuit,
+    symbols: &'a SymbolTable,
+    report: &'a mut DiagnosticReport,
+}
+
+impl<'a> ConnectChecker<'a> {
+    fn run(&mut self) {
+        let stmts: Vec<&Statement> = {
+            let mut v = Vec::new();
+            self.module.visit_statements(&mut |s| v.push(s));
+            v
+        };
+        for stmt in stmts {
+            self.check_statement(stmt);
+        }
+    }
+
+    fn typer(&self, info: &SourceInfo) -> ExprTyper<'a> {
+        let mut t = ExprTyper::new(self.symbols, self.module);
+        t.at(info);
+        t
+    }
+
+    fn type_of(&mut self, expr: &Expression, info: &SourceInfo) -> Option<Type> {
+        match self.typer(info).infer(expr) {
+            Ok(ty) => Some(ty),
+            Err(d) => {
+                self.report.push(d);
+                None
+            }
+        }
+    }
+
+    fn check_statement(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::Node { value, info, .. } => {
+                self.type_of(value, info);
+            }
+            Statement::Connect { loc, expr, info } => {
+                self.check_sink(loc, info);
+                let sink_ty = self.type_of(loc, info);
+                let src_ty = self.type_of(expr, info);
+                if let (Some(sink), Some(src)) = (sink_ty, src_ty) {
+                    self.check_compatibility(loc, &sink, &src, info);
+                }
+            }
+            Statement::Invalidate { loc, info } => {
+                self.check_sink(loc, info);
+                self.type_of(loc, info);
+            }
+            Statement::When { cond, info, .. } => {
+                if let Some(ty) = self.type_of(cond, info) {
+                    if !matches!(ty, Type::Bool | Type::UInt(Some(1)) | Type::UInt(None)) {
+                        self.report.push(
+                            Diagnostic::error(
+                                ErrorCode::TypeMismatch,
+                                info.clone(),
+                                format!(
+                                    "when condition must be a Bool, found {}",
+                                    ty.chisel_name()
+                                ),
+                            )
+                            .with_suggestion("compare explicitly, e.g. x =/= 0.U"),
+                        );
+                    }
+                }
+            }
+            Statement::Reg { name, ty, reset, info, .. } => {
+                if let Some(RegReset { reset, init }) = reset {
+                    if let Some(reset_ty) = self.type_of(reset, info) {
+                        if !reset_ty.is_reset() {
+                            self.report.push(
+                                Diagnostic::error(
+                                    ErrorCode::TypeMismatch,
+                                    info.clone(),
+                                    format!(
+                                        "register reset must be a Reset or Bool, found {}",
+                                        reset_ty.chisel_name()
+                                    ),
+                                )
+                                .with_subject(name.clone()),
+                            );
+                        }
+                    }
+                    if let Some(init_ty) = self.type_of(init, info) {
+                        // A ground literal init on an aggregate register broadcasts to
+                        // every element (the HCL's shorthand for
+                        // `RegInit(VecInit(Seq.fill(n)(init)))`).
+                        let broadcast = !ty.is_ground() && init_ty.is_ground();
+                        if !broadcast && !ground_compatible(ty, &init_ty) {
+                            self.report.push(
+                                Diagnostic::error(
+                                    ErrorCode::TypeMismatch,
+                                    info.clone(),
+                                    format!(
+                                        "register init value has type {}, expected {}",
+                                        init_ty.chisel_name(),
+                                        ty.chisel_name()
+                                    ),
+                                )
+                                .with_subject(name.clone()),
+                            );
+                        }
+                    }
+                }
+            }
+            Statement::Instance { name, module, info } => {
+                if self.circuit.module(module).is_none() {
+                    self.report.push(
+                        Diagnostic::error(
+                            ErrorCode::UnknownModule,
+                            info.clone(),
+                            format!("instantiated module {module} is not defined in the circuit"),
+                        )
+                        .with_subject(name.clone()),
+                    );
+                }
+            }
+            Statement::BareIoDecl { name, ty, info, .. } => {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::BareChiselType,
+                        info.clone(),
+                        format!(
+                            "{} must be hardware, not a bare Chisel type",
+                            ty.chisel_name()
+                        ),
+                    )
+                    .with_suggestion("Perhaps you forgot to wrap it in Wire(_) or IO(_)?")
+                    .with_subject(name.clone()),
+                );
+            }
+            Statement::Wire { .. } => {}
+        }
+    }
+
+    /// Validates that `loc` is something that may legally be driven.
+    fn check_sink(&mut self, loc: &Expression, info: &SourceInfo) {
+        // Bit-select on a UInt used as a sink: the Fig. 8 case-study error.
+        if let Expression::SubIndex(inner, _) | Expression::SubAccess(inner, _) = loc {
+            if let Ok(Type::UInt(_)) | Ok(Type::Bool) = self.typer(info).infer(inner) {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::InvalidSink,
+                        info.clone(),
+                        "individual bits of a UInt are read-only in Chisel".to_string(),
+                    )
+                    .with_suggestion(
+                        "use a Vec of Bool for bit-level manipulation and convert it to UInt \
+                         with asUInt after assignments",
+                    )
+                    .with_subject(inner.root_ref().unwrap_or_default().to_string()),
+                );
+                return;
+            }
+        }
+        let Some(root) = loc.root_ref() else {
+            self.report.push(Diagnostic::error(
+                ErrorCode::InvalidSink,
+                info.clone(),
+                format!("expression {loc} cannot be the target of a connection"),
+            ));
+            return;
+        };
+        let Some(symbol) = self.symbols.get(root) else {
+            // Unknown root reference: reported by expression typing.
+            return;
+        };
+        match &symbol.kind {
+            SymbolKind::InputPort => {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::InvalidSink,
+                        info.clone(),
+                        format!("cannot connect to input port {root} from inside the module"),
+                    )
+                    .with_subject(root.to_string()),
+                );
+            }
+            SymbolKind::Node => {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::InvalidSink,
+                        info.clone(),
+                        format!(
+                            "{root} is an immutable value (val); declare it as a Wire to connect \
+                             to it"
+                        ),
+                    )
+                    .with_subject(root.to_string()),
+                );
+            }
+            SymbolKind::BareIo => {
+                // Reported once at the declaration site (B2); connecting to it is not
+                // separately diagnosed.
+            }
+            SymbolKind::Instance(_) => {
+                // Driving a child *output* is illegal; driving a child input is the
+                // normal way to wire up an instance.
+                if let Expression::SubField(_, field) = loc {
+                    if let Type::Bundle(fields) = &symbol.ty {
+                        if let Some(f) = fields.iter().find(|f| &f.name == field) {
+                            if !f.flipped {
+                                self.report.push(
+                                    Diagnostic::error(
+                                        ErrorCode::InvalidSink,
+                                        info.clone(),
+                                        format!(
+                                            "cannot drive output port {field} of child instance \
+                                             {root}"
+                                        ),
+                                    )
+                                    .with_subject(root.to_string()),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            SymbolKind::OutputPort | SymbolKind::Wire | SymbolKind::Reg => {}
+        }
+    }
+
+    fn check_compatibility(
+        &mut self,
+        loc: &Expression,
+        sink: &Type,
+        src: &Type,
+        info: &SourceInfo,
+    ) {
+        if let Some(problem) = connection_problem(sink, src) {
+            let code = if matches!(sink, Type::Bundle(_)) || matches!(src, Type::Bundle(_)) {
+                ErrorCode::BundleFieldMismatch
+            } else {
+                ErrorCode::TypeMismatch
+            };
+            let mut d = Diagnostic::error(
+                code,
+                info.clone(),
+                format!(
+                    "connection between sink ({} of type {}) and source (type {}) failed: {problem}",
+                    loc,
+                    sink.chisel_name(),
+                    src.chisel_name()
+                ),
+            )
+            .with_subject(loc.root_ref().unwrap_or_default().to_string());
+            if code == ErrorCode::TypeMismatch {
+                d = d.with_suggestion("insert an explicit conversion such as .asUInt or .asSInt");
+            }
+            self.report.push(d);
+        }
+    }
+}
+
+/// Returns a human-readable description of why `src` cannot drive `sink`, or `None` if
+/// the connection is legal.
+pub fn connection_problem(sink: &Type, src: &Type) -> Option<String> {
+    use Type::*;
+    match (sink, src) {
+        (UInt(_), UInt(_)) | (SInt(_), SInt(_)) => None,
+        (UInt(_), Bool) | (Bool, Bool) => None,
+        (Bool, UInt(Some(1))) | (Bool, UInt(None)) => None,
+        (Bool, UInt(Some(w))) => {
+            Some(format!("cannot connect a {w}-bit UInt to a Bool; extract a single bit first"))
+        }
+        (UInt(_), SInt(_)) => Some("found: chisel3.SInt, required: chisel3.UInt".to_string()),
+        (SInt(_), UInt(_)) => Some("found: chisel3.UInt, required: chisel3.SInt".to_string()),
+        (SInt(_), Bool) => Some("found: chisel3.Bool, required: chisel3.SInt".to_string()),
+        (Clock, Clock) => None,
+        (Clock, _) => Some(format!("found: {}, required: chisel3.Clock", src.chisel_name())),
+        (_, Clock) => Some("a Clock can only drive another Clock".to_string()),
+        (Reset, other) if other.is_reset() => None,
+        (AsyncReset, AsyncReset) => None,
+        (AsyncReset, other) => {
+            Some(format!("found: {}, required: chisel3.AsyncReset", other.chisel_name()))
+        }
+        (Bool, Reset) | (Bool, AsyncReset) => None,
+        (UInt(_), Reset) | (UInt(_), AsyncReset) => None,
+        (Reset, other) => Some(format!("found: {}, required: chisel3.Reset", other.chisel_name())),
+        (Vec(se, sl), Vec(oe, ol)) => {
+            if sl != ol {
+                Some(format!("vector lengths differ: sink has {sl} elements, source has {ol}"))
+            } else {
+                connection_problem(se, oe)
+            }
+        }
+        (Bundle(sf), Bundle(of)) => {
+            for f in sf {
+                match of.iter().find(|o| o.name == f.name) {
+                    None => {
+                        return Some(format!("source Record missing field ({})", f.name));
+                    }
+                    Some(o) => {
+                        if let Some(p) = connection_problem(&f.ty, &o.ty) {
+                            return Some(format!("field {}: {p}", f.name));
+                        }
+                    }
+                }
+            }
+            for o in of {
+                if !sf.iter().any(|f| f.name == o.name) {
+                    return Some(format!("sink Record missing field ({})", o.name));
+                }
+            }
+            None
+        }
+        (Vec(..), _) | (_, Vec(..)) | (Bundle(..), _) | (_, Bundle(..)) => Some(format!(
+            "aggregate/ground mismatch: sink is {}, source is {}",
+            sink.chisel_name(),
+            src.chisel_name()
+        )),
+        _ => Some(format!(
+            "found: {}, required: {}",
+            src.chisel_name(),
+            sink.chisel_name()
+        )),
+    }
+}
+
+/// Ground-type compatibility used for register init values.
+fn ground_compatible(reg_ty: &Type, init_ty: &Type) -> bool {
+    connection_problem(reg_ty, init_ty).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ClockSpec, Direction, Field, ModuleKind, Port, PrimOp};
+
+    fn base_module() -> Module {
+        let mut m = Module::new("T", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("in", Direction::Input, Type::uint(8)));
+        m.ports.push(Port::new("sel", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("out", Direction::Output, Type::uint(8)));
+        m
+    }
+
+    fn check(m: Module) -> DiagnosticReport {
+        let c = Circuit::single(m);
+        check_connects(c.top_module().unwrap(), &c)
+    }
+
+    #[test]
+    fn clean_module_has_no_errors() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("in"),
+            info: SourceInfo::unknown(),
+        });
+        assert!(!check(m).has_errors());
+    }
+
+    #[test]
+    fn misspelled_reference_reported_with_suggestion() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("inn"),
+            info: SourceInfo::new("T.scala", 4, 3),
+        });
+        let report = check(m);
+        let err = report.errors().next().unwrap();
+        assert_eq!(err.code, ErrorCode::UnknownReference);
+        assert!(err.suggestion.as_ref().unwrap().contains("in"));
+    }
+
+    #[test]
+    fn connect_to_input_port_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("in"),
+            expr: Expression::uint_lit(0),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("in"),
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        assert!(report.errors().any(|d| d.code == ErrorCode::InvalidSink));
+    }
+
+    #[test]
+    fn bit_assignment_to_uint_output_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::SubIndex(Box::new(Expression::reference("out")), 3),
+            expr: Expression::uint_lit(1),
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        let err = report.errors().next().unwrap();
+        assert_eq!(err.code, ErrorCode::InvalidSink);
+        assert!(err.message.contains("read-only"));
+        assert!(err.suggestion.as_ref().unwrap().contains("Vec of Bool"));
+    }
+
+    #[test]
+    fn sint_to_uint_connection_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::Wire {
+            name: "s".into(),
+            ty: Type::sint(8),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("s"),
+            expr: Expression::sint_lit_w(-1, 8),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("s"),
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        assert!(report.errors().any(|d| d.code == ErrorCode::TypeMismatch));
+    }
+
+    #[test]
+    fn bundle_mismatch_reports_missing_field() {
+        let mut m = base_module();
+        let a = Type::bundle(vec![Field::new("x", Type::uint(4)), Field::new("c", Type::bool())]);
+        let b = Type::bundle(vec![Field::new("x", Type::uint(4))]);
+        m.body.push(Statement::Wire { name: "wa".into(), ty: a, info: SourceInfo::unknown() });
+        m.body.push(Statement::Wire { name: "wb".into(), ty: b, info: SourceInfo::unknown() });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("wa"),
+            expr: Expression::reference("wb"),
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        let err = report
+            .errors()
+            .find(|d| d.code == ErrorCode::BundleFieldMismatch)
+            .expect("bundle mismatch");
+        assert!(err.message.contains("missing field (c)"));
+    }
+
+    #[test]
+    fn bare_io_decl_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::BareIoDecl {
+            name: "clk".into(),
+            ty: Type::Clock,
+            direction: Direction::Input,
+            info: SourceInfo::new("T.scala", 2, 7),
+        });
+        let report = check(m);
+        let err = report.errors().next().unwrap();
+        assert_eq!(err.code, ErrorCode::BareChiselType);
+        assert!(err.suggestion.as_ref().unwrap().contains("IO(_)"));
+    }
+
+    #[test]
+    fn unknown_instance_module_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::Instance {
+            name: "child".into(),
+            module: "Missing".into(),
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        assert!(report.errors().any(|d| d.code == ErrorCode::UnknownModule));
+    }
+
+    #[test]
+    fn reg_init_type_checked() {
+        let mut m = base_module();
+        m.body.push(Statement::Reg {
+            name: "r".into(),
+            ty: Type::uint(8),
+            clock: ClockSpec::Implicit,
+            reset: Some(RegReset {
+                reset: Expression::reference("reset"),
+                init: Expression::sint_lit_w(-1, 8),
+            }),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("r"),
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        assert!(report.errors().any(|d| d.code == ErrorCode::TypeMismatch));
+    }
+
+    #[test]
+    fn when_condition_must_be_bool() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("in"),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::When {
+            cond: Expression::reference("in"),
+            then_body: vec![Statement::Connect {
+                loc: Expression::reference("out"),
+                expr: Expression::uint_lit(0),
+                info: SourceInfo::unknown(),
+            }],
+            else_body: vec![],
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        assert!(report.errors().any(|d| d.code == ErrorCode::TypeMismatch));
+    }
+
+    #[test]
+    fn comparison_in_when_is_fine() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::reference("in"),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::When {
+            cond: Expression::prim(
+                PrimOp::Eq,
+                vec![Expression::reference("in"), Expression::uint_lit(3)],
+                vec![],
+            ),
+            then_body: vec![Statement::Connect {
+                loc: Expression::reference("out"),
+                expr: Expression::uint_lit(0),
+                info: SourceInfo::unknown(),
+            }],
+            else_body: vec![],
+            info: SourceInfo::unknown(),
+        });
+        assert!(!check(m).has_errors());
+    }
+
+    #[test]
+    fn scala_cast_in_connect_reported() {
+        let mut m = base_module();
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::ScalaCast {
+                arg: Box::new(Expression::reference("in")),
+                target: "SInt".into(),
+            },
+            info: SourceInfo::new("T.scala", 11, 5),
+        });
+        let report = check(m);
+        assert!(report.errors().any(|d| d.code == ErrorCode::ScalaChiselMixup));
+    }
+}

@@ -1,0 +1,166 @@
+//! Ground-path utilities.
+//!
+//! Aggregate values (vectors and bundles) are analysed and lowered element-wise. A
+//! *ground path* is a string like `io.out`, `v[3]` or `state.count` naming one ground
+//! (scalar) leaf of a possibly aggregate signal. Several passes and the lowering
+//! pipeline share these helpers.
+
+use crate::ir::{Expression, Type};
+
+/// Flattens `ty` under `prefix` into `(path, ground type)` pairs in declaration order.
+///
+/// Bundle flips are ignored here; callers that care about direction (e.g. instance
+/// wiring) use [`flattened_fields`].
+pub fn ground_paths(prefix: &str, ty: &Type) -> Vec<(String, Type)> {
+    let mut out = Vec::new();
+    collect_ground(prefix, ty, &mut out);
+    out
+}
+
+fn collect_ground(prefix: &str, ty: &Type, out: &mut Vec<(String, Type)>) {
+    match ty {
+        Type::Vec(elem, len) => {
+            for i in 0..*len {
+                collect_ground(&format!("{prefix}[{i}]"), elem, out);
+            }
+        }
+        Type::Bundle(fields) => {
+            for f in fields {
+                collect_ground(&format!("{prefix}.{}", f.name), &f.ty, out);
+            }
+        }
+        ground => out.push((prefix.to_string(), ground.clone())),
+    }
+}
+
+/// Flattens `ty` under `prefix`, additionally reporting whether each leaf is flipped
+/// relative to the aggregate's nominal direction.
+pub fn flattened_fields(prefix: &str, ty: &Type) -> Vec<(String, Type, bool)> {
+    let mut out = Vec::new();
+    collect_flipped(prefix, ty, false, &mut out);
+    out
+}
+
+fn collect_flipped(prefix: &str, ty: &Type, flipped: bool, out: &mut Vec<(String, Type, bool)>) {
+    match ty {
+        Type::Vec(elem, len) => {
+            for i in 0..*len {
+                collect_flipped(&format!("{prefix}[{i}]"), elem, flipped, out);
+            }
+        }
+        Type::Bundle(fields) => {
+            for f in fields {
+                collect_flipped(
+                    &format!("{prefix}.{}", f.name),
+                    &f.ty,
+                    flipped ^ f.flipped,
+                    out,
+                );
+            }
+        }
+        ground => out.push((prefix.to_string(), ground.clone(), flipped)),
+    }
+}
+
+/// Renders an expression as a static access path (`io.out[3]`), if it is one.
+///
+/// Returns `None` for literals, operations, muxes and dynamic (`SubAccess`) paths.
+pub fn static_path(expr: &Expression) -> Option<String> {
+    match expr {
+        Expression::Ref(name) => Some(name.clone()),
+        Expression::SubField(inner, field) => Some(format!("{}.{field}", static_path(inner)?)),
+        Expression::SubIndex(inner, idx) => Some(format!("{}[{idx}]", static_path(inner)?)),
+        _ => None,
+    }
+}
+
+/// Converts a ground path into a flat Verilog-friendly identifier (`io.out[3]` →
+/// `io_out_3`).
+pub fn mangle(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for ch in path.chars() {
+        match ch {
+            '.' | '[' => out.push('_'),
+            ']' => {}
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Returns true if `path` names `prefix` itself or a descendant of it
+/// (`starts_with` respecting path-component boundaries).
+pub fn path_covers(prefix: &str, path: &str) -> bool {
+    if path == prefix {
+        return true;
+    }
+    if let Some(rest) = path.strip_prefix(prefix) {
+        rest.starts_with('.') || rest.starts_with('[')
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Field;
+
+    #[test]
+    fn flatten_scalar() {
+        let paths = ground_paths("x", &Type::uint(4));
+        assert_eq!(paths, vec![("x".to_string(), Type::uint(4))]);
+    }
+
+    #[test]
+    fn flatten_vec_and_bundle() {
+        let ty = Type::bundle(vec![
+            Field::new("a", Type::bool()),
+            Field::new("v", Type::vec(Type::uint(2), 2)),
+        ]);
+        let paths = ground_paths("io", &ty);
+        let names: Vec<_> = paths.iter().map(|(p, _)| p.clone()).collect();
+        assert_eq!(names, vec!["io.a", "io.v[0]", "io.v[1]"]);
+    }
+
+    #[test]
+    fn flipped_fields_tracked() {
+        let ty = Type::bundle(vec![
+            Field::new("bits", Type::uint(8)),
+            Field::flipped("ready", Type::bool()),
+        ]);
+        let fields = flattened_fields("io", &ty);
+        assert_eq!(fields[0].2, false);
+        assert_eq!(fields[1].2, true);
+    }
+
+    #[test]
+    fn static_paths() {
+        let e = Expression::SubIndex(
+            Box::new(Expression::SubField(Box::new(Expression::reference("io")), "out".into())),
+            3,
+        );
+        assert_eq!(static_path(&e).unwrap(), "io.out[3]");
+        let dynamic = Expression::SubAccess(
+            Box::new(Expression::reference("v")),
+            Box::new(Expression::reference("i")),
+        );
+        assert!(static_path(&dynamic).is_none());
+        assert!(static_path(&Expression::uint_lit(3)).is_none());
+    }
+
+    #[test]
+    fn mangling() {
+        assert_eq!(mangle("io.out[3]"), "io_out_3");
+        assert_eq!(mangle("simple"), "simple");
+    }
+
+    #[test]
+    fn coverage_respects_boundaries() {
+        assert!(path_covers("io.out", "io.out"));
+        assert!(path_covers("io", "io.out[1]"));
+        assert!(path_covers("v", "v[0]"));
+        assert!(!path_covers("io.o", "io.out"));
+        assert!(!path_covers("io.out", "io"));
+    }
+}

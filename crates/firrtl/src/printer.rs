@@ -1,0 +1,334 @@
+//! Pretty-printers.
+//!
+//! Two textual renderings are provided:
+//!
+//! * [`print_firrtl`] — a FIRRTL-flavoured dump of the IR, useful for debugging and
+//!   golden tests.
+//! * [`print_chisel`] — a pseudo-Chisel rendering used as the "source code" attached to
+//!   generation candidates; the ReChisel case study (Fig. 8) and the workflow traces
+//!   show candidates in this form.
+
+use std::fmt::Write as _;
+
+use crate::ir::{Circuit, ClockSpec, Direction, Expression, Module, PrimOp, Statement, Type};
+
+/// Renders a circuit as FIRRTL-flavoured text.
+pub fn print_firrtl(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {} :", circuit.top);
+    for module in &circuit.modules {
+        let _ = writeln!(out, "  module {} :", module.name);
+        for port in &module.ports {
+            let _ = writeln!(out, "    {} {} : {}", port.direction, port.name, port.ty);
+        }
+        if !module.ports.is_empty() {
+            let _ = writeln!(out);
+        }
+        print_firrtl_statements(&module.body, 2, &mut out);
+    }
+    out
+}
+
+fn print_firrtl_statements(stmts: &[Statement], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for stmt in stmts {
+        match stmt {
+            Statement::Wire { name, ty, .. } => {
+                let _ = writeln!(out, "{pad}wire {name} : {ty}");
+            }
+            Statement::Reg { name, ty, clock, reset, .. } => {
+                let clk = match clock {
+                    ClockSpec::Implicit => "clock".to_string(),
+                    ClockSpec::Explicit(e) => e.to_string(),
+                };
+                match reset {
+                    Some(r) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}regreset {name} : {ty}, {clk}, {}, {}",
+                            r.reset, r.init
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}reg {name} : {ty}, {clk}");
+                    }
+                }
+            }
+            Statement::Node { name, value, .. } => {
+                let _ = writeln!(out, "{pad}node {name} = {value}");
+            }
+            Statement::Connect { loc, expr, .. } => {
+                let _ = writeln!(out, "{pad}connect {loc}, {expr}");
+            }
+            Statement::Invalidate { loc, .. } => {
+                let _ = writeln!(out, "{pad}invalidate {loc}");
+            }
+            Statement::When { cond, then_body, else_body, .. } => {
+                let _ = writeln!(out, "{pad}when {cond} :");
+                print_firrtl_statements(then_body, indent + 1, out);
+                if !else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}else :");
+                    print_firrtl_statements(else_body, indent + 1, out);
+                }
+            }
+            Statement::Instance { name, module, .. } => {
+                let _ = writeln!(out, "{pad}inst {name} of {module}");
+            }
+            Statement::BareIoDecl { name, ty, direction, .. } => {
+                let _ = writeln!(out, "{pad}; ERROR bare io {direction} {name} : {ty}");
+            }
+        }
+    }
+}
+
+/// Renders a circuit as pseudo-Chisel source text.
+pub fn print_chisel(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    for module in &circuit.modules {
+        out.push_str(&print_chisel_module(module));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one module as pseudo-Chisel source text.
+pub fn print_chisel_module(module: &Module) -> String {
+    let mut out = String::new();
+    let parent = match module.kind {
+        crate::ir::ModuleKind::Module => "Module",
+        crate::ir::ModuleKind::RawModule => "RawModule",
+    };
+    let _ = writeln!(out, "class {} extends {} {{", module.name, parent);
+    for port in &module.ports {
+        if port.name == "clock" || port.name == "reset" {
+            continue;
+        }
+        let dir = match port.direction {
+            Direction::Input => "Input",
+            Direction::Output => "Output",
+        };
+        let _ = writeln!(out, "  val {} = IO({}({}))", port.name, dir, chisel_type(&port.ty));
+    }
+    print_chisel_statements(&module.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn chisel_type(ty: &Type) -> String {
+    match ty {
+        Type::Clock => "Clock()".to_string(),
+        Type::Reset => "Reset()".to_string(),
+        Type::AsyncReset => "AsyncReset()".to_string(),
+        Type::Bool => "Bool()".to_string(),
+        Type::UInt(Some(w)) => format!("UInt({w}.W)"),
+        Type::UInt(None) => "UInt()".to_string(),
+        Type::SInt(Some(w)) => format!("SInt({w}.W)"),
+        Type::SInt(None) => "SInt()".to_string(),
+        Type::Vec(elem, len) => format!("Vec({len}, {})", chisel_type(elem)),
+        Type::Bundle(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.flipped {
+                        format!("val {} = Flipped({})", f.name, chisel_type(&f.ty))
+                    } else {
+                        format!("val {} = {}", f.name, chisel_type(&f.ty))
+                    }
+                })
+                .collect();
+            format!("new Bundle {{ {} }}", inner.join("; "))
+        }
+    }
+}
+
+fn chisel_expr(expr: &Expression) -> String {
+    match expr {
+        Expression::Ref(name) => name.clone(),
+        Expression::SubField(inner, field) => format!("{}.{field}", chisel_expr(inner)),
+        Expression::SubIndex(inner, idx) => format!("{}({idx})", chisel_expr(inner)),
+        Expression::SubAccess(inner, idx) => {
+            format!("{}({})", chisel_expr(inner), chisel_expr(idx))
+        }
+        Expression::UIntLiteral { value, width: Some(w) } => format!("{value}.U({w}.W)"),
+        Expression::UIntLiteral { value, width: None } => format!("{value}.U"),
+        Expression::SIntLiteral { value, width: Some(w) } => format!("{value}.S({w}.W)"),
+        Expression::SIntLiteral { value, width: None } => format!("{value}.S"),
+        Expression::Mux { cond, tval, fval } => format!(
+            "Mux({}, {}, {})",
+            chisel_expr(cond),
+            chisel_expr(tval),
+            chisel_expr(fval)
+        ),
+        Expression::Prim { op, args, params } => chisel_prim(*op, args, params),
+        Expression::ScalaCast { arg, target } => {
+            format!("{}.asInstanceOf[{target}]", chisel_expr(arg))
+        }
+        Expression::BadApply { target, args } => {
+            let rendered: Vec<String> = args.iter().map(chisel_expr).collect();
+            format!("{}({})", chisel_expr(target), rendered.join(", "))
+        }
+    }
+}
+
+fn chisel_prim(op: PrimOp, args: &[Expression], params: &[i64]) -> String {
+    let a = |i: usize| chisel_expr(&args[i]);
+    match op {
+        PrimOp::Add => format!("({} +& {})", a(0), a(1)),
+        PrimOp::Sub => format!("({} -& {})", a(0), a(1)),
+        PrimOp::Mul => format!("({} * {})", a(0), a(1)),
+        PrimOp::Div => format!("({} / {})", a(0), a(1)),
+        PrimOp::Rem => format!("({} % {})", a(0), a(1)),
+        PrimOp::And => format!("({} & {})", a(0), a(1)),
+        PrimOp::Or => format!("({} | {})", a(0), a(1)),
+        PrimOp::Xor => format!("({} ^ {})", a(0), a(1)),
+        PrimOp::Not => format!("(~{})", a(0)),
+        PrimOp::Eq => format!("({} === {})", a(0), a(1)),
+        PrimOp::Neq => format!("({} =/= {})", a(0), a(1)),
+        PrimOp::Lt => format!("({} < {})", a(0), a(1)),
+        PrimOp::Leq => format!("({} <= {})", a(0), a(1)),
+        PrimOp::Gt => format!("({} > {})", a(0), a(1)),
+        PrimOp::Geq => format!("({} >= {})", a(0), a(1)),
+        PrimOp::Shl => format!("({} << {})", a(0), params[0]),
+        PrimOp::Shr => format!("({} >> {})", a(0), params[0]),
+        PrimOp::Dshl => format!("({} << {})", a(0), a(1)),
+        PrimOp::Dshr => format!("({} >> {})", a(0), a(1)),
+        PrimOp::Cat => format!("Cat({}, {})", a(0), a(1)),
+        PrimOp::Bits => format!("{}({}, {})", a(0), params[0], params[1]),
+        PrimOp::AndR => format!("{}.andR", a(0)),
+        PrimOp::OrR => format!("{}.orR", a(0)),
+        PrimOp::XorR => format!("{}.xorR", a(0)),
+        PrimOp::AsUInt => format!("{}.asUInt", a(0)),
+        PrimOp::AsSInt => format!("{}.asSInt", a(0)),
+        PrimOp::AsClock => format!("{}.asClock", a(0)),
+        PrimOp::AsBool => format!("{}.asBool", a(0)),
+        PrimOp::AsAsyncReset => format!("{}.asAsyncReset", a(0)),
+        PrimOp::Neg => format!("(-{})", a(0)),
+        PrimOp::Pad => format!("{}.pad({})", a(0), params[0]),
+        PrimOp::Tail => format!("{}.tail({})", a(0), params[0]),
+        PrimOp::Head => format!("{}.head({})", a(0), params[0]),
+    }
+}
+
+fn print_chisel_statements(stmts: &[Statement], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for stmt in stmts {
+        match stmt {
+            Statement::Wire { name, ty, .. } => {
+                let _ = writeln!(out, "{pad}val {name} = Wire({})", chisel_type(ty));
+            }
+            Statement::Reg { name, ty, clock, reset, .. } => {
+                let body = match reset {
+                    Some(r) => format!("RegInit({})", chisel_expr(&r.init)),
+                    None => format!("Reg({})", chisel_type(ty)),
+                };
+                match clock {
+                    ClockSpec::Implicit => {
+                        let _ = writeln!(out, "{pad}val {name} = {body}");
+                    }
+                    ClockSpec::Explicit(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}val {name} = withClock({}) {{ {body} }}",
+                            chisel_expr(c)
+                        );
+                    }
+                }
+            }
+            Statement::Node { name, value, .. } => {
+                let _ = writeln!(out, "{pad}val {name} = {}", chisel_expr(value));
+            }
+            Statement::Connect { loc, expr, .. } => {
+                let _ = writeln!(out, "{pad}{} := {}", chisel_expr(loc), chisel_expr(expr));
+            }
+            Statement::Invalidate { loc, .. } => {
+                let _ = writeln!(out, "{pad}{} := DontCare", chisel_expr(loc));
+            }
+            Statement::When { cond, then_body, else_body, .. } => {
+                let _ = writeln!(out, "{pad}when({}) {{", chisel_expr(cond));
+                print_chisel_statements(then_body, indent + 1, out);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}}.otherwise {{");
+                    print_chisel_statements(else_body, indent + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Statement::Instance { name, module, .. } => {
+                let _ = writeln!(out, "{pad}val {name} = Module(new {module})");
+            }
+            Statement::BareIoDecl { name, ty, direction, .. } => {
+                let dir = match direction {
+                    Direction::Input => "Input",
+                    Direction::Output => "Output",
+                };
+                let _ = writeln!(out, "{pad}val {name} = {dir}({})", chisel_type(ty));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ModuleKind, Port, SourceInfo};
+
+    fn sample() -> Circuit {
+        let mut m = Module::new("Sample", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("a", Direction::Input, Type::uint(4)));
+        m.ports.push(Port::new("out", Direction::Output, Type::uint(4)));
+        m.body.push(Statement::When {
+            cond: Expression::prim(
+                PrimOp::Eq,
+                vec![Expression::reference("a"), Expression::uint_lit(0)],
+                vec![],
+            ),
+            then_body: vec![Statement::Connect {
+                loc: Expression::reference("out"),
+                expr: Expression::uint_lit(1),
+                info: SourceInfo::unknown(),
+            }],
+            else_body: vec![Statement::Connect {
+                loc: Expression::reference("out"),
+                expr: Expression::reference("a"),
+                info: SourceInfo::unknown(),
+            }],
+            info: SourceInfo::unknown(),
+        });
+        Circuit::single(m)
+    }
+
+    #[test]
+    fn firrtl_print_contains_structure() {
+        let text = print_firrtl(&sample());
+        assert!(text.contains("circuit Sample :"));
+        assert!(text.contains("module Sample :"));
+        assert!(text.contains("input a : UInt<4>"));
+        assert!(text.contains("when"));
+    }
+
+    #[test]
+    fn chisel_print_looks_like_chisel() {
+        let text = print_chisel(&sample());
+        assert!(text.contains("class Sample extends Module"));
+        assert!(text.contains("val a = IO(Input(UInt(4.W)))"));
+        assert!(text.contains("when((a === 0.U)) {"));
+        assert!(text.contains(".otherwise {"));
+        // Implicit clock/reset ports are not rendered as explicit IOs.
+        assert!(!text.contains("val clock = IO"));
+    }
+
+    #[test]
+    fn chisel_expr_rendering() {
+        let e = Expression::prim(
+            PrimOp::Cat,
+            vec![Expression::reference("hi"), Expression::reference("lo")],
+            vec![],
+        );
+        assert_eq!(chisel_expr(&e), "Cat(hi, lo)");
+        let bits = Expression::prim(PrimOp::Bits, vec![Expression::reference("x")], vec![3, 1]);
+        assert_eq!(chisel_expr(&bits), "x(3, 1)");
+    }
+}

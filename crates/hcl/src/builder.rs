@@ -1,0 +1,481 @@
+//! The module builder: a Chisel-flavoured construction API that records hardware into
+//! the `rechisel-firrtl` IR.
+//!
+//! A [`ModuleBuilder`] plays the role of a Chisel `Module` body: IOs, wires, registers,
+//! `when`/`switch` blocks and connections are declared imperatively and recorded as IR
+//! statements with synthetic source locations (so that compiler diagnostics point at
+//! meaningful "lines" exactly like the sbt output quoted in the ReChisel paper).
+
+use rechisel_firrtl::ir::{
+    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, Port, RegReset, SourceInfo,
+    Statement, Type,
+};
+
+use crate::signal::Signal;
+
+/// Builds one hardware module.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+    /// Stack of statement buffers: the last entry receives new statements (innermost
+    /// `when` scope).
+    scopes: Vec<Vec<Statement>>,
+    /// Clock override stack for `with_clock`.
+    clocks: Vec<Expression>,
+    /// Synthetic source file name.
+    file: String,
+    /// Synthetic line counter.
+    line: u32,
+}
+
+impl ModuleBuilder {
+    /// Starts a `Module` (with implicit `clock` and `reset` ports).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let file = format!("{name}.scala");
+        let mut module = Module::new(name, ModuleKind::Module);
+        module.ports.push(Port {
+            name: "clock".into(),
+            direction: Direction::Input,
+            ty: Type::Clock,
+            info: SourceInfo::new(&file, 1, 1),
+        });
+        module.ports.push(Port {
+            name: "reset".into(),
+            direction: Direction::Input,
+            ty: Type::bool(),
+            info: SourceInfo::new(&file, 1, 1),
+        });
+        Self { module, scopes: vec![Vec::new()], clocks: Vec::new(), file, line: 1 }
+    }
+
+    /// Starts a `RawModule` (no implicit clock or reset).
+    pub fn raw(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let file = format!("{name}.scala");
+        Self {
+            module: Module::new(name, ModuleKind::RawModule),
+            scopes: vec![Vec::new()],
+            clocks: Vec::new(),
+            file,
+            line: 1,
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.module.name
+    }
+
+    fn next_info(&mut self) -> SourceInfo {
+        self.line += 1;
+        SourceInfo::new(&self.file, self.line, 3)
+    }
+
+    fn push(&mut self, stmt: Statement) {
+        self.scopes.last_mut().expect("at least one scope").push(stmt);
+    }
+
+    // --- ports -----------------------------------------------------------------------
+
+    /// Declares an input port and returns its signal.
+    pub fn input(&mut self, name: &str, ty: Type) -> Signal {
+        let info = self.next_info();
+        self.module.ports.push(Port {
+            name: name.to_string(),
+            direction: Direction::Input,
+            ty: ty.clone(),
+            info,
+        });
+        Signal::new(Expression::reference(name), ty)
+    }
+
+    /// Declares an output port and returns its signal.
+    pub fn output(&mut self, name: &str, ty: Type) -> Signal {
+        let info = self.next_info();
+        self.module.ports.push(Port {
+            name: name.to_string(),
+            direction: Direction::Output,
+            ty: ty.clone(),
+            info,
+        });
+        Signal::new(Expression::reference(name), ty)
+    }
+
+    /// The implicit clock signal.
+    pub fn clock(&self) -> Signal {
+        Signal::new(Expression::reference("clock"), Type::Clock)
+    }
+
+    /// The implicit reset signal.
+    pub fn reset(&self) -> Signal {
+        Signal::new(Expression::reference("reset"), Type::bool())
+    }
+
+    // --- declarations ----------------------------------------------------------------
+
+    /// Declares a wire.
+    pub fn wire(&mut self, name: &str, ty: Type) -> Signal {
+        let info = self.next_info();
+        self.push(Statement::Wire { name: name.to_string(), ty: ty.clone(), info });
+        Signal::new(Expression::reference(name), ty)
+    }
+
+    /// Declares a wire with a default value (`WireDefault`).
+    pub fn wire_default(&mut self, name: &str, ty: Type, default: &Signal) -> Signal {
+        let sig = self.wire(name, ty);
+        self.connect(&sig, default);
+        sig
+    }
+
+    /// Declares a register without reset (`Reg`).
+    pub fn reg(&mut self, name: &str, ty: Type) -> Signal {
+        let info = self.next_info();
+        let clock = self.current_clock();
+        self.push(Statement::Reg {
+            name: name.to_string(),
+            ty: ty.clone(),
+            clock,
+            reset: None,
+            info,
+        });
+        Signal::new(Expression::reference(name), ty)
+    }
+
+    /// Declares a register with a reset value (`RegInit`).
+    pub fn reg_init(&mut self, name: &str, ty: Type, init: &Signal) -> Signal {
+        let info = self.next_info();
+        let clock = self.current_clock();
+        self.push(Statement::Reg {
+            name: name.to_string(),
+            ty: ty.clone(),
+            clock,
+            reset: Some(RegReset {
+                reset: Expression::reference("reset"),
+                init: init.expr().clone(),
+            }),
+            info,
+        });
+        Signal::new(Expression::reference(name), ty)
+    }
+
+    /// Declares a register that follows `next` every cycle (`RegNext`).
+    pub fn reg_next(&mut self, name: &str, ty: Type, next: &Signal) -> Signal {
+        let reg = self.reg(name, ty);
+        self.connect(&reg, next);
+        reg
+    }
+
+    /// Declares a register that follows `next` and resets to `init` (`RegNext` with
+    /// init, or `RegEnable`-style patterns built on top).
+    pub fn reg_next_init(&mut self, name: &str, ty: Type, next: &Signal, init: &Signal) -> Signal {
+        let reg = self.reg_init(name, ty, init);
+        self.connect(&reg, next);
+        reg
+    }
+
+    /// Declares a named intermediate value (`val x = <expr>`).
+    pub fn node(&mut self, name: &str, value: &Signal) -> Signal {
+        let info = self.next_info();
+        self.push(Statement::Node {
+            name: name.to_string(),
+            value: value.expr().clone(),
+            info,
+        });
+        Signal::new(Expression::reference(name), value.ty().clone())
+    }
+
+    /// Declares a wire of `Vec` type initialized element-wise from `elements`
+    /// (`VecInit(...)`).
+    pub fn vec_init(&mut self, name: &str, elem_ty: Type, elements: &[Signal]) -> Signal {
+        let ty = Type::vec(elem_ty, elements.len());
+        let vec = self.wire(name, ty);
+        for (i, e) in elements.iter().enumerate() {
+            let slot = vec.index(i as i64);
+            self.connect(&slot, e);
+        }
+        vec
+    }
+
+    /// Instantiates a child module and returns a bundle-typed handle whose fields are
+    /// the child's ports.
+    pub fn instance(&mut self, name: &str, child: &Module) -> Signal {
+        let info = self.next_info();
+        self.push(Statement::Instance {
+            name: name.to_string(),
+            module: child.name.clone(),
+            info,
+        });
+        let ty = rechisel_firrtl::typeenv::instance_bundle_type(child);
+        Signal::new(Expression::reference(name), ty)
+    }
+
+    // --- connections and control flow --------------------------------------------------
+
+    /// Connects `sink := source`.
+    pub fn connect(&mut self, sink: &Signal, source: &Signal) {
+        let info = self.next_info();
+        self.push(Statement::Connect {
+            loc: sink.expr().clone(),
+            expr: source.expr().clone(),
+            info,
+        });
+    }
+
+    /// Marks a sink as intentionally unconnected (`sink := DontCare`).
+    pub fn dont_care(&mut self, sink: &Signal) {
+        let info = self.next_info();
+        self.push(Statement::Invalidate { loc: sink.expr().clone(), info });
+    }
+
+    /// A conditional block without an `otherwise` branch.
+    pub fn when(&mut self, cond: &Signal, then_f: impl FnOnce(&mut Self)) {
+        self.when_else(cond, then_f, |_| {});
+    }
+
+    /// A conditional block with both branches (`when { ... } .otherwise { ... }`).
+    pub fn when_else(
+        &mut self,
+        cond: &Signal,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        let info = self.next_info();
+        self.scopes.push(Vec::new());
+        then_f(self);
+        let then_body = self.scopes.pop().expect("then scope");
+        self.scopes.push(Vec::new());
+        else_f(self);
+        let else_body = self.scopes.pop().expect("else scope");
+        self.push(Statement::When { cond: cond.expr().clone(), then_body, else_body, info });
+    }
+
+    /// A `switch(sel) { is(...) { ... } }` block. Arms are matched in order with
+    /// equality comparisons; an optional default arm is set with
+    /// [`SwitchBuilder::default`].
+    pub fn switch(&mut self, sel: &Signal, f: impl FnOnce(&mut SwitchBuilder<'_>)) {
+        let mut sw = SwitchBuilder { builder: self, sel: sel.clone(), arms: Vec::new(), default: None };
+        f(&mut sw);
+        sw.finish();
+    }
+
+    /// Overrides the implicit clock for registers declared inside `f` (`withClock`).
+    pub fn with_clock(&mut self, clock: &Signal, f: impl FnOnce(&mut Self)) {
+        self.clocks.push(clock.expr().clone());
+        f(self);
+        self.clocks.pop();
+    }
+
+    fn current_clock(&self) -> ClockSpec {
+        match self.clocks.last() {
+            Some(e) => ClockSpec::Explicit(e.clone()),
+            None => ClockSpec::Implicit,
+        }
+    }
+
+    // --- finishing -------------------------------------------------------------------
+
+    /// Finishes the module.
+    pub fn finish(mut self) -> Module {
+        let body = self.scopes.pop().expect("root scope");
+        assert!(self.scopes.is_empty(), "unbalanced when scopes");
+        self.module.body = body;
+        self.module
+    }
+
+    /// Finishes the module and wraps it in a single-module circuit.
+    pub fn into_circuit(self) -> Circuit {
+        Circuit::single(self.finish())
+    }
+}
+
+/// Collects the arms of a [`ModuleBuilder::switch`] block.
+pub struct SwitchBuilder<'a> {
+    builder: &'a mut ModuleBuilder,
+    sel: Signal,
+    arms: Vec<(u128, Vec<Statement>)>,
+    default: Option<Vec<Statement>>,
+}
+
+impl<'a> SwitchBuilder<'a> {
+    /// Adds an `is(value) { ... }` arm.
+    pub fn is(&mut self, value: u128, f: impl FnOnce(&mut ModuleBuilder)) {
+        self.builder.scopes.push(Vec::new());
+        f(self.builder);
+        let body = self.builder.scopes.pop().expect("switch arm scope");
+        self.arms.push((value, body));
+    }
+
+    /// Sets the default arm (not part of Chisel's `switch`, but our designs use it as a
+    /// shorthand for a final `.otherwise`).
+    pub fn default(&mut self, f: impl FnOnce(&mut ModuleBuilder)) {
+        self.builder.scopes.push(Vec::new());
+        f(self.builder);
+        let body = self.builder.scopes.pop().expect("switch default scope");
+        self.default = Some(body);
+    }
+
+    fn finish(self) {
+        let SwitchBuilder { builder, sel, arms, default } = self;
+        // Build a chain of nested whens: is(v0) else { is(v1) else { ... default } }.
+        let mut else_body = default.unwrap_or_default();
+        for (value, body) in arms.into_iter().rev() {
+            let info = builder.next_info();
+            let cond = sel.eq(&Signal::lit(value));
+            let when = Statement::When {
+                cond: cond.expr().clone(),
+                then_body: body,
+                else_body,
+                info,
+            };
+            else_body = vec![when];
+        }
+        for stmt in else_body {
+            builder.push(stmt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::{check_circuit, lower_circuit};
+
+    #[test]
+    fn simple_passthrough_builds_and_checks() {
+        let mut m = ModuleBuilder::new("Pass");
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        m.connect(&out, &a);
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors());
+        assert!(lower_circuit(&c).is_ok());
+    }
+
+    #[test]
+    fn when_else_builds_nested_statements() {
+        let mut m = ModuleBuilder::new("Sel");
+        let sel = m.input("sel", Type::bool());
+        let a = m.input("a", Type::uint(4));
+        let b = m.input("b", Type::uint(4));
+        let out = m.output("out", Type::uint(4));
+        m.when_else(&sel, |m| m.connect(&out, &a), |m| m.connect(&out, &b));
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+    }
+
+    #[test]
+    fn missing_otherwise_fails_initialization() {
+        let mut m = ModuleBuilder::new("Bad");
+        let sel = m.input("sel", Type::bool());
+        let a = m.input("a", Type::uint(4));
+        let out = m.output("out", Type::uint(4));
+        m.when(&sel, |m| m.connect(&out, &a));
+        let c = m.into_circuit();
+        assert!(check_circuit(&c).has_errors());
+    }
+
+    #[test]
+    fn switch_lowers_to_priority_chain() {
+        let mut m = ModuleBuilder::new("Decode");
+        let op = m.input("op", Type::uint(2));
+        let out = m.output("out", Type::uint(4));
+        m.switch(&op, |sw| {
+            sw.is(0, |m| m.connect(&out, &Signal::lit_w(1, 4)));
+            sw.is(1, |m| m.connect(&out, &Signal::lit_w(2, 4)));
+            sw.default(|m| m.connect(&out, &Signal::lit_w(0, 4)));
+        });
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        assert!(lower_circuit(&c).is_ok());
+    }
+
+    #[test]
+    fn register_counter_checks_clean() {
+        let mut m = ModuleBuilder::new("Counter");
+        let en = m.input("en", Type::bool());
+        let out = m.output("out", Type::uint(8));
+        let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+        m.when(&en, |m| {
+            let next = count.add(&Signal::lit_w(1, 8)).bits(7, 0);
+            m.connect(&count, &next);
+        });
+        m.connect(&out, &count);
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.regs.len(), 1);
+    }
+
+    #[test]
+    fn vec_init_covers_all_elements() {
+        let mut m = ModuleBuilder::new("VecTest");
+        let a = m.input("a", Type::bool());
+        let b = m.input("b", Type::bool());
+        let out = m.output("out", Type::uint(2));
+        let v = m.vec_init("v", Type::bool(), &[a, b]);
+        m.connect(&out, &v.as_uint());
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+    }
+
+    #[test]
+    fn instance_wiring_checks_clean() {
+        let mut child = ModuleBuilder::new("Inv");
+        let x = child.input("x", Type::bool());
+        let y = child.output("y", Type::bool());
+        child.connect(&y, &x.not());
+        let child = child.finish();
+
+        let mut top = ModuleBuilder::new("Top");
+        let a = top.input("a", Type::bool());
+        let out = top.output("out", Type::bool());
+        let inv = top.instance("inv", &child);
+        top.connect(&inv.field("x"), &a);
+        top.connect(&out, &inv.field("y"));
+        let top = top.finish();
+
+        let c = Circuit::new("Top", vec![top, child]);
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        assert!(lower_circuit(&c).is_ok());
+    }
+
+    #[test]
+    fn raw_module_register_fails_clock_check() {
+        let mut m = ModuleBuilder::raw("NoClock");
+        let a = m.input("a", Type::uint(4));
+        let out = m.output("out", Type::uint(4));
+        let r = m.reg_next("r", Type::uint(4), &a);
+        m.connect(&out, &r);
+        let c = m.into_circuit();
+        assert!(check_circuit(&c).has_errors());
+    }
+
+    #[test]
+    fn raw_module_with_explicit_clock_is_clean() {
+        let mut m = ModuleBuilder::raw("WithClock");
+        let clk = m.input("clk", Type::Clock);
+        let a = m.input("a", Type::uint(4));
+        let out = m.output("out", Type::uint(4));
+        let mut captured = None;
+        m.with_clock(&clk, |m| {
+            captured = Some(m.reg_next("r", Type::uint(4), &a));
+        });
+        let r = captured.unwrap();
+        m.connect(&out, &r);
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+    }
+
+    #[test]
+    fn source_lines_increase() {
+        let mut m = ModuleBuilder::new("Lines");
+        let a = m.input("a", Type::bool());
+        let out = m.output("out", Type::bool());
+        m.connect(&out, &a);
+        let module = m.finish();
+        let infos: Vec<u32> = module.body.iter().map(|s| s.info().line).collect();
+        assert!(infos.windows(2).all(|w| w[0] < w[1]) || infos.len() < 2);
+        assert!(module.port("a").unwrap().info.line < module.port("out").unwrap().info.line);
+    }
+}

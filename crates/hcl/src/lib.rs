@@ -1,0 +1,49 @@
+//! # rechisel-hcl
+//!
+//! A Chisel-like hardware construction language embedded in Rust — the "Chisel" half of
+//! the ReChisel reproduction's substrate. Reference designs for the benchmark suite, the
+//! examples, and the defect-injection machinery all build circuits through this crate,
+//! which records them into the `rechisel-firrtl` IR for checking, simulation and Verilog
+//! emission.
+//!
+//! The API mirrors Chisel's surface: modules with implicit clock/reset, `IO`s,
+//! `Wire`/`WireDefault`, `Reg`/`RegInit`/`RegNext`, `when`/`.otherwise`, `switch`/`is`,
+//! `Vec` and `Bundle` aggregates, and the usual operator set (`+&`, `===`, `Cat`,
+//! `Mux`, bit extraction, reductions, casts).
+//!
+//! # Example
+//!
+//! ```
+//! use rechisel_hcl::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 2-to-1 mux with a registered output.
+//! let mut m = ModuleBuilder::new("MuxReg");
+//! let sel = m.input("sel", Type::bool());
+//! let a = m.input("a", Type::uint(8));
+//! let b = m.input("b", Type::uint(8));
+//! let out = m.output("out", Type::uint(8));
+//! let picked = mux(&sel, &a, &b);
+//! let q = m.reg_next_init("q", Type::uint(8), &picked, &Signal::lit_w(0, 8));
+//! m.connect(&out, &q);
+//!
+//! let circuit = m.into_circuit();
+//! assert!(!rechisel_firrtl::check_circuit(&circuit).has_errors());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod signal;
+
+pub use builder::{ModuleBuilder, SwitchBuilder};
+pub use signal::{cat_all, mux, mux_case, pop_count, reduce, Signal};
+
+/// Convenience re-exports for building circuits.
+pub mod prelude {
+    pub use crate::builder::{ModuleBuilder, SwitchBuilder};
+    pub use crate::signal::{cat_all, mux, mux_case, pop_count, reduce, Signal};
+    pub use rechisel_firrtl::ir::{Circuit, Field, Module, Type};
+}

@@ -1,0 +1,523 @@
+//! Signal handles: typed expression wrappers with Chisel-flavoured operators.
+//!
+//! A [`Signal`] pairs a [`rechisel_firrtl::ir::Expression`] with the [`Type`] it
+//! elaborates to. Operator methods build new expressions without touching the module
+//! builder, exactly like Chisel expressions are pure values until they are connected.
+//! All typing here is best-effort — the authoritative checks run in `rechisel-firrtl`
+//! when the finished circuit is compiled.
+
+use rechisel_firrtl::ir::{Expression, PrimOp, Type};
+
+/// A typed hardware expression handle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    expr: Expression,
+    ty: Type,
+}
+
+impl Signal {
+    /// Wraps an expression with its type.
+    pub fn new(expr: Expression, ty: Type) -> Self {
+        Self { expr, ty }
+    }
+
+    /// An unsigned literal with inferred width, like Chisel's `3.U`.
+    pub fn lit(value: u128) -> Self {
+        Self::new(Expression::uint_lit(value), Type::UInt(None))
+    }
+
+    /// An unsigned literal with explicit width, like `3.U(8.W)`.
+    pub fn lit_w(value: u128, width: u32) -> Self {
+        Self::new(Expression::uint_lit_w(value, width), Type::uint(width))
+    }
+
+    /// A signed literal with explicit width, like `-3.S(8.W)`.
+    pub fn slit(value: i128, width: u32) -> Self {
+        Self::new(Expression::sint_lit_w(value, width), Type::sint(width))
+    }
+
+    /// A boolean literal, like `true.B`.
+    pub fn lit_bool(value: bool) -> Self {
+        Self::new(Expression::uint_lit(u128::from(value)), Type::Bool)
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &Expression {
+        &self.expr
+    }
+
+    /// Consumes the handle and returns the expression.
+    pub fn into_expr(self) -> Expression {
+        self.expr
+    }
+
+    /// The (best-effort) elaborated type.
+    pub fn ty(&self) -> &Type {
+        &self.ty
+    }
+
+    /// The known width of the signal, if any.
+    pub fn width(&self) -> Option<u32> {
+        self.ty.width()
+    }
+
+    fn prim(&self, op: PrimOp, args: Vec<Expression>, params: Vec<i64>, ty: Type) -> Signal {
+        Signal::new(Expression::prim(op, args, params), ty)
+    }
+
+    fn binary_width(&self, other: &Signal, grow: u32) -> Option<u32> {
+        match (self.width(), other.width()) {
+            (Some(a), Some(b)) => Some(a.max(b) + grow),
+            _ => None,
+        }
+    }
+
+    // --- arithmetic ------------------------------------------------------------------
+
+    /// Expanding addition (`+&`).
+    pub fn add(&self, other: &Signal) -> Signal {
+        let ty = if self.ty.is_signed() || other.ty.is_signed() {
+            Type::SInt(self.binary_width(other, 1))
+        } else {
+            Type::UInt(self.binary_width(other, 1))
+        };
+        self.prim(PrimOp::Add, vec![self.expr.clone(), other.expr.clone()], vec![], ty)
+    }
+
+    /// Expanding subtraction (`-&`).
+    pub fn sub(&self, other: &Signal) -> Signal {
+        let ty = if self.ty.is_signed() || other.ty.is_signed() {
+            Type::SInt(self.binary_width(other, 1))
+        } else {
+            Type::UInt(self.binary_width(other, 1))
+        };
+        self.prim(PrimOp::Sub, vec![self.expr.clone(), other.expr.clone()], vec![], ty)
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Signal) -> Signal {
+        let width = match (self.width(), other.width()) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        let ty = if self.ty.is_signed() || other.ty.is_signed() {
+            Type::SInt(width)
+        } else {
+            Type::UInt(width)
+        };
+        self.prim(PrimOp::Mul, vec![self.expr.clone(), other.expr.clone()], vec![], ty)
+    }
+
+    /// Division.
+    pub fn div(&self, other: &Signal) -> Signal {
+        self.prim(
+            PrimOp::Div,
+            vec![self.expr.clone(), other.expr.clone()],
+            vec![],
+            self.ty.clone(),
+        )
+    }
+
+    /// Remainder.
+    pub fn rem(&self, other: &Signal) -> Signal {
+        self.prim(
+            PrimOp::Rem,
+            vec![self.expr.clone(), other.expr.clone()],
+            vec![],
+            self.ty.clone(),
+        )
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(&self) -> Signal {
+        self.prim(
+            PrimOp::Neg,
+            vec![self.expr.clone()],
+            vec![],
+            Type::SInt(self.width().map(|w| w + 1)),
+        )
+    }
+
+    // --- bitwise ---------------------------------------------------------------------
+
+    /// Bitwise and.
+    pub fn and(&self, other: &Signal) -> Signal {
+        let ty = self.bitwise_result(other);
+        self.prim(PrimOp::And, vec![self.expr.clone(), other.expr.clone()], vec![], ty)
+    }
+
+    /// Bitwise or.
+    pub fn or(&self, other: &Signal) -> Signal {
+        let ty = self.bitwise_result(other);
+        self.prim(PrimOp::Or, vec![self.expr.clone(), other.expr.clone()], vec![], ty)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&self, other: &Signal) -> Signal {
+        let ty = self.bitwise_result(other);
+        self.prim(PrimOp::Xor, vec![self.expr.clone(), other.expr.clone()], vec![], ty)
+    }
+
+    /// Bitwise not.
+    pub fn not(&self) -> Signal {
+        self.prim(PrimOp::Not, vec![self.expr.clone()], vec![], self.ty.clone())
+    }
+
+    fn bitwise_result(&self, other: &Signal) -> Type {
+        if matches!(self.ty, Type::Bool) && matches!(other.ty, Type::Bool) {
+            Type::Bool
+        } else {
+            Type::UInt(self.binary_width(other, 0))
+        }
+    }
+
+    // --- comparisons -----------------------------------------------------------------
+
+    /// Equality (`===`).
+    pub fn eq(&self, other: &Signal) -> Signal {
+        self.prim(PrimOp::Eq, vec![self.expr.clone(), other.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Inequality (`=/=`).
+    pub fn neq(&self, other: &Signal) -> Signal {
+        self.prim(PrimOp::Neq, vec![self.expr.clone(), other.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Less-than.
+    pub fn lt(&self, other: &Signal) -> Signal {
+        self.prim(PrimOp::Lt, vec![self.expr.clone(), other.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Less-than-or-equal.
+    pub fn leq(&self, other: &Signal) -> Signal {
+        self.prim(PrimOp::Leq, vec![self.expr.clone(), other.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Greater-than.
+    pub fn gt(&self, other: &Signal) -> Signal {
+        self.prim(PrimOp::Gt, vec![self.expr.clone(), other.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Greater-than-or-equal.
+    pub fn geq(&self, other: &Signal) -> Signal {
+        self.prim(PrimOp::Geq, vec![self.expr.clone(), other.expr.clone()], vec![], Type::Bool)
+    }
+
+    // --- shifts ----------------------------------------------------------------------
+
+    /// Static left shift.
+    pub fn shl(&self, amount: u32) -> Signal {
+        self.prim(
+            PrimOp::Shl,
+            vec![self.expr.clone()],
+            vec![amount as i64],
+            Type::UInt(self.width().map(|w| w + amount)),
+        )
+    }
+
+    /// Static right shift.
+    pub fn shr(&self, amount: u32) -> Signal {
+        self.prim(
+            PrimOp::Shr,
+            vec![self.expr.clone()],
+            vec![amount as i64],
+            Type::UInt(self.width().map(|w| w.saturating_sub(amount).max(1))),
+        )
+    }
+
+    /// Dynamic left shift.
+    pub fn dshl(&self, amount: &Signal) -> Signal {
+        self.prim(
+            PrimOp::Dshl,
+            vec![self.expr.clone(), amount.expr.clone()],
+            vec![],
+            Type::UInt(None),
+        )
+    }
+
+    /// Dynamic right shift.
+    pub fn dshr(&self, amount: &Signal) -> Signal {
+        self.prim(
+            PrimOp::Dshr,
+            vec![self.expr.clone(), amount.expr.clone()],
+            vec![],
+            self.ty.clone(),
+        )
+    }
+
+    // --- bit manipulation ------------------------------------------------------------
+
+    /// Concatenation, `self` in the high bits (like `Cat(self, low)`).
+    pub fn cat(&self, low: &Signal) -> Signal {
+        let width = match (self.width(), low.width()) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        self.prim(PrimOp::Cat, vec![self.expr.clone(), low.expr.clone()], vec![], Type::UInt(width))
+    }
+
+    /// Bit extraction `self(hi, lo)`.
+    pub fn bits(&self, hi: u32, lo: u32) -> Signal {
+        self.prim(
+            PrimOp::Bits,
+            vec![self.expr.clone()],
+            vec![hi as i64, lo as i64],
+            Type::uint(hi.saturating_sub(lo) + 1),
+        )
+    }
+
+    /// Single-bit extraction `self(i)` on a `UInt`, or element access on a `Vec`.
+    pub fn bit(&self, index: i64) -> Signal {
+        match &self.ty {
+            Type::Vec(elem, _) => Signal::new(
+                Expression::SubIndex(Box::new(self.expr.clone()), index),
+                (**elem).clone(),
+            ),
+            _ => Signal::new(
+                Expression::SubIndex(Box::new(self.expr.clone()), index),
+                Type::Bool,
+            ),
+        }
+    }
+
+    /// Static element access on a `Vec` (alias of [`Signal::bit`] that reads better for
+    /// vectors).
+    pub fn index(&self, index: i64) -> Signal {
+        self.bit(index)
+    }
+
+    /// Dynamic element access `self(idx)`.
+    pub fn index_dyn(&self, index: &Signal) -> Signal {
+        let elem_ty = match &self.ty {
+            Type::Vec(elem, _) => (**elem).clone(),
+            _ => Type::Bool,
+        };
+        Signal::new(
+            Expression::SubAccess(Box::new(self.expr.clone()), Box::new(index.expr.clone())),
+            elem_ty,
+        )
+    }
+
+    /// Bundle field access `self.field`.
+    pub fn field(&self, name: &str) -> Signal {
+        let field_ty = match &self.ty {
+            Type::Bundle(fields) => fields
+                .iter()
+                .find(|f| f.name == name)
+                .map(|f| f.ty.clone())
+                .unwrap_or(Type::UInt(None)),
+            _ => Type::UInt(None),
+        };
+        Signal::new(
+            Expression::SubField(Box::new(self.expr.clone()), name.to_string()),
+            field_ty,
+        )
+    }
+
+    // --- reductions ------------------------------------------------------------------
+
+    /// And-reduction.
+    pub fn and_r(&self) -> Signal {
+        self.prim(PrimOp::AndR, vec![self.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Or-reduction.
+    pub fn or_r(&self) -> Signal {
+        self.prim(PrimOp::OrR, vec![self.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Xor-reduction (parity).
+    pub fn xor_r(&self) -> Signal {
+        self.prim(PrimOp::XorR, vec![self.expr.clone()], vec![], Type::Bool)
+    }
+
+    // --- casts -----------------------------------------------------------------------
+
+    /// Reinterpret as `UInt` (`.asUInt`).
+    pub fn as_uint(&self) -> Signal {
+        self.prim(
+            PrimOp::AsUInt,
+            vec![self.expr.clone()],
+            vec![],
+            Type::UInt(self.ty.width()),
+        )
+    }
+
+    /// Reinterpret as `SInt` (`.asSInt`).
+    pub fn as_sint(&self) -> Signal {
+        self.prim(PrimOp::AsSInt, vec![self.expr.clone()], vec![], Type::SInt(self.ty.width()))
+    }
+
+    /// Reinterpret as `Bool` (`.asBool`).
+    pub fn as_bool(&self) -> Signal {
+        self.prim(PrimOp::AsBool, vec![self.expr.clone()], vec![], Type::Bool)
+    }
+
+    /// Reinterpret as a clock (`.asClock`).
+    pub fn as_clock(&self) -> Signal {
+        self.prim(PrimOp::AsClock, vec![self.expr.clone()], vec![], Type::Clock)
+    }
+
+    /// Reinterpret as an asynchronous reset (`.asAsyncReset`).
+    pub fn as_async_reset(&self) -> Signal {
+        self.prim(PrimOp::AsAsyncReset, vec![self.expr.clone()], vec![], Type::AsyncReset)
+    }
+
+    /// Zero/sign extension to at least `width` bits (`.pad`).
+    pub fn pad(&self, width: u32) -> Signal {
+        let ty = if self.ty.is_signed() {
+            Type::SInt(Some(self.width().unwrap_or(width).max(width)))
+        } else {
+            Type::UInt(Some(self.width().unwrap_or(width).max(width)))
+        };
+        self.prim(PrimOp::Pad, vec![self.expr.clone()], vec![width as i64], ty)
+    }
+
+    /// Drops the `n` most significant bits (`.tail`).
+    pub fn tail(&self, n: u32) -> Signal {
+        self.prim(
+            PrimOp::Tail,
+            vec![self.expr.clone()],
+            vec![n as i64],
+            Type::UInt(self.width().map(|w| w.saturating_sub(n).max(1))),
+        )
+    }
+
+    // --- selection -------------------------------------------------------------------
+
+    /// Two-way multiplexer, `Mux(self, on_true, on_false)` where `self` is the select.
+    pub fn mux(&self, on_true: &Signal, on_false: &Signal) -> Signal {
+        Signal::new(
+            Expression::mux(self.expr.clone(), on_true.expr.clone(), on_false.expr.clone()),
+            on_true.ty.clone(),
+        )
+    }
+}
+
+/// Builds a Chisel `Mux(sel, a, b)`.
+pub fn mux(sel: &Signal, on_true: &Signal, on_false: &Signal) -> Signal {
+    sel.mux(on_true, on_false)
+}
+
+/// Builds a priority mux (`MuxCase`): the first matching condition wins, `default`
+/// otherwise.
+pub fn mux_case(default: &Signal, cases: &[(Signal, Signal)]) -> Signal {
+    let mut acc = default.clone();
+    for (cond, value) in cases.iter().rev() {
+        acc = cond.mux(value, &acc);
+    }
+    acc
+}
+
+/// Concatenates signals, first element in the most-significant position (like Chisel's
+/// `Cat(...)`).
+///
+/// # Panics
+///
+/// Panics when `signals` is empty.
+pub fn cat_all(signals: &[Signal]) -> Signal {
+    assert!(!signals.is_empty(), "cat_all requires at least one signal");
+    let mut iter = signals.iter();
+    let mut acc = iter.next().expect("non-empty").clone();
+    for s in iter {
+        acc = acc.cat(s);
+    }
+    acc
+}
+
+/// Reduces a slice of signals with a binary operation, left to right.
+///
+/// # Panics
+///
+/// Panics when `signals` is empty.
+pub fn reduce(signals: &[Signal], f: impl Fn(&Signal, &Signal) -> Signal) -> Signal {
+    assert!(!signals.is_empty(), "reduce requires at least one signal");
+    let mut iter = signals.iter();
+    let mut acc = iter.next().expect("non-empty").clone();
+    for s in iter {
+        acc = f(&acc, s);
+    }
+    acc
+}
+
+/// Population count: the number of asserted bits among `bits`.
+pub fn pop_count(bits: &[Signal]) -> Signal {
+    assert!(!bits.is_empty(), "pop_count requires at least one signal");
+    let padded: Vec<Signal> = bits.iter().map(|b| b.as_uint()).collect();
+    reduce(&padded, |a, b| a.add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_types() {
+        assert_eq!(Signal::lit_w(5, 4).ty(), &Type::uint(4));
+        assert_eq!(Signal::lit_bool(true).ty(), &Type::Bool);
+        assert_eq!(Signal::slit(-2, 4).ty(), &Type::sint(4));
+    }
+
+    #[test]
+    fn arithmetic_widths_grow() {
+        let a = Signal::lit_w(3, 4);
+        let b = Signal::lit_w(5, 4);
+        assert_eq!(a.add(&b).width(), Some(5));
+        assert_eq!(a.mul(&b).width(), Some(8));
+        assert_eq!(a.sub(&b).width(), Some(5));
+    }
+
+    #[test]
+    fn comparisons_are_bool() {
+        let a = Signal::lit_w(3, 4);
+        let b = Signal::lit_w(5, 4);
+        assert_eq!(a.eq(&b).ty(), &Type::Bool);
+        assert_eq!(a.lt(&b).ty(), &Type::Bool);
+    }
+
+    #[test]
+    fn cat_and_bits() {
+        let a = Signal::lit_w(1, 2);
+        let b = Signal::lit_w(2, 3);
+        assert_eq!(a.cat(&b).width(), Some(5));
+        assert_eq!(a.bits(1, 0).width(), Some(2));
+    }
+
+    #[test]
+    fn vector_indexing_preserves_element_type() {
+        let v = Signal::new(Expression::reference("v"), Type::vec(Type::uint(8), 4));
+        assert_eq!(v.index(2).ty(), &Type::uint(8));
+        let i = Signal::lit_w(1, 2);
+        assert_eq!(v.index_dyn(&i).ty(), &Type::uint(8));
+    }
+
+    #[test]
+    fn mux_case_priority_order() {
+        let d = Signal::lit_w(0, 4);
+        let c1 = Signal::lit_bool(false);
+        let v1 = Signal::lit_w(1, 4);
+        let out = mux_case(&d, &[(c1, v1)]);
+        assert!(matches!(out.expr(), Expression::Mux { .. }));
+    }
+
+    #[test]
+    fn cat_all_order() {
+        let bits = vec![Signal::lit_bool(true), Signal::lit_bool(false), Signal::lit_bool(true)];
+        let c = cat_all(&bits);
+        // Nested Cat expressions.
+        assert!(matches!(c.expr(), Expression::Prim { op: PrimOp::Cat, .. }));
+    }
+
+    #[test]
+    fn pop_count_builds_adder_tree() {
+        let bits = vec![Signal::lit_bool(true); 4];
+        let c = pop_count(&bits);
+        assert!(matches!(c.expr(), Expression::Prim { op: PrimOp::Add, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires at least one signal")]
+    fn cat_all_empty_panics() {
+        cat_all(&[]);
+    }
+}

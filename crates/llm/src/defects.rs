@@ -1,0 +1,185 @@
+//! The defect taxonomy of the synthetic LLM.
+//!
+//! A *defect* is one concrete mistake that the synthetic LLM may introduce when
+//! generating or revising code. The syntax defect kinds correspond one-to-one to the
+//! rows of the ReChisel paper's Table II (common syntax errors in LLM-generated Chisel
+//! code); the functional defect kinds model the logic errors that survive compilation
+//! and are only caught by simulation.
+
+use rechisel_firrtl::diagnostics::ErrorCode;
+
+/// One kind of mistake the synthetic LLM can make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DefectKind {
+    // --- syntax defects (Table II) ---------------------------------------------------
+    /// A1: misspelled identifier.
+    Misspelling,
+    /// A2: Scala `asInstanceOf` used on hardware values.
+    ScalaCast,
+    /// A3: method called with the wrong number of arguments.
+    BadApply,
+    /// B1: abstract `Reset()` port that cannot be inferred.
+    AbstractReset,
+    /// B2: interface signal not wrapped in `IO(...)`.
+    BareIo,
+    /// B3: wire / output not fully initialized (missing default or `.otherwise`).
+    MissingInit,
+    /// B5: signal type mismatch (e.g. driving a `UInt` sink with an `SInt`).
+    TypeMismatch,
+    /// B6: unsupported cast (e.g. `asClock` on a wide `UInt`).
+    UnsupportedCast,
+    /// B7: out-of-bounds static index.
+    OutOfBounds,
+    /// C1: register without an implicit clock (`RawModule` without `withClock`).
+    NoImplicitClock,
+    /// C2: combinational loop.
+    CombLoop,
+    // --- functional defects ------------------------------------------------------------
+    /// A binary operator replaced by a related one (`+`→`-`, `===`→`=/=` ...).
+    WrongOperator,
+    /// An index shifted by one (still in bounds).
+    OffByOneIndex,
+    /// A literal constant changed.
+    WrongConstant,
+    /// A `when` condition inverted.
+    InvertedCondition,
+    /// The two arms of a mux swapped.
+    SwappedMuxArms,
+    /// A register reset value changed.
+    WrongResetValue,
+}
+
+impl DefectKind {
+    /// All syntax defect kinds, in Table II order.
+    pub fn syntax_kinds() -> &'static [DefectKind] {
+        use DefectKind::*;
+        &[
+            Misspelling,
+            ScalaCast,
+            BadApply,
+            AbstractReset,
+            BareIo,
+            MissingInit,
+            TypeMismatch,
+            UnsupportedCast,
+            OutOfBounds,
+            NoImplicitClock,
+            CombLoop,
+        ]
+    }
+
+    /// All functional defect kinds.
+    pub fn functional_kinds() -> &'static [DefectKind] {
+        use DefectKind::*;
+        &[
+            WrongOperator,
+            OffByOneIndex,
+            WrongConstant,
+            InvertedCondition,
+            SwappedMuxArms,
+            WrongResetValue,
+        ]
+    }
+
+    /// True for defects caught at compile time.
+    pub fn is_syntax(self) -> bool {
+        Self::syntax_kinds().contains(&self)
+    }
+
+    /// Relative frequency of the defect among generations, reflecting the paper's
+    /// observation that the most common errors involve mixing Scala and Chisel syntax,
+    /// handling signal types, and managing initialization/clock domains.
+    pub fn weight(self) -> u32 {
+        use DefectKind::*;
+        match self {
+            MissingInit => 22,
+            TypeMismatch => 18,
+            Misspelling => 10,
+            ScalaCast => 10,
+            UnsupportedCast => 8,
+            BadApply => 7,
+            OutOfBounds => 6,
+            BareIo => 5,
+            NoImplicitClock => 5,
+            AbstractReset => 4,
+            CombLoop => 5,
+            WrongOperator => 24,
+            OffByOneIndex => 18,
+            WrongConstant => 18,
+            InvertedCondition => 16,
+            SwappedMuxArms => 12,
+            WrongResetValue => 12,
+        }
+    }
+
+    /// The compiler error class this defect manifests as, for syntax defects.
+    pub fn expected_code(self) -> Option<ErrorCode> {
+        use DefectKind::*;
+        Some(match self {
+            Misspelling => ErrorCode::UnknownReference,
+            ScalaCast => ErrorCode::ScalaChiselMixup,
+            BadApply => ErrorCode::BadInvocation,
+            AbstractReset => ErrorCode::AbstractResetNotInferred,
+            BareIo => ErrorCode::BareChiselType,
+            MissingInit => ErrorCode::NotFullyInitialized,
+            TypeMismatch => ErrorCode::TypeMismatch,
+            UnsupportedCast => ErrorCode::UnsupportedCast,
+            OutOfBounds => ErrorCode::IndexOutOfBounds,
+            NoImplicitClock => ErrorCode::NoImplicitClock,
+            CombLoop => ErrorCode::CombinationalLoop,
+            _ => return None,
+        })
+    }
+}
+
+/// A concrete defect instance: a kind plus the seed that makes its injection site
+/// deterministic. Rebuilding a candidate from the pristine reference and the same set
+/// of instances always yields the same circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DefectInstance {
+    /// What kind of mistake.
+    pub kind: DefectKind,
+    /// Site-selection seed.
+    pub seed: u64,
+}
+
+impl DefectInstance {
+    /// Creates an instance.
+    pub fn new(kind: DefectKind, seed: u64) -> Self {
+        Self { kind, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_partition_is_consistent() {
+        for k in DefectKind::syntax_kinds() {
+            assert!(k.is_syntax());
+            assert!(k.expected_code().is_some());
+        }
+        for k in DefectKind::functional_kinds() {
+            assert!(!k.is_syntax());
+            assert!(k.expected_code().is_none());
+        }
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        for k in DefectKind::syntax_kinds().iter().chain(DefectKind::functional_kinds()) {
+            assert!(k.weight() > 0);
+        }
+    }
+
+    #[test]
+    fn expected_codes_match_table2_labels() {
+        assert_eq!(
+            DefectKind::MissingInit.expected_code().unwrap().taxonomy_label(),
+            "B3"
+        );
+        assert_eq!(DefectKind::CombLoop.expected_code().unwrap().taxonomy_label(), "C2");
+        assert_eq!(DefectKind::Misspelling.expected_code().unwrap().taxonomy_label(), "A1");
+    }
+}

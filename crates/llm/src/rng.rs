@@ -1,0 +1,54 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic decision in the synthetic LLM is driven by a seed derived from
+//! (base seed, case id, attempt, iteration, purpose) through a SplitMix64-style mixer,
+//! so whole experiments are reproducible bit-for-bit and independent of evaluation
+//! order.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mixes a sequence of values into a single 64-bit seed.
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &p in parts {
+        state ^= p.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(state << 6).wrapping_add(state >> 2);
+        state = splitmix(state);
+    }
+    state
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Creates a [`StdRng`] from mixed parts.
+pub fn rng_from(parts: &[u64]) -> StdRng {
+    StdRng::seed_from_u64(mix(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn mixing_is_deterministic_and_sensitive() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[1, 2, 4]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+        assert_ne!(mix(&[]), mix(&[0]));
+    }
+
+    #[test]
+    fn rngs_from_same_parts_agree() {
+        let mut a = rng_from(&[7, 9]);
+        let mut b = rng_from(&[7, 9]);
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_eq!(va, vb);
+    }
+}

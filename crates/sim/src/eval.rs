@@ -1,0 +1,452 @@
+//! Expression evaluation over ground signals.
+//!
+//! The simulator evaluates lowered [`Expression`]s (the ground subset produced by
+//! `rechisel_firrtl::lower`) against an environment mapping signal names to bit values.
+//! Values are stored as `u128` bit patterns masked to the signal width; signed
+//! interpretation happens locally inside the operations that need it.
+
+use std::collections::BTreeMap;
+
+use rechisel_firrtl::ir::{Expression, PrimOp};
+use rechisel_firrtl::lower::SignalInfo;
+
+/// The result of evaluating an expression: a bit pattern plus its physical
+/// interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalValue {
+    /// Bit pattern, masked to `width`.
+    pub bits: u128,
+    /// Width in bits (1..=64 in practice).
+    pub width: u32,
+    /// Two's-complement signed interpretation.
+    pub signed: bool,
+}
+
+impl EvalValue {
+    /// Creates a value, masking `bits` to `width`.
+    pub fn new(bits: u128, width: u32, signed: bool) -> Self {
+        Self { bits: mask(bits, width), width, signed }
+    }
+
+    /// Unsigned value of the bit pattern.
+    pub fn as_u128(&self) -> u128 {
+        self.bits
+    }
+
+    /// Signed (two's complement) interpretation of the bit pattern.
+    pub fn as_i128(&self) -> i128 {
+        if self.signed && self.width > 0 && self.width < 128 {
+            let sign_bit = 1u128 << (self.width - 1);
+            if self.bits & sign_bit != 0 {
+                (self.bits as i128) - (1i128 << self.width)
+            } else {
+                self.bits as i128
+            }
+        } else {
+            self.bits as i128
+        }
+    }
+}
+
+/// Masks `bits` to the lowest `width` bits.
+pub fn mask(bits: u128, width: u32) -> u128 {
+    if width == 0 {
+        0
+    } else if width >= 128 {
+        bits
+    } else {
+        bits & ((1u128 << width) - 1)
+    }
+}
+
+/// Errors produced by evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced signal has no value in the environment.
+    UnknownSignal(String),
+    /// An expression form that lowering should have eliminated was encountered.
+    UnsupportedExpression(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownSignal(name) => write!(f, "unknown signal {name}"),
+            EvalError::UnsupportedExpression(what) => {
+                write!(f, "unsupported expression during simulation: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a ground expression.
+///
+/// `env` maps signal names to their current values, and `infos` provides width/sign
+/// information for referenced signals.
+///
+/// # Errors
+///
+/// Returns [`EvalError::UnknownSignal`] for dangling references and
+/// [`EvalError::UnsupportedExpression`] for non-ground expression forms.
+pub fn eval_expr(
+    expr: &Expression,
+    env: &BTreeMap<String, u128>,
+    infos: &BTreeMap<String, SignalInfo>,
+) -> Result<EvalValue, EvalError> {
+    match expr {
+        Expression::Ref(name) => {
+            let bits = *env.get(name).ok_or_else(|| EvalError::UnknownSignal(name.clone()))?;
+            let info = infos
+                .get(name)
+                .copied()
+                .unwrap_or(SignalInfo { width: 64, signed: false, is_clock: false });
+            Ok(EvalValue::new(bits, info.width, info.signed))
+        }
+        Expression::UIntLiteral { value, width } => {
+            let w = width.unwrap_or_else(|| min_width(*value));
+            Ok(EvalValue::new(*value, w, false))
+        }
+        Expression::SIntLiteral { value, width } => {
+            let w = width.unwrap_or(64);
+            Ok(EvalValue::new(*value as u128, w, true))
+        }
+        Expression::Mux { cond, tval, fval } => {
+            let c = eval_expr(cond, env, infos)?;
+            if c.bits & 1 != 0 {
+                eval_expr(tval, env, infos)
+            } else {
+                eval_expr(fval, env, infos)
+            }
+        }
+        Expression::Prim { op, args, params } => eval_prim(*op, args, params, env, infos),
+        other => Err(EvalError::UnsupportedExpression(other.to_string())),
+    }
+}
+
+fn min_width(value: u128) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        128 - value.leading_zeros()
+    }
+}
+
+fn eval_prim(
+    op: PrimOp,
+    args: &[Expression],
+    params: &[i64],
+    env: &BTreeMap<String, u128>,
+    infos: &BTreeMap<String, SignalInfo>,
+) -> Result<EvalValue, EvalError> {
+    use PrimOp::*;
+    let a = eval_expr(&args[0], env, infos)?;
+    let b = if args.len() > 1 { Some(eval_expr(&args[1], env, infos)?) } else { None };
+    let result = match op {
+        Add => {
+            let b = b.expect("binary op");
+            let w = a.width.max(b.width) + 1;
+            let signed = a.signed || b.signed;
+            EvalValue::new((a.as_i128().wrapping_add(b.as_i128())) as u128, w.min(127), signed)
+        }
+        Sub => {
+            let b = b.expect("binary op");
+            let w = a.width.max(b.width) + 1;
+            let signed = a.signed || b.signed;
+            EvalValue::new((a.as_i128().wrapping_sub(b.as_i128())) as u128, w.min(127), signed)
+        }
+        Mul => {
+            let b = b.expect("binary op");
+            let w = (a.width + b.width).min(127);
+            let signed = a.signed || b.signed;
+            EvalValue::new((a.as_i128().wrapping_mul(b.as_i128())) as u128, w, signed)
+        }
+        Div => {
+            let b = b.expect("binary op");
+            let signed = a.signed || b.signed;
+            let value = if b.as_i128() == 0 {
+                0
+            } else if signed {
+                a.as_i128().wrapping_div(b.as_i128()) as u128
+            } else {
+                a.as_u128() / b.as_u128()
+            };
+            EvalValue::new(value, a.width + u32::from(signed), signed)
+        }
+        Rem => {
+            let b = b.expect("binary op");
+            let signed = a.signed || b.signed;
+            let value = if b.as_i128() == 0 {
+                0
+            } else if signed {
+                a.as_i128().wrapping_rem(b.as_i128()) as u128
+            } else {
+                a.as_u128() % b.as_u128()
+            };
+            EvalValue::new(value, a.width.min(b.width), signed)
+        }
+        And | Or | Xor => {
+            let b = b.expect("binary op");
+            let w = a.width.max(b.width);
+            let value = match op {
+                And => a.bits & b.bits,
+                Or => a.bits | b.bits,
+                _ => a.bits ^ b.bits,
+            };
+            EvalValue::new(value, w, false)
+        }
+        Not => EvalValue::new(!a.bits, a.width, false),
+        Eq => EvalValue::new(u128::from(a.as_i128() == b.expect("binary op").as_i128()), 1, false),
+        Neq => EvalValue::new(u128::from(a.as_i128() != b.expect("binary op").as_i128()), 1, false),
+        Lt => EvalValue::new(u128::from(cmp(a, b.expect("binary op")) == std::cmp::Ordering::Less), 1, false),
+        Leq => EvalValue::new(
+            u128::from(cmp(a, b.expect("binary op")) != std::cmp::Ordering::Greater),
+            1,
+            false,
+        ),
+        Gt => EvalValue::new(
+            u128::from(cmp(a, b.expect("binary op")) == std::cmp::Ordering::Greater),
+            1,
+            false,
+        ),
+        Geq => EvalValue::new(
+            u128::from(cmp(a, b.expect("binary op")) != std::cmp::Ordering::Less),
+            1,
+            false,
+        ),
+        Shl => {
+            let amount = params[0].max(0) as u32;
+            EvalValue::new(a.bits << amount.min(100), a.width + amount, a.signed)
+        }
+        Shr => {
+            let amount = params[0].max(0) as u32;
+            let value = if a.signed {
+                (a.as_i128() >> amount.min(100)) as u128
+            } else {
+                a.bits >> amount.min(100)
+            };
+            EvalValue::new(value, a.width.saturating_sub(amount).max(1), a.signed)
+        }
+        Dshl => {
+            let b = b.expect("binary op");
+            let amount = (b.as_u128().min(100)) as u32;
+            EvalValue::new(a.bits << amount, (a.width + amount).min(127), a.signed)
+        }
+        Dshr => {
+            let b = b.expect("binary op");
+            let amount = (b.as_u128().min(127)) as u32;
+            let value = if a.signed {
+                (a.as_i128() >> amount) as u128
+            } else {
+                a.bits >> amount
+            };
+            EvalValue::new(value, a.width, a.signed)
+        }
+        Cat => {
+            let b = b.expect("binary op");
+            EvalValue::new((a.bits << b.width) | b.bits, a.width + b.width, false)
+        }
+        Bits => {
+            let hi = params[0].max(0) as u32;
+            let lo = params[1].max(0) as u32;
+            let w = hi.saturating_sub(lo) + 1;
+            EvalValue::new(a.bits >> lo, w, false)
+        }
+        AndR => EvalValue::new(u128::from(a.bits == mask(u128::MAX, a.width)), 1, false),
+        OrR => EvalValue::new(u128::from(a.bits != 0), 1, false),
+        XorR => EvalValue::new(u128::from(a.bits.count_ones() % 2 == 1), 1, false),
+        AsUInt => EvalValue::new(a.bits, a.width, false),
+        AsSInt => EvalValue::new(a.bits, a.width, true),
+        AsBool => EvalValue::new(a.bits & 1, 1, false),
+        AsClock => EvalValue::new(a.bits & 1, 1, false),
+        AsAsyncReset => EvalValue::new(a.bits & 1, 1, false),
+        Neg => EvalValue::new((-a.as_i128()) as u128, a.width + 1, true),
+        Pad => {
+            let target = params[0].max(0) as u32;
+            let w = a.width.max(target);
+            let value = if a.signed { a.as_i128() as u128 } else { a.bits };
+            EvalValue::new(value, w, a.signed)
+        }
+        Tail => {
+            let drop = params[0].max(0) as u32;
+            let w = a.width.saturating_sub(drop).max(1);
+            EvalValue::new(a.bits, w, false)
+        }
+        Head => {
+            let keep = params[0].max(0) as u32;
+            let keep = keep.max(1);
+            let shift = a.width.saturating_sub(keep);
+            EvalValue::new(a.bits >> shift, keep, false)
+        }
+    };
+    Ok(result)
+}
+
+fn cmp(a: EvalValue, b: EvalValue) -> std::cmp::Ordering {
+    if a.signed || b.signed {
+        a.as_i128().cmp(&b.as_i128())
+    } else {
+        a.as_u128().cmp(&b.as_u128())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of(pairs: &[(&str, u128, u32, bool)]) -> (BTreeMap<String, u128>, BTreeMap<String, SignalInfo>) {
+        let mut env = BTreeMap::new();
+        let mut infos = BTreeMap::new();
+        for (name, value, width, signed) in pairs {
+            env.insert(name.to_string(), *value);
+            infos.insert(
+                name.to_string(),
+                SignalInfo { width: *width, signed: *signed, is_clock: false },
+            );
+        }
+        (env, infos)
+    }
+
+    fn eval(expr: &Expression, pairs: &[(&str, u128, u32, bool)]) -> EvalValue {
+        let (env, infos) = env_of(pairs);
+        eval_expr(expr, &env, &infos).unwrap()
+    }
+
+    #[test]
+    fn masking_and_sign() {
+        assert_eq!(mask(0xFF, 4), 0xF);
+        let v = EvalValue::new(0b1000, 4, true);
+        assert_eq!(v.as_i128(), -8);
+        let v = EvalValue::new(0b0111, 4, true);
+        assert_eq!(v.as_i128(), 7);
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let e = Expression::prim(
+            PrimOp::Add,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&e, &[("a", 200, 8, false), ("b", 100, 8, false)]);
+        assert_eq!(v.bits, 300);
+        assert_eq!(v.width, 9);
+        let e = Expression::prim(
+            PrimOp::Mul,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&e, &[("a", 15, 4, false), ("b", 15, 4, false)]);
+        assert_eq!(v.bits, 225);
+    }
+
+    #[test]
+    fn subtraction_wraps_in_width() {
+        let e = Expression::prim(
+            PrimOp::Sub,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&e, &[("a", 3, 8, false), ("b", 5, 8, false)]);
+        // 3 - 5 = -2 masked into 9 bits.
+        assert_eq!(v.bits, mask((-2i128) as u128, 9));
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let e = Expression::prim(
+            PrimOp::Lt,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        // a = -1 (0xF in 4-bit signed), b = 2.
+        let v = eval(&e, &[("a", 0xF, 4, true), ("b", 2, 4, true)]);
+        assert_eq!(v.bits, 1);
+        // Unsigned: 0xF > 2.
+        let v = eval(&e, &[("a", 0xF, 4, false), ("b", 2, 4, false)]);
+        assert_eq!(v.bits, 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let e = Expression::prim(
+            PrimOp::Div,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&e, &[("a", 7, 4, false), ("b", 0, 4, false)]);
+        assert_eq!(v.bits, 0);
+    }
+
+    #[test]
+    fn cat_bits_and_reductions() {
+        let cat = Expression::prim(
+            PrimOp::Cat,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&cat, &[("a", 0b10, 2, false), ("b", 0b11, 2, false)]);
+        assert_eq!(v.bits, 0b1011);
+        assert_eq!(v.width, 4);
+
+        let bits = Expression::prim(PrimOp::Bits, vec![Expression::reference("a")], vec![2, 1]);
+        let v = eval(&bits, &[("a", 0b1010, 4, false)]);
+        assert_eq!(v.bits, 0b01);
+
+        let orr = Expression::prim(PrimOp::OrR, vec![Expression::reference("a")], vec![]);
+        assert_eq!(eval(&orr, &[("a", 0, 4, false)]).bits, 0);
+        assert_eq!(eval(&orr, &[("a", 2, 4, false)]).bits, 1);
+
+        let andr = Expression::prim(PrimOp::AndR, vec![Expression::reference("a")], vec![]);
+        assert_eq!(eval(&andr, &[("a", 0xF, 4, false)]).bits, 1);
+        assert_eq!(eval(&andr, &[("a", 0x7, 4, false)]).bits, 0);
+
+        let xorr = Expression::prim(PrimOp::XorR, vec![Expression::reference("a")], vec![]);
+        assert_eq!(eval(&xorr, &[("a", 0b101, 3, false)]).bits, 0);
+        assert_eq!(eval(&xorr, &[("a", 0b100, 3, false)]).bits, 1);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let e = Expression::mux(
+            Expression::reference("sel"),
+            Expression::reference("a"),
+            Expression::reference("b"),
+        );
+        let v = eval(&e, &[("sel", 1, 1, false), ("a", 5, 4, false), ("b", 9, 4, false)]);
+        assert_eq!(v.bits, 5);
+        let v = eval(&e, &[("sel", 0, 1, false), ("a", 5, 4, false), ("b", 9, 4, false)]);
+        assert_eq!(v.bits, 9);
+    }
+
+    #[test]
+    fn shifts() {
+        let shl = Expression::prim(PrimOp::Shl, vec![Expression::reference("a")], vec![2]);
+        assert_eq!(eval(&shl, &[("a", 0b11, 2, false)]).bits, 0b1100);
+        let dshr = Expression::prim(
+            PrimOp::Dshr,
+            vec![Expression::reference("a"), Expression::reference("s")],
+            vec![],
+        );
+        assert_eq!(eval(&dshr, &[("a", 0b1100, 4, false), ("s", 2, 2, false)]).bits, 0b11);
+    }
+
+    #[test]
+    fn unknown_signal_is_an_error() {
+        let (env, infos) = env_of(&[]);
+        let err = eval_expr(&Expression::reference("ghost"), &env, &infos).unwrap_err();
+        assert!(matches!(err, EvalError::UnknownSignal(_)));
+    }
+
+    #[test]
+    fn neg_and_pad() {
+        let neg = Expression::prim(PrimOp::Neg, vec![Expression::reference("a")], vec![]);
+        let v = eval(&neg, &[("a", 3, 4, false)]);
+        assert_eq!(v.as_i128(), -3);
+        let pad = Expression::prim(PrimOp::Pad, vec![Expression::reference("s")], vec![8]);
+        let v = eval(&pad, &[("s", 0xF, 4, true)]);
+        // -1 sign-extended to 8 bits.
+        assert_eq!(v.bits, 0xFF);
+    }
+}

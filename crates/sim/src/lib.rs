@@ -1,0 +1,47 @@
+//! # rechisel-sim
+//!
+//! A cycle-accurate RTL simulator and testbench framework over the lowered netlists of
+//! `rechisel-firrtl` — the "Simulator" external tool of the ReChisel workflow (step ❸
+//! of the paper's Fig. 2).
+//!
+//! The crate provides:
+//!
+//! * [`Simulator`] — poke/peek/step interpretation of a [`rechisel_firrtl::Netlist`].
+//! * [`Testbench`] / [`FunctionalPoint`] — stimulus description, including seeded random
+//!   stimulus generation.
+//! * [`run_testbench`] — DUT-vs-reference comparison producing the [`SimReport`] whose
+//!   [`PointFailure`]s become the "functional error" feedback consumed by the ReChisel
+//!   Reviewer agent.
+//!
+//! # Example
+//!
+//! ```
+//! use rechisel_hcl::prelude::*;
+//! use rechisel_sim::{run_testbench, Testbench};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let build = |name: &str| {
+//!     let mut m = ModuleBuilder::new(name);
+//!     let a = m.input("a", Type::uint(4));
+//!     let out = m.output("out", Type::uint(4));
+//!     m.connect(&out, &a.not().bits(3, 0));
+//!     rechisel_firrtl::lower_circuit(&m.into_circuit()).unwrap()
+//! };
+//! let dut = build("Dut");
+//! let reference = build("Ref");
+//! let tb = Testbench::random_for(&reference, 16, 0, 1);
+//! let report = run_testbench(&dut, &reference, &tb)?;
+//! assert!(report.passed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod simulator;
+pub mod testbench;
+
+pub use eval::{eval_expr, EvalError, EvalValue};
+pub use simulator::{SimError, Simulator};
+pub use testbench::{run_testbench, FunctionalPoint, PointFailure, SimReport, Testbench};

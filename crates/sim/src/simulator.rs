@@ -1,0 +1,313 @@
+//! Cycle-accurate netlist simulation.
+//!
+//! [`Simulator`] interprets a lowered [`Netlist`]: combinational definitions are
+//! evaluated in topological order, registers update on [`Simulator::step`]. The
+//! ReChisel workflow uses it as the "Simulator" external tool (step ❸ of Fig. 2): the
+//! generated design (DUT) and the benchmark's reference design are simulated side by
+//! side and their outputs compared.
+
+use std::collections::BTreeMap;
+
+use rechisel_firrtl::ir::Direction;
+use rechisel_firrtl::lower::Netlist;
+
+use crate::eval::{eval_expr, mask, EvalError};
+
+/// Errors produced by simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A signal name passed to poke/peek does not exist or has the wrong direction.
+    NoSuchPort(String),
+    /// Expression evaluation failed (lowering bug or corrupted netlist).
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoSuchPort(name) => write!(f, "no such port: {name}"),
+            SimError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// A cycle-accurate interpreter for a lowered netlist.
+///
+/// # Example
+///
+/// ```
+/// use rechisel_hcl::prelude::*;
+/// use rechisel_sim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ModuleBuilder::new("AddOne");
+/// let a = m.input("a", Type::uint(8));
+/// let out = m.output("out", Type::uint(8));
+/// m.connect(&out, &a.add(&Signal::lit_w(1, 8)).bits(7, 0));
+/// let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+///
+/// let mut sim = Simulator::new(netlist);
+/// sim.poke("a", 41)?;
+/// sim.eval()?;
+/// assert_eq!(sim.peek("out")?, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    netlist: Netlist,
+    /// Current value of every signal (ports, combinational defs, registers).
+    values: BTreeMap<String, u128>,
+    cycles: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with all inputs and registers initialised to zero.
+    pub fn new(netlist: Netlist) -> Self {
+        let mut values = BTreeMap::new();
+        for port in &netlist.ports {
+            values.insert(port.name.clone(), 0);
+        }
+        for reg in &netlist.regs {
+            values.insert(reg.name.clone(), 0);
+        }
+        for def in &netlist.defs {
+            values.insert(def.name.clone(), 0);
+        }
+        Self { netlist, values, cycles: 0 }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] if `name` is not an input port.
+    pub fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        let port = self
+            .netlist
+            .ports
+            .iter()
+            .find(|p| p.name == name && p.direction == Direction::Input)
+            .ok_or_else(|| SimError::NoSuchPort(name.to_string()))?;
+        let width = port.info.width;
+        self.values.insert(name.to_string(), mask(value, width));
+        Ok(())
+    }
+
+    /// Reads the current value of any signal (port, wire or register).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] if the signal does not exist.
+    pub fn peek(&self, name: &str) -> Result<u128, SimError> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::NoSuchPort(name.to_string()))
+    }
+
+    /// Re-evaluates all combinational logic with the current inputs and register state.
+    pub fn eval(&mut self) -> Result<(), SimError> {
+        // Definitions are already in topological order.
+        for def in &self.netlist.defs {
+            let value = eval_expr(&def.expr, &self.values, &self.netlist.signals)?;
+            self.values.insert(def.name.clone(), mask(value.bits, def.info.width));
+        }
+        Ok(())
+    }
+
+    /// Advances one clock cycle: evaluates combinational logic, computes every
+    /// register's next value (applying synchronous reset), commits them simultaneously,
+    /// and re-evaluates.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.eval()?;
+        let mut next_values: Vec<(String, u128)> = Vec::with_capacity(self.netlist.regs.len());
+        for reg in &self.netlist.regs {
+            let next = eval_expr(&reg.next, &self.values, &self.netlist.signals)?;
+            let value = match &reg.reset {
+                Some((reset_expr, init_expr)) => {
+                    let r = eval_expr(reset_expr, &self.values, &self.netlist.signals)?;
+                    if r.bits & 1 != 0 {
+                        eval_expr(init_expr, &self.values, &self.netlist.signals)?.bits
+                    } else {
+                        next.bits
+                    }
+                }
+                None => next.bits,
+            };
+            next_values.push((reg.name.clone(), mask(value, reg.info.width)));
+        }
+        for (name, value) in next_values {
+            self.values.insert(name, value);
+        }
+        self.cycles += 1;
+        self.eval()
+    }
+
+    /// Advances `n` clock cycles.
+    pub fn step_n(&mut self, n: u32) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Asserts the `reset` input (when present) for `cycles` cycles, then deasserts it.
+    pub fn reset(&mut self, cycles: u32) -> Result<(), SimError> {
+        let has_reset = self
+            .netlist
+            .ports
+            .iter()
+            .any(|p| p.name == "reset" && p.direction == Direction::Input);
+        if has_reset {
+            self.poke("reset", 1)?;
+            self.step_n(cycles)?;
+            self.poke("reset", 0)?;
+            self.eval()?;
+        }
+        Ok(())
+    }
+
+    /// Reads all output ports, in port order.
+    pub fn outputs(&self) -> Vec<(String, u128)> {
+        self.netlist
+            .ports
+            .iter()
+            .filter(|p| p.direction == Direction::Output)
+            .map(|p| (p.name.clone(), self.values.get(&p.name).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Names of the data input ports (excluding clock and reset).
+    pub fn input_names(&self) -> Vec<String> {
+        self.netlist
+            .data_inputs()
+            .filter(|p| p.name != "reset")
+            .map(|p| p.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    fn counter_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Counter");
+        let en = m.input("en", Type::bool());
+        let out = m.output("out", Type::uint(8));
+        let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+        m.when(&en, |m| {
+            let next = count.add(&Signal::lit_w(1, 8)).bits(7, 0);
+            m.connect(&count, &next);
+        });
+        m.connect(&out, &count);
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn combinational_adder() {
+        let mut m = ModuleBuilder::new("Adder");
+        let a = m.input("a", Type::uint(8));
+        let b = m.input("b", Type::uint(8));
+        let out = m.output("out", Type::uint(9));
+        m.connect(&out, &a.add(&b));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let mut sim = Simulator::new(netlist);
+        sim.poke("a", 100).unwrap();
+        sim.poke("b", 200).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 300);
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.reset(2).unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 0);
+        sim.poke("en", 1).unwrap();
+        sim.step_n(5).unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 5);
+        sim.poke("en", 0).unwrap();
+        sim.step_n(3).unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 5);
+        assert_eq!(sim.cycles(), 10);
+    }
+
+    #[test]
+    fn reset_reinitialises_registers() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.reset(1).unwrap();
+        sim.poke("en", 1).unwrap();
+        sim.step_n(4).unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 4);
+        sim.reset(1).unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 0);
+    }
+
+    #[test]
+    fn poke_unknown_port_fails() {
+        let mut sim = Simulator::new(counter_netlist());
+        assert!(sim.poke("ghost", 1).is_err());
+        // Outputs cannot be poked.
+        assert!(sim.poke("out", 1).is_err());
+        assert!(sim.peek("ghost").is_err());
+    }
+
+    #[test]
+    fn poke_masks_to_width() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.poke("en", 0xFF).unwrap();
+        assert_eq!(sim.peek("en").unwrap(), 1);
+    }
+
+    #[test]
+    fn outputs_lists_output_ports() {
+        let sim = Simulator::new(counter_netlist());
+        let outs = sim.outputs();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, "out");
+        assert_eq!(sim.input_names(), vec!["en".to_string()]);
+    }
+
+    #[test]
+    fn register_without_reset_holds_value() {
+        let mut m = ModuleBuilder::new("Hold");
+        let d = m.input("d", Type::uint(4));
+        let we = m.input("we", Type::bool());
+        let q = m.output("q", Type::uint(4));
+        let r = m.reg("r", Type::uint(4));
+        m.when(&we, |m| m.connect(&r, &d));
+        m.connect(&q, &r);
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let mut sim = Simulator::new(netlist);
+        sim.poke("d", 9).unwrap();
+        sim.poke("we", 1).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 9);
+        sim.poke("we", 0).unwrap();
+        sim.poke("d", 3).unwrap();
+        sim.step_n(4).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 9);
+    }
+}

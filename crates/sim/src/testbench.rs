@@ -1,0 +1,330 @@
+//! Testbench framework: functional points, stimulus generation, and DUT-vs-reference
+//! comparison.
+//!
+//! ReChisel's simulation feedback (paper §IV-B, "Functional Error") consists of the
+//! failed functional points with their input stimuli, the expected outputs (from the
+//! reference model) and the actual outputs (from the DUT). [`run_testbench`] produces
+//! exactly that: a [`SimReport`] whose [`PointFailure`]s are handed to the Reviewer
+//! agent as the error list.
+
+use std::collections::BTreeMap;
+
+use rechisel_firrtl::lower::Netlist;
+
+use crate::simulator::{SimError, Simulator};
+
+/// One functional point: a set of input assignments, how many clock cycles to advance
+/// after applying them, and whether to compare outputs afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalPoint {
+    /// Input port assignments applied before the point is evaluated.
+    pub inputs: Vec<(String, u128)>,
+    /// Clock cycles to advance after applying the inputs (0 for purely combinational
+    /// checks).
+    pub cycles: u32,
+    /// Whether outputs are compared at this point. Points with `check = false` are used
+    /// to set up internal state.
+    pub check: bool,
+}
+
+impl FunctionalPoint {
+    /// A combinational check: apply inputs, settle, compare.
+    pub fn comb(inputs: Vec<(String, u128)>) -> Self {
+        Self { inputs, cycles: 0, check: true }
+    }
+
+    /// A sequential check: apply inputs, advance `cycles`, compare.
+    pub fn seq(inputs: Vec<(String, u128)>, cycles: u32) -> Self {
+        Self { inputs, cycles, check: true }
+    }
+
+    /// A setup step that drives inputs and advances the clock without checking.
+    pub fn setup(inputs: Vec<(String, u128)>, cycles: u32) -> Self {
+        Self { inputs, cycles, check: false }
+    }
+}
+
+/// A testbench: a reset preamble followed by a sequence of functional points.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Testbench {
+    /// Cycles to hold reset at the start (0 to skip reset).
+    pub reset_cycles: u32,
+    /// The functional points, applied in order.
+    pub points: Vec<FunctionalPoint>,
+}
+
+impl Testbench {
+    /// Creates a testbench with the default two-cycle reset preamble.
+    pub fn new(points: Vec<FunctionalPoint>) -> Self {
+        Self { reset_cycles: 2, points }
+    }
+
+    /// Number of points that perform a check.
+    pub fn checked_points(&self) -> usize {
+        self.points.iter().filter(|p| p.check).count()
+    }
+
+    /// Generates a randomized testbench for a netlist interface.
+    ///
+    /// `cycles_per_point` of 0 produces a purely combinational testbench. The generator
+    /// uses a simple deterministic xorshift so the same seed always produces the same
+    /// stimuli (no global RNG, per the reproducibility requirements of the benchmark
+    /// suite).
+    pub fn random_for(netlist: &Netlist, points: usize, cycles_per_point: u32, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let inputs: Vec<(String, u32)> = netlist
+            .data_inputs()
+            .filter(|p| p.name != "reset")
+            .map(|p| (p.name.clone(), p.info.width))
+            .collect();
+        let mut out = Vec::with_capacity(points);
+        for _ in 0..points {
+            let assignment = inputs
+                .iter()
+                .map(|(name, width)| {
+                    let raw = next() as u128;
+                    let masked = if *width >= 128 { raw } else { raw & ((1u128 << width) - 1) };
+                    (name.clone(), masked)
+                })
+                .collect();
+            out.push(FunctionalPoint { inputs: assignment, cycles: cycles_per_point, check: true });
+        }
+        Testbench::new(out)
+    }
+}
+
+/// One failed functional point, with everything the Reviewer needs to reason about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Index of the point within the testbench.
+    pub index: usize,
+    /// The inputs applied.
+    pub inputs: Vec<(String, u128)>,
+    /// The reference model's outputs.
+    pub expected: Vec<(String, u128)>,
+    /// The DUT's outputs.
+    pub actual: Vec<(String, u128)>,
+}
+
+impl PointFailure {
+    /// The output ports whose values differ.
+    pub fn mismatched_ports(&self) -> Vec<String> {
+        let expected: BTreeMap<_, _> = self.expected.iter().cloned().collect();
+        self.actual
+            .iter()
+            .filter(|(name, value)| expected.get(name).map(|e| e != value).unwrap_or(true))
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {}: inputs {{", self.index)?;
+        for (i, (name, value)) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}} expected {{")?;
+        for (i, (name, value)) in self.expected.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}} got {{")?;
+        for (i, (name, value)) in self.actual.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The outcome of running a testbench.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimReport {
+    /// Number of checked functional points.
+    pub total_points: usize,
+    /// The failures, in point order.
+    pub failures: Vec<PointFailure>,
+}
+
+impl SimReport {
+    /// True when every checked point matched.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of checked points that passed.
+    pub fn passed_points(&self) -> usize {
+        self.total_points - self.failures.len()
+    }
+
+    /// Pass rate in [0, 1]; an empty testbench counts as passed.
+    pub fn pass_rate(&self) -> f64 {
+        if self.total_points == 0 {
+            1.0
+        } else {
+            self.passed_points() as f64 / self.total_points as f64
+        }
+    }
+}
+
+/// Runs `testbench` against a DUT and a reference netlist, comparing outputs at every
+/// checked point.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when either simulation fails structurally (e.g. the DUT is
+/// missing a port that the testbench drives). Functional mismatches are *not* errors;
+/// they are reported in the returned [`SimReport`].
+pub fn run_testbench(
+    dut: &Netlist,
+    reference: &Netlist,
+    testbench: &Testbench,
+) -> Result<SimReport, SimError> {
+    let mut dut_sim = Simulator::new(dut.clone());
+    let mut ref_sim = Simulator::new(reference.clone());
+    if testbench.reset_cycles > 0 {
+        dut_sim.reset(testbench.reset_cycles)?;
+        ref_sim.reset(testbench.reset_cycles)?;
+    }
+    let mut report = SimReport::default();
+    for (index, point) in testbench.points.iter().enumerate() {
+        for (name, value) in &point.inputs {
+            // Drive only ports that exist on each side; a DUT with a missing port will
+            // simply diverge at the comparison.
+            let _ = ref_sim.poke(name, *value);
+            let _ = dut_sim.poke(name, *value);
+        }
+        if point.cycles == 0 {
+            dut_sim.eval()?;
+            ref_sim.eval()?;
+        } else {
+            dut_sim.step_n(point.cycles)?;
+            ref_sim.step_n(point.cycles)?;
+        }
+        if !point.check {
+            continue;
+        }
+        report.total_points += 1;
+        let expected = ref_sim.outputs();
+        let actual = dut_sim.outputs();
+        if expected != actual {
+            report.failures.push(PointFailure {
+                index,
+                inputs: point.inputs.clone(),
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    fn adder() -> Netlist {
+        let mut m = ModuleBuilder::new("Adder");
+        let a = m.input("a", Type::uint(8));
+        let b = m.input("b", Type::uint(8));
+        let out = m.output("out", Type::uint(9));
+        m.connect(&out, &a.add(&b));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    fn broken_adder() -> Netlist {
+        let mut m = ModuleBuilder::new("Adder");
+        let a = m.input("a", Type::uint(8));
+        let b = m.input("b", Type::uint(8));
+        let out = m.output("out", Type::uint(9));
+        // Off-by-one functional defect.
+        m.connect(&out, &a.add(&b).add(&Signal::lit_w(1, 9)).bits(8, 0));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn identical_designs_pass() {
+        let tb = Testbench::random_for(&adder(), 20, 0, 7);
+        let report = run_testbench(&adder(), &adder(), &tb).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.total_points, 20);
+        assert_eq!(report.pass_rate(), 1.0);
+    }
+
+    #[test]
+    fn functional_defect_is_detected_with_details() {
+        let tb = Testbench::random_for(&adder(), 10, 0, 7);
+        let report = run_testbench(&broken_adder(), &adder(), &tb).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 10);
+        let failure = &report.failures[0];
+        assert_eq!(failure.mismatched_ports(), vec!["out".to_string()]);
+        let text = failure.to_string();
+        assert!(text.contains("expected"));
+        assert!(text.contains("got"));
+    }
+
+    #[test]
+    fn random_testbench_is_deterministic() {
+        let a = Testbench::random_for(&adder(), 5, 0, 42);
+        let b = Testbench::random_for(&adder(), 5, 0, 42);
+        let c = Testbench::random_for(&adder(), 5, 0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sequential_testbench_exercises_state() {
+        let counter = |bug: bool| {
+            let mut m = ModuleBuilder::new("Counter");
+            let en = m.input("en", Type::bool());
+            let out = m.output("out", Type::uint(8));
+            let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+            let step = if bug { 2 } else { 1 };
+            m.when(&en, |m| {
+                let next = count.add(&Signal::lit_w(step, 8)).bits(7, 0);
+                m.connect(&count, &next);
+            });
+            m.connect(&out, &count);
+            lower_circuit(&m.into_circuit()).unwrap()
+        };
+        let tb = Testbench::new(vec![
+            FunctionalPoint::seq(vec![("en".into(), 1)], 1),
+            FunctionalPoint::seq(vec![("en".into(), 1)], 1),
+            FunctionalPoint::seq(vec![("en".into(), 0)], 1),
+        ]);
+        let ok = run_testbench(&counter(false), &counter(false), &tb).unwrap();
+        assert!(ok.passed());
+        let bad = run_testbench(&counter(true), &counter(false), &tb).unwrap();
+        assert!(!bad.passed());
+        assert_eq!(bad.total_points, 3);
+    }
+
+    #[test]
+    fn setup_points_are_not_checked() {
+        let tb = Testbench::new(vec![
+            FunctionalPoint::setup(vec![("a".into(), 1), ("b".into(), 2)], 0),
+            FunctionalPoint::comb(vec![("a".into(), 3), ("b".into(), 4)]),
+        ]);
+        assert_eq!(tb.checked_points(), 1);
+        let report = run_testbench(&adder(), &adder(), &tb).unwrap();
+        assert_eq!(report.total_points, 1);
+    }
+}

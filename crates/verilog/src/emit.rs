@@ -1,0 +1,318 @@
+//! Lowered-netlist → Verilog emission.
+//!
+//! [`emit_netlist`] converts a [`Netlist`] into a [`VModule`]; [`emit_verilog`] renders
+//! it to source text. In the ReChisel workflow this is the final stage of the "Chisel →
+//! FIRRTL → Verilog" compilation path whose output is handed to the simulator as the
+//! device under test.
+
+use rechisel_firrtl::ir::{Direction, Expression, PrimOp};
+use rechisel_firrtl::lower::{Netlist, SignalInfo};
+
+use crate::ast::{VAlways, VAssign, VDecl, VExpr, VModule, VPort, VPortDir, VRegUpdate};
+
+/// Errors produced during emission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitError {
+    /// An expression form that lowering should have removed reached the emitter.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmitError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// Emits a netlist as a Verilog module AST.
+///
+/// # Errors
+///
+/// Returns [`EmitError::Unsupported`] if the netlist contains expression forms that
+/// lowering should have eliminated (aggregate accesses, defect carriers).
+pub fn emit_netlist(netlist: &Netlist) -> Result<VModule, EmitError> {
+    let mut module = VModule { name: netlist.name.clone(), ..VModule::default() };
+    for port in &netlist.ports {
+        module.ports.push(VPort {
+            name: port.name.clone(),
+            dir: match port.direction {
+                Direction::Input => VPortDir::Input,
+                Direction::Output => VPortDir::Output,
+            },
+            width: port.info.width,
+        });
+    }
+    let output_names: Vec<String> = netlist.outputs().map(|p| p.name.clone()).collect();
+    for def in &netlist.defs {
+        if !output_names.contains(&def.name) {
+            module.decls.push(VDecl { name: def.name.clone(), width: def.info.width, is_reg: false });
+        }
+        module.assigns.push(VAssign {
+            target: def.name.clone(),
+            expr: emit_expr(&def.expr, netlist)?,
+        });
+    }
+    // Group register updates by clock.
+    for reg in &netlist.regs {
+        module.decls.push(VDecl { name: reg.name.clone(), width: reg.info.width, is_reg: true });
+        let update = VRegUpdate {
+            target: reg.name.clone(),
+            next: emit_expr(&reg.next, netlist)?,
+            reset: match &reg.reset {
+                Some((cond, init)) => Some((emit_expr(cond, netlist)?, emit_expr(init, netlist)?)),
+                None => None,
+            },
+        };
+        match module.always.iter_mut().find(|a| a.clock == reg.clock) {
+            Some(block) => block.updates.push(update),
+            None => module
+                .always
+                .push(VAlways { clock: reg.clock.clone(), updates: vec![update] }),
+        }
+    }
+    Ok(module)
+}
+
+/// Emits a netlist directly as Verilog source text.
+///
+/// # Errors
+///
+/// See [`emit_netlist`].
+pub fn emit_verilog(netlist: &Netlist) -> Result<String, EmitError> {
+    Ok(emit_netlist(netlist)?.to_verilog())
+}
+
+fn signal_info(netlist: &Netlist, name: &str) -> SignalInfo {
+    netlist
+        .signal(name)
+        .unwrap_or(SignalInfo { width: 1, signed: false, is_clock: false })
+}
+
+fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
+    match expr {
+        Expression::Ref(name) => Ok(VExpr::ident(name.clone())),
+        Expression::UIntLiteral { value, width } => {
+            Ok(VExpr::lit(*value, width.unwrap_or_else(|| min_width(*value))))
+        }
+        Expression::SIntLiteral { value, width } => {
+            let w = width.unwrap_or(32);
+            let masked = if w >= 128 { *value as u128 } else { (*value as u128) & ((1u128 << w) - 1) };
+            Ok(VExpr::lit(masked, w))
+        }
+        Expression::Mux { cond, tval, fval } => Ok(VExpr::Conditional {
+            cond: Box::new(emit_expr(cond, netlist)?),
+            then: Box::new(emit_expr(tval, netlist)?),
+            otherwise: Box::new(emit_expr(fval, netlist)?),
+        }),
+        Expression::Prim { op, args, params } => emit_prim(*op, args, params, netlist),
+        other => Err(EmitError::Unsupported(other.to_string())),
+    }
+}
+
+fn min_width(value: u128) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        128 - value.leading_zeros()
+    }
+}
+
+/// True when the expression is signed under the netlist's signal typing.
+fn is_signed(expr: &Expression, netlist: &Netlist) -> bool {
+    match expr {
+        Expression::Ref(name) => signal_info(netlist, name).signed,
+        Expression::SIntLiteral { .. } => true,
+        Expression::Prim { op, args, .. } => match op {
+            PrimOp::AsSInt | PrimOp::Neg => true,
+            PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div | PrimOp::Rem | PrimOp::Pad => {
+                args.iter().any(|a| is_signed(a, netlist))
+            }
+            _ => false,
+        },
+        Expression::Mux { tval, .. } => is_signed(tval, netlist),
+        _ => false,
+    }
+}
+
+fn emit_prim(
+    op: PrimOp,
+    args: &[Expression],
+    params: &[i64],
+    netlist: &Netlist,
+) -> Result<VExpr, EmitError> {
+    use PrimOp::*;
+    let arg = |i: usize| emit_expr(&args[i], netlist);
+    let signed_wrap = |e: VExpr, signed: bool| if signed { VExpr::Signed(Box::new(e)) } else { e };
+    let binary = |op_token: &'static str, netlist: &Netlist| -> Result<VExpr, EmitError> {
+        let signed = is_signed(&args[0], netlist) || is_signed(&args[1], netlist);
+        Ok(VExpr::Binary {
+            op: op_token,
+            lhs: Box::new(signed_wrap(emit_expr(&args[0], netlist)?, signed)),
+            rhs: Box::new(signed_wrap(emit_expr(&args[1], netlist)?, signed)),
+        })
+    };
+    match op {
+        Add => binary("+", netlist),
+        Sub => binary("-", netlist),
+        Mul => binary("*", netlist),
+        Div => binary("/", netlist),
+        Rem => binary("%", netlist),
+        And => binary("&", netlist),
+        Or => binary("|", netlist),
+        Xor => binary("^", netlist),
+        Eq => binary("==", netlist),
+        Neq => binary("!=", netlist),
+        Lt => binary("<", netlist),
+        Leq => binary("<=", netlist),
+        Gt => binary(">", netlist),
+        Geq => binary(">=", netlist),
+        Dshl => binary("<<", netlist),
+        Dshr => binary(">>", netlist),
+        Not => Ok(VExpr::Unary { op: "~", arg: Box::new(arg(0)?) }),
+        Neg => Ok(VExpr::Unary { op: "-", arg: Box::new(arg(0)?) }),
+        AndR => Ok(VExpr::Unary { op: "&", arg: Box::new(arg(0)?) }),
+        OrR => Ok(VExpr::Unary { op: "|", arg: Box::new(arg(0)?) }),
+        XorR => Ok(VExpr::Unary { op: "^", arg: Box::new(arg(0)?) }),
+        Shl => Ok(VExpr::Binary {
+            op: "<<",
+            lhs: Box::new(arg(0)?),
+            rhs: Box::new(VExpr::lit(params[0].max(0) as u128, 32)),
+        }),
+        Shr => Ok(VExpr::Binary {
+            op: ">>",
+            lhs: Box::new(arg(0)?),
+            rhs: Box::new(VExpr::lit(params[0].max(0) as u128, 32)),
+        }),
+        Cat => Ok(VExpr::Concat(vec![arg(0)?, arg(1)?])),
+        Bits => {
+            let hi = params[0].max(0) as u32;
+            let lo = params[1].max(0) as u32;
+            match arg(0)? {
+                base @ VExpr::Ident(_) => Ok(VExpr::Slice { base: Box::new(base), hi, lo }),
+                other => {
+                    // Verilog cannot slice arbitrary expressions; shift and mask instead.
+                    let shifted = VExpr::Binary {
+                        op: ">>",
+                        lhs: Box::new(other),
+                        rhs: Box::new(VExpr::lit(lo as u128, 32)),
+                    };
+                    let width = hi - lo + 1;
+                    let mask = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    Ok(VExpr::Binary {
+                        op: "&",
+                        lhs: Box::new(shifted),
+                        rhs: Box::new(VExpr::lit(mask, width)),
+                    })
+                }
+            }
+        }
+        AsUInt | AsBool | AsClock | AsAsyncReset | Tail => arg(0),
+        AsSInt => Ok(VExpr::Signed(Box::new(arg(0)?))),
+        Pad => arg(0),
+        Head => {
+            let keep = params[0].max(1) as u32;
+            let total = expr_width(&args[0], netlist);
+            let lo = total.saturating_sub(keep);
+            match arg(0)? {
+                base @ VExpr::Ident(_) => {
+                    Ok(VExpr::Slice { base: Box::new(base), hi: total.saturating_sub(1), lo })
+                }
+                other => Ok(VExpr::Binary {
+                    op: ">>",
+                    lhs: Box::new(other),
+                    rhs: Box::new(VExpr::lit(lo as u128, 32)),
+                }),
+            }
+        }
+    }
+}
+
+fn expr_width(expr: &Expression, netlist: &Netlist) -> u32 {
+    match expr {
+        Expression::Ref(name) => signal_info(netlist, name).width,
+        Expression::UIntLiteral { value, width } => width.unwrap_or_else(|| min_width(*value)),
+        Expression::SIntLiteral { width, .. } => width.unwrap_or(32),
+        _ => 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    #[test]
+    fn emit_combinational_module() {
+        let mut m = ModuleBuilder::new("AndGate");
+        let a = m.input("a", Type::bool());
+        let b = m.input("b", Type::bool());
+        let y = m.output("y", Type::bool());
+        m.connect(&y, &a.and(&b));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        assert!(text.contains("module AndGate("));
+        assert!(text.contains("assign y = (a & b);"));
+        assert!(text.contains("endmodule"));
+    }
+
+    #[test]
+    fn emit_register_with_reset() {
+        let mut m = ModuleBuilder::new("Dff");
+        let d = m.input("d", Type::uint(4));
+        let q = m.output("q", Type::uint(4));
+        let r = m.reg_next_init("r", Type::uint(4), &d, &Signal::lit_w(0, 4));
+        m.connect(&q, &r);
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let module = emit_netlist(&netlist).unwrap();
+        assert_eq!(module.always.len(), 1);
+        assert_eq!(module.always[0].clock, "clock");
+        assert!(module.always[0].updates[0].reset.is_some());
+        let text = module.to_verilog();
+        assert!(text.contains("always @(posedge clock)"));
+        assert!(text.contains("r <= d;"));
+    }
+
+    #[test]
+    fn emit_signed_comparison_uses_signed_cast() {
+        let mut m = ModuleBuilder::new("SignedCmp");
+        let a = m.input("a", Type::sint(8));
+        let b = m.input("b", Type::sint(8));
+        let y = m.output("y", Type::bool());
+        m.connect(&y, &a.lt(&b));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        assert!(text.contains("$signed(a)"));
+        assert!(text.contains("$signed(b)"));
+    }
+
+    #[test]
+    fn emit_vector_design() {
+        let mut m = ModuleBuilder::new("VecCat");
+        let a = m.input("a", Type::bool());
+        let b = m.input("b", Type::bool());
+        let out = m.output("out", Type::uint(2));
+        let v = m.vec_init("v", Type::bool(), &[a, b]);
+        m.connect(&out, &v.as_uint());
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        assert!(text.contains("v_0"));
+        assert!(text.contains("v_1"));
+        assert!(text.contains("{v_1, v_0}"));
+    }
+
+    #[test]
+    fn output_ports_are_not_redeclared() {
+        let mut m = ModuleBuilder::new("Pass");
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        m.connect(&out, &a);
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let module = emit_netlist(&netlist).unwrap();
+        assert!(module.decls.iter().all(|d| d.name != "out"));
+        assert!(module.assigns.iter().any(|a| a.target == "out"));
+    }
+}

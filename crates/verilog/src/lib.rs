@@ -1,0 +1,33 @@
+//! # rechisel-verilog
+//!
+//! Verilog AST and emitter for the ReChisel reproduction. The Chisel-like designs built
+//! with `rechisel-hcl` are checked and lowered by `rechisel-firrtl`; this crate turns
+//! the lowered netlist into synthesizable Verilog text — the artifact that the ReChisel
+//! workflow hands to the simulator as the device under test, and the output a user of
+//! the original system would ultimately consume.
+//!
+//! # Example
+//!
+//! ```
+//! use rechisel_hcl::prelude::*;
+//! use rechisel_verilog::emit_verilog;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = ModuleBuilder::new("Inverter");
+//! let a = m.input("a", Type::bool());
+//! let y = m.output("y", Type::bool());
+//! m.connect(&y, &a.not());
+//! let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+//! let verilog = emit_verilog(&netlist)?;
+//! assert!(verilog.contains("module Inverter"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod emit;
+
+pub use ast::{VAlways, VAssign, VDecl, VExpr, VModule, VPort, VPortDir, VRegUpdate};
+pub use emit::{emit_netlist, emit_verilog, EmitError};

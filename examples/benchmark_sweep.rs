@@ -1,0 +1,62 @@
+//! Inspect the benchmark suite itself: category/family composition, interface sizes and
+//! a zero-shot difficulty probe — the kind of summary one would use to sanity-check the
+//! suite against the paper's description of its 216 filtered cases.
+//!
+//! Run with `cargo run --release --example benchmark_sweep`.
+
+use std::collections::BTreeMap;
+
+use rechisel::benchsuite::report::format_table;
+use rechisel::benchsuite::{full_suite, run_model, ExperimentConfig};
+use rechisel::llm::ModelProfile;
+
+fn main() {
+    let suite = full_suite();
+    println!("Suite size: {} cases\n", suite.len());
+
+    let mut by_category: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_family: BTreeMap<String, usize> = BTreeMap::new();
+    for case in &suite {
+        *by_category.entry(case.category.to_string()).or_default() += 1;
+        *by_family.entry(case.family.to_string()).or_default() += 1;
+    }
+    let rows: Vec<Vec<String>> =
+        by_category.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
+    println!("{}", format_table("Cases by category", &["Category", "Count"], &rows));
+    let rows: Vec<Vec<String>> =
+        by_family.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
+    println!("{}", format_table("Cases by source family", &["Family", "Count"], &rows));
+
+    // Quick zero-shot probe over a slice of the suite to show per-category difficulty.
+    let probe: Vec<_> = suite.into_iter().step_by(6).collect();
+    let config = ExperimentConfig::paper().with_samples(2).with_max_iterations(0);
+    let outcome = run_model(&ModelProfile::gpt4o(), &probe, &config);
+    let mut per_category: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (case, case_outcome) in probe.iter().zip(&outcome.cases) {
+        let entry = per_category.entry(case.category.to_string()).or_default();
+        for sample in &case_outcome.samples {
+            entry.0 += 1;
+            if sample.success {
+                entry.1 += 1;
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = per_category
+        .iter()
+        .map(|(category, (total, ok))| {
+            vec![
+                category.clone(),
+                format!("{ok}/{total}"),
+                format!("{:.0}%", 100.0 * *ok as f64 / (*total).max(1) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Zero-shot successes by category (GPT-4o profile, probe subset)",
+            &["Category", "Solved", "Rate"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a small Chisel-like design, check it, lower it, emit Verilog and
+//! simulate it — the full substrate pipeline without the agents.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rechisel::firrtl::{check_circuit, lower_circuit, print_chisel};
+use rechisel::hcl::prelude::*;
+use rechisel::sim::Simulator;
+use rechisel::verilog::emit_verilog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-bit loadable up-counter with a terminal-count flag.
+    let mut m = ModuleBuilder::new("LoadableCounter");
+    let load = m.input("load", Type::bool());
+    let value = m.input("value", Type::uint(8));
+    let en = m.input("en", Type::bool());
+    let count = m.output("count", Type::uint(8));
+    let wrap = m.output("wrap", Type::bool());
+
+    let reg = m.reg_init("reg", Type::uint(8), &Signal::lit_w(0, 8));
+    m.when_else(
+        &load,
+        |m| m.connect(&reg, &value),
+        |m| {
+            m.when(&en, |m| {
+                let next = reg.add(&Signal::lit_w(1, 8)).bits(7, 0);
+                m.connect(&reg, &next);
+            });
+        },
+    );
+    m.connect(&count, &reg);
+    m.connect(&wrap, &reg.eq(&Signal::lit_w(255, 8)));
+    let circuit = m.into_circuit();
+
+    println!("=== pseudo-Chisel source ===\n{}", print_chisel(&circuit));
+
+    // 1. Check (the "Compiler" of the ReChisel workflow).
+    let report = check_circuit(&circuit);
+    println!("=== compiler diagnostics ===");
+    if report.is_empty() {
+        println!("(clean)\n");
+    } else {
+        println!("{}", report.to_compiler_output());
+    }
+    assert!(!report.has_errors());
+
+    // 2. Lower and emit Verilog.
+    let netlist = lower_circuit(&circuit)?;
+    let verilog = emit_verilog(&netlist)?;
+    println!("=== emitted Verilog ===\n{verilog}");
+
+    // 3. Simulate.
+    let mut sim = Simulator::new(netlist);
+    sim.reset(2)?;
+    sim.poke("load", 1)?;
+    sim.poke("value", 250)?;
+    sim.step()?;
+    sim.poke("load", 0)?;
+    sim.poke("en", 1)?;
+    println!("=== simulation ===");
+    for _ in 0..8 {
+        println!(
+            "cycle {:>3}: count = {:>3}, wrap = {}",
+            sim.cycles(),
+            sim.peek("count")?,
+            sim.peek("wrap")?
+        );
+        sim.step()?;
+    }
+    Ok(())
+}

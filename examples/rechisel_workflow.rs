@@ -1,0 +1,42 @@
+//! Run the full ReChisel workflow on a handful of benchmark cases with two model
+//! profiles and print a small scoreboard — a miniature version of the paper's Table III.
+//!
+//! Run with `cargo run --release --example rechisel_workflow`.
+
+use rechisel::benchsuite::report::{format_table, pct};
+use rechisel::benchsuite::{run_model, sampled_suite, ExperimentConfig};
+use rechisel::llm::ModelProfile;
+
+fn main() {
+    let suite = sampled_suite(12);
+    let config = ExperimentConfig::paper().with_samples(4).with_max_iterations(10);
+    println!(
+        "Running {} cases x {} samples x 2 models (reflection cap 10)...\n",
+        suite.len(),
+        config.samples
+    );
+
+    let mut rows = Vec::new();
+    for profile in [ModelProfile::gpt4o(), ModelProfile::claude35_sonnet()] {
+        let outcome = run_model(&profile, &suite, &config);
+        let (escapes, escape_fraction) = outcome.escape_stats();
+        rows.push(vec![
+            profile.name.clone(),
+            pct(outcome.pass_at_k(1, 0)),
+            pct(outcome.pass_at_k(1, 5)),
+            pct(outcome.pass_at_k(1, 10)),
+            format!("{:.2}", outcome.mean_iterations()),
+            format!("{escapes} ({:.0}% of runs)", escape_fraction * 100.0),
+        ]);
+    }
+    let table = format_table(
+        "Pass@1 (%) by iteration cap",
+        &["Model", "n=0", "n=5", "n=10", "mean iters", "escape events"],
+        &rows,
+    );
+    println!("{table}");
+    println!(
+        "Both models improve substantially over their zero-shot baseline as the reflection \
+         budget grows — the paper's headline result."
+    );
+}
