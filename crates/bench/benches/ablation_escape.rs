@@ -10,10 +10,8 @@ fn bench_ablation(c: &mut Criterion) {
     let suite = sampled_suite(4);
     let profile = ModelProfile::gpt4o_mini();
     for escape in [true, false] {
-        let config = ExperimentConfig::paper()
-            .with_samples(1)
-            .with_max_iterations(10)
-            .with_escape(escape);
+        let config =
+            ExperimentConfig::paper().with_samples(1).with_max_iterations(10).with_escape(escape);
         let label = format!("ablation/escape_{}", if escape { "on" } else { "off" });
         c.bench_function(&label, |b| {
             b.iter(|| {

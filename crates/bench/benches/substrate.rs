@@ -15,8 +15,12 @@ fn bench_substrate(c: &mut Criterion) {
 
     c.bench_function("check/vector5", |b| b.iter(|| check_circuit(std::hint::black_box(&comb))));
     c.bench_function("check/regfile8x8", |b| b.iter(|| check_circuit(std::hint::black_box(&seq))));
-    c.bench_function("lower/vector5", |b| b.iter(|| lower_circuit(std::hint::black_box(&comb)).unwrap()));
-    c.bench_function("lower/regfile8x8", |b| b.iter(|| lower_circuit(std::hint::black_box(&seq)).unwrap()));
+    c.bench_function("lower/vector5", |b| {
+        b.iter(|| lower_circuit(std::hint::black_box(&comb)).unwrap())
+    });
+    c.bench_function("lower/regfile8x8", |b| {
+        b.iter(|| lower_circuit(std::hint::black_box(&seq)).unwrap())
+    });
 
     let comb_netlist = lower_circuit(&comb).unwrap();
     let seq_netlist = lower_circuit(&seq).unwrap();
@@ -27,7 +31,9 @@ fn bench_substrate(c: &mut Criterion) {
     let comb_tb = Testbench::random_for(&comb_netlist, 32, 0, 1);
     let seq_tb = Testbench::random_for(&seq_netlist, 32, 1, 1);
     c.bench_function("simulate/vector5_32pts", |b| {
-        b.iter(|| run_testbench(&comb_netlist, &comb_netlist, std::hint::black_box(&comb_tb)).unwrap())
+        b.iter(|| {
+            run_testbench(&comb_netlist, &comb_netlist, std::hint::black_box(&comb_tb)).unwrap()
+        })
     });
     c.bench_function("simulate/regfile8x8_32pts", |b| {
         b.iter(|| run_testbench(&seq_netlist, &seq_netlist, std::hint::black_box(&seq_tb)).unwrap())

@@ -20,14 +20,13 @@ fn main() {
         .with_language(Language::Chisel);
 
     let mut rows = Vec::new();
-    for profile in [ModelProfile::claude35_sonnet(), ModelProfile::gpt4o(), ModelProfile::gpt4o_mini()] {
+    for profile in
+        [ModelProfile::claude35_sonnet(), ModelProfile::gpt4o(), ModelProfile::gpt4o_mini()]
+    {
         let full = run_model(&profile, &suite, &base);
         let no_escape = run_model(&profile, &suite, &base.with_escape(false));
-        let no_knowledge = run_model(
-            &profile,
-            &suite,
-            &ExperimentConfig { knowledge_enabled: false, ..base },
-        );
+        let no_knowledge =
+            run_model(&profile, &suite, &ExperimentConfig { knowledge_enabled: false, ..base });
         let (escape_events, escape_fraction) = full.escape_stats();
         rows.push(vec![
             profile.name.clone(),

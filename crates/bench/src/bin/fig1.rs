@@ -19,12 +19,7 @@ fn main() {
     for profile in ModelProfile::paper_models() {
         let outcome = run_model(&profile, &suite, &config);
         let (syntax, functional, success) = outcome.status_proportions(0);
-        rows.push(vec![
-            profile.name.clone(),
-            pct(syntax),
-            pct(functional),
-            pct(success),
-        ]);
+        rows.push(vec![profile.name.clone(), pct(syntax), pct(functional), pct(success)]);
         eprintln!("  finished {}", profile.name);
     }
     let table = format_table(

@@ -16,11 +16,8 @@ fn main() {
         .with_samples(scale.samples)
         .with_max_iterations(0)
         .with_language(Language::Chisel);
-    let verilog_config = AutoChipConfig {
-        samples: scale.samples,
-        max_iterations: 0,
-        ..AutoChipConfig::paper()
-    };
+    let verilog_config =
+        AutoChipConfig { samples: scale.samples, max_iterations: 0, ..AutoChipConfig::paper() };
 
     let mut rows = Vec::new();
     for profile in ModelProfile::paper_models() {

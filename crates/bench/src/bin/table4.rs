@@ -15,13 +15,11 @@ fn main() {
         .with_samples(scale.samples)
         .with_max_iterations(10)
         .with_language(Language::Chisel);
-    let autochip_config = AutoChipConfig {
-        samples: scale.samples,
-        max_iterations: 10,
-        ..AutoChipConfig::paper()
-    };
+    let autochip_config =
+        AutoChipConfig { samples: scale.samples, max_iterations: 10, ..AutoChipConfig::paper() };
 
-    let mut per_k: Vec<(usize, Vec<Vec<String>>)> = vec![(1, Vec::new()), (5, Vec::new()), (10, Vec::new())];
+    let mut per_k: Vec<(usize, Vec<Vec<String>>)> =
+        vec![(1, Vec::new()), (5, Vec::new()), (10, Vec::new())];
     for profile in ModelProfile::comparison_models() {
         let rechisel = run_model(&profile, &suite, &rechisel_config);
         let autochip = run_autochip_model(&profile, &suite, &autochip_config);

@@ -96,11 +96,7 @@ impl BenchmarkCase {
             .ports
             .iter()
             .filter(|p| p.name != "clock" && p.name != "reset")
-            .map(|p| PortSpec {
-                name: p.name.clone(),
-                direction: p.direction,
-                ty: p.ty.clone(),
-            })
+            .map(|p| PortSpec { name: p.name.clone(), direction: p.direction, ty: p.ty.clone() })
             .collect();
         let spec = Spec::new(top.name.clone(), description, ports);
         Self { id, family, category, spec, reference, test_points, cycles_per_point }

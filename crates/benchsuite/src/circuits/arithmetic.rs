@@ -153,9 +153,7 @@ pub fn inc_dec(width: u32, family: SourceFamily) -> BenchmarkCase {
     arith_case(
         format!("hdlbits/inc_dec_{width}"),
         family,
-        format!(
-            "Output a+1 when dec is low and a-1 when dec is high, wrapping modulo 2^{width}."
-        ),
+        format!("Output a+1 when dec is low and a-1 when dec is high, wrapping modulo 2^{width}."),
         m.into_circuit(),
     )
 }
@@ -172,7 +170,7 @@ pub fn mac(width: u32, family: SourceFamily) -> BenchmarkCase {
     arith_case(
         format!("rtllm/mac_{width}"),
         family,
-        format!("A combinational multiply-accumulate: y = a*b + c with full precision."),
+        "A combinational multiply-accumulate: y = a*b + c with full precision.".to_string(),
         m.into_circuit(),
     )
 }

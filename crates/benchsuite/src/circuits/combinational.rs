@@ -92,9 +92,8 @@ pub fn decoder(bits: u32, family: SourceFamily) -> BenchmarkCase {
     let en = m.input("en", Type::bool());
     let sel = m.input("sel", Type::uint(bits));
     let y = m.output("y", Type::uint(outputs));
-    let lanes: Vec<Signal> = (0..outputs)
-        .map(|i| sel.eq(&Signal::lit_w(u128::from(i), bits)).and(&en))
-        .collect();
+    let lanes: Vec<Signal> =
+        (0..outputs).map(|i| sel.eq(&Signal::lit_w(u128::from(i), bits)).and(&en)).collect();
     let v = m.vec_init("lanes", Type::bool(), &lanes);
     m.connect(&y, &v.as_uint());
     comb_case(
@@ -238,7 +237,10 @@ pub fn bit_reverse(width: u32, family: SourceFamily) -> BenchmarkCase {
         format!("hdlbits/bit_reverse_{width}"),
         family,
         Category::BitManipulation,
-        format!("Reverse the bit order of the {width}-bit input (bit 0 becomes bit {}).", width - 1),
+        format!(
+            "Reverse the bit order of the {width}-bit input (bit 0 becomes bit {}).",
+            width - 1
+        ),
         m.into_circuit(),
     )
 }
@@ -267,8 +269,7 @@ pub fn byte_swap(bytes: u32, family: SourceFamily) -> BenchmarkCase {
     let mut m = ModuleBuilder::new(format!("ByteSwap{width}"));
     let input = m.input("in", Type::uint(width));
     let y = m.output("y", Type::uint(width));
-    let parts: Vec<Signal> =
-        (0..bytes).map(|i| input.bits(i * 8 + 7, i * 8)).collect();
+    let parts: Vec<Signal> = (0..bytes).map(|i| input.bits(i * 8 + 7, i * 8)).collect();
     // parts[0] is the least-significant byte; concatenate so it becomes the most
     // significant.
     let swapped = cat_all(&parts);

@@ -46,8 +46,14 @@ pub fn sequence_detector(pattern: &[u8], family: SourceFamily) -> BenchmarkCase 
 }
 
 /// Three-state traffic-light controller with fixed phase durations.
-pub fn traffic_light(green_cycles: u32, yellow_cycles: u32, red_cycles: u32, family: SourceFamily) -> BenchmarkCase {
-    let mut m = ModuleBuilder::new(format!("TrafficLight{green_cycles}_{yellow_cycles}_{red_cycles}"));
+pub fn traffic_light(
+    green_cycles: u32,
+    yellow_cycles: u32,
+    red_cycles: u32,
+    family: SourceFamily,
+) -> BenchmarkCase {
+    let mut m =
+        ModuleBuilder::new(format!("TrafficLight{green_cycles}_{yellow_cycles}_{red_cycles}"));
     let en = m.input("en", Type::bool());
     let green = m.output("green", Type::bool());
     let yellow = m.output("yellow", Type::bool());

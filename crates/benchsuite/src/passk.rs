@@ -86,4 +86,66 @@ mod tests {
     fn zero_k_panics() {
         pass_at_k(10, 1, 0);
     }
+
+    #[test]
+    fn k_larger_than_n_clamps_to_n() {
+        // Drawing more samples than exist is the same as drawing all of them.
+        assert_eq!(pass_at_k(3, 1, 10), pass_at_k(3, 1, 3));
+        assert_eq!(pass_at_k(3, 1, 10), 1.0);
+        assert_eq!(pass_at_k(5, 0, 100), 0.0);
+        assert_eq!(pass_at_k(1, 1, usize::MAX), 1.0);
+    }
+
+    #[test]
+    fn zero_correct_is_zero_for_every_k() {
+        for n in 1..=12usize {
+            for k in 1..=n {
+                assert_eq!(pass_at_k(n, 0, k), 0.0, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_correct_is_one_for_every_k() {
+        for n in 1..=12usize {
+            for k in 1..=n {
+                assert_eq!(pass_at_k(n, n, k), 1.0, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration_on_small_inputs() {
+        // Cross-check the closed form against brute-force enumeration of all
+        // C(n, k) draws for small n.
+        fn binom(n: usize, k: usize) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            let mut v = 1.0f64;
+            for i in 0..k {
+                v *= (n - i) as f64 / (i + 1) as f64;
+            }
+            v
+        }
+        for n in 1..=8usize {
+            for c in 0..=n {
+                for k in 1..=n {
+                    let expected = 1.0 - binom(n - c, k) / binom(n, k);
+                    let got = pass_at_k(n, c, k);
+                    assert!(
+                        (got - expected).abs() < 1e-12,
+                        "n={n} c={c} k={k}: got {got}, expected {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_monotone_in_c() {
+        for c in 0..10usize {
+            assert!(pass_at_k(10, c + 1, 3) >= pass_at_k(10, c, 3));
+        }
+    }
 }

@@ -17,8 +17,11 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:<width$}", h, width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
     out.push_str(&header_line.join(" | "));
     out.push('\n');
     let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
@@ -28,7 +31,9 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         let cells: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, cell)| format!("{:<width$}", cell, width = widths.get(i).copied().unwrap_or(cell.len())))
+            .map(|(i, cell)| {
+                format!("{:<width$}", cell, width = widths.get(i).copied().unwrap_or(cell.len()))
+            })
             .collect();
         out.push_str(&cells.join(" | "));
         out.push('\n');

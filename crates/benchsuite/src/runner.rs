@@ -318,9 +318,6 @@ mod tests {
         let via_case = run_case(&suite[0], &ModelProfile::gpt4_turbo(), &config);
         let via_sample = run_sample(&suite[0], &ModelProfile::gpt4_turbo(), &config, 0);
         assert_eq!(via_case.samples[0].success, via_sample.success);
-        assert_eq!(
-            via_case.samples[0].success_iteration,
-            via_sample.success_iteration
-        );
+        assert_eq!(via_case.samples[0].success_iteration, via_sample.success_iteration);
     }
 }

@@ -15,11 +15,7 @@ pub const SUITE_SIZE: usize = 216;
 /// Builds the full 216-case suite.
 pub fn full_suite() -> Vec<BenchmarkCase> {
     let mut cases = all_generated_cases();
-    assert!(
-        cases.len() >= SUITE_SIZE,
-        "generator library produced only {} cases",
-        cases.len()
-    );
+    assert!(cases.len() >= SUITE_SIZE, "generator library produced only {} cases", cases.len());
     cases.truncate(SUITE_SIZE);
     cases
 }

@@ -37,7 +37,9 @@ impl Candidate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rechisel_firrtl::ir::{Direction, Expression, Module, ModuleKind, Port, SourceInfo, Statement, Type};
+    use rechisel_firrtl::ir::{
+        Direction, Expression, Module, ModuleKind, Port, SourceInfo, Statement, Type,
+    };
 
     #[test]
     fn candidate_renders_source() {

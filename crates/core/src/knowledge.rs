@@ -42,10 +42,8 @@ impl CommonErrorKnowledge {
         use ErrorCode::*;
         let mut kb = Self::empty();
         let mut add = |code: ErrorCode, cause: &str, fix: &str| {
-            kb.entries.insert(
-                code,
-                ErrorGuidance { cause: cause.to_string(), fix: fix.to_string() },
-            );
+            kb.entries
+                .insert(code, ErrorGuidance { cause: cause.to_string(), fix: fix.to_string() });
         };
         add(
             UnknownReference,

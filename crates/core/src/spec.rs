@@ -43,7 +43,11 @@ pub struct Spec {
 
 impl Spec {
     /// Creates a specification.
-    pub fn new(name: impl Into<String>, description: impl Into<String>, ports: Vec<PortSpec>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        ports: Vec<PortSpec>,
+    ) -> Self {
         Self { name: name.into(), description: description.into(), ports }
     }
 

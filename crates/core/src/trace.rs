@@ -165,7 +165,12 @@ mod tests {
     }
 
     fn entry(iteration: u32, feedback: Feedback) -> TraceEntry {
-        TraceEntry { iteration, candidate: candidate(iteration as u64, iteration), feedback, plan: None }
+        TraceEntry {
+            iteration,
+            candidate: candidate(iteration as u64, iteration),
+            feedback,
+            plan: None,
+        }
     }
 
     #[test]

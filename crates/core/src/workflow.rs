@@ -183,7 +183,11 @@ impl Workflow {
     }
 
     /// Evaluates one candidate: compile, then simulate.
-    fn evaluate(&self, candidate: &Candidate, tester: &FunctionalTester) -> (Feedback, Option<String>) {
+    fn evaluate(
+        &self,
+        candidate: &Candidate,
+        tester: &FunctionalTester,
+    ) -> (Feedback, Option<String>) {
         match self.compiler.compile(&candidate.circuit) {
             Err(diagnostics) => (Feedback::Syntax { diagnostics }, None),
             Ok(compiled) => {
@@ -273,9 +277,8 @@ impl Workflow {
                 } else {
                     // The loop started at the very first attempt: regenerate from the
                     // current candidate with the escape marker set.
-                    let plan = reviewer
-                        .review(&candidate, &feedback, &trace, &self.knowledge)
-                        .escaped();
+                    let plan =
+                        reviewer.review(&candidate, &feedback, &trace, &self.knowledge).escaped();
                     candidate = generator.revise(&candidate, &plan, iteration + 1);
                 }
                 continue;
@@ -364,7 +367,12 @@ mod tests {
             self.take(0)
         }
 
-        fn revise(&mut self, _previous: &Candidate, _plan: &RevisionPlan, iteration: u32) -> Candidate {
+        fn revise(
+            &mut self,
+            _previous: &Candidate,
+            _plan: &RevisionPlan,
+            iteration: u32,
+        ) -> Candidate {
             self.take(iteration)
         }
     }
@@ -426,20 +434,16 @@ mod tests {
 
     #[test]
     fn zero_shot_config_never_reflects() {
-        let result = run_with(
-            vec![bad_circuit("Pass"), good_circuit("Pass")],
-            WorkflowConfig::zero_shot(),
-        );
+        let result =
+            run_with(vec![bad_circuit("Pass"), good_circuit("Pass")], WorkflowConfig::zero_shot());
         assert!(!result.success);
         assert_eq!(result.iterations_evaluated(), 1);
     }
 
     #[test]
     fn iteration_cap_limits_attempts() {
-        let result = run_with(
-            vec![bad_circuit("Pass")],
-            WorkflowConfig::default().with_max_iterations(3),
-        );
+        let result =
+            run_with(vec![bad_circuit("Pass")], WorkflowConfig::default().with_max_iterations(3));
         assert!(!result.success);
         assert_eq!(result.iterations_evaluated(), 4); // zero-shot + 3 reflections
         assert_eq!(result.status_at(10), IterationStatus::SyntaxError);
@@ -448,10 +452,8 @@ mod tests {
     #[test]
     fn escape_discards_looping_iterations() {
         // The generator keeps producing the same broken design: a non-progress loop.
-        let result = run_with(
-            vec![bad_circuit("Pass")],
-            WorkflowConfig::default().with_max_iterations(6),
-        );
+        let result =
+            run_with(vec![bad_circuit("Pass")], WorkflowConfig::default().with_max_iterations(6));
         assert!(!result.success);
         assert!(result.escapes > 0, "expected at least one escape");
         // The trace should be shorter than the number of evaluated iterations because

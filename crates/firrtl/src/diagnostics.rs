@@ -259,11 +259,7 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}] {}: {}: {}",
-            self.severity, self.location, self.code, self.message
-        )?;
+        write!(f, "[{}] {}: {}: {}", self.severity, self.location, self.code, self.message)?;
         if let Some(s) = &self.suggestion {
             write!(f, " ({s})")?;
         }
@@ -384,7 +380,10 @@ pub fn edit_distance(a: &str, b: &str) -> usize {
 }
 
 /// Finds the closest candidate name to `target` within a maximum edit distance of 3.
-pub fn closest_name<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+pub fn closest_name<'a>(
+    target: &str,
+    candidates: impl Iterator<Item = &'a str>,
+) -> Option<&'a str> {
     let mut best: Option<(&str, usize)> = None;
     for c in candidates {
         let d = edit_distance(target, c);
@@ -456,18 +455,10 @@ mod tests {
 
     #[test]
     fn identity_key_distinguishes_locations() {
-        let a = Diagnostic::error(
-            ErrorCode::TypeMismatch,
-            SourceInfo::new("a.scala", 1, 1),
-            "x",
-        )
-        .with_subject("w");
-        let b = Diagnostic::error(
-            ErrorCode::TypeMismatch,
-            SourceInfo::new("a.scala", 2, 1),
-            "x",
-        )
-        .with_subject("w");
+        let a = Diagnostic::error(ErrorCode::TypeMismatch, SourceInfo::new("a.scala", 1, 1), "x")
+            .with_subject("w");
+        let b = Diagnostic::error(ErrorCode::TypeMismatch, SourceInfo::new("a.scala", 2, 1), "x")
+            .with_subject("w");
         assert_ne!(a.identity_key(), b.identity_key());
     }
 

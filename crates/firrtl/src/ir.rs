@@ -348,8 +348,8 @@ impl PrimOp {
     pub fn arity(self) -> usize {
         use PrimOp::*;
         match self {
-            Not | AndR | OrR | XorR | AsUInt | AsSInt | AsClock | AsBool | AsAsyncReset
-            | Neg | Pad | Tail | Head | Shl | Shr | Bits => 1,
+            Not | AndR | OrR | XorR | AsUInt | AsSInt | AsClock | AsBool | AsAsyncReset | Neg
+            | Pad | Tail | Head | Shl | Shr | Bits => 1,
             _ => 2,
         }
     }
@@ -565,9 +565,7 @@ impl Expression {
                     *name = new;
                 }
             }
-            Expression::SubField(inner, _) | Expression::SubIndex(inner, _) => {
-                inner.rename_refs(f)
-            }
+            Expression::SubField(inner, _) | Expression::SubIndex(inner, _) => inner.rename_refs(f),
             Expression::SubAccess(inner, idx) => {
                 inner.rename_refs(f);
                 idx.rename_refs(f);
@@ -982,11 +980,7 @@ mod tests {
         assert_eq!(info.to_string(), "Main.scala:18:10");
         assert_eq!(SourceInfo::unknown().to_string(), "<unknown>");
         assert_eq!(Type::uint(5).to_string(), "UInt<5>");
-        let e = Expression::prim(
-            PrimOp::Bits,
-            vec![Expression::reference("x")],
-            vec![7, 0],
-        );
+        let e = Expression::prim(PrimOp::Bits, vec![Expression::reference("x")], vec![7, 0]);
         assert_eq!(e.to_string(), "bits(x, 7, 0)");
     }
 

@@ -26,8 +26,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::diagnostics::{Diagnostic, ErrorCode};
 use crate::ir::{
-    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, PrimOp, RegReset,
-    SourceInfo, Statement, Type,
+    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, PrimOp, RegReset, SourceInfo,
+    Statement, Type,
 };
 use crate::passes::width::resolve_widths;
 use crate::paths::{ground_paths, mangle, static_path};
@@ -110,9 +110,7 @@ pub struct Netlist {
 impl Netlist {
     /// Flattened input ports (excluding clocks).
     pub fn data_inputs(&self) -> impl Iterator<Item = &NetPort> {
-        self.ports
-            .iter()
-            .filter(|p| p.direction == Direction::Input && !p.info.is_clock)
+        self.ports.iter().filter(|p| p.direction == Direction::Input && !p.info.is_clock)
     }
 
     /// Flattened output ports.
@@ -141,10 +139,7 @@ pub fn lower_circuit(circuit: &Circuit) -> Result<Netlist, Diagnostic> {
     let flat = flatten_instances(circuit)?;
     let mut flat_circuit = Circuit::single(flat);
     let snapshot = flat_circuit.clone();
-    resolve_widths(
-        flat_circuit.top_module_mut().expect("single module circuit"),
-        &snapshot,
-    );
+    resolve_widths(flat_circuit.top_module_mut().expect("single module circuit"), &snapshot);
     let flat = flat_circuit.top_module().expect("single module circuit").clone();
     let ground = expand_aggregates(&flat, &flat_circuit)?;
     build_netlist(&ground)
@@ -224,8 +219,9 @@ fn rewrite_instance_refs_in_statements(stmts: &mut [Statement], instances: &BTre
 fn rewrite_instance_refs(expr: &mut Expression, instances: &BTreeSet<String>) {
     // First rewrite children, then collapse `inst.port` at this level.
     match expr {
-        Expression::SubField(inner, _)
-        | Expression::SubIndex(inner, _) => rewrite_instance_refs(inner, instances),
+        Expression::SubField(inner, _) | Expression::SubIndex(inner, _) => {
+            rewrite_instance_refs(inner, instances)
+        }
         Expression::SubAccess(inner, idx) => {
             rewrite_instance_refs(inner, instances);
             rewrite_instance_refs(idx, instances);
@@ -302,9 +298,12 @@ fn flatten_statements(
                     .ports
                     .iter()
                     .map(|p| p.name.clone())
-                    .chain(child_flat.body.iter().filter_map(|s| {
-                        s.declared_name().map(|n| n.to_string())
-                    }))
+                    .chain(
+                        child_flat
+                            .body
+                            .iter()
+                            .filter_map(|s| s.declared_name().map(|n| n.to_string())),
+                    )
                     .chain(collect_all_declared(&child_flat.body))
                     .collect();
                 for child_stmt in &child_flat.body {
@@ -395,6 +394,10 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
 // Step 2+3: aggregate expansion
 // ---------------------------------------------------------------------------------
 
+/// A ground register as `(name, info, clock net, reset)`, where the reset is an
+/// optional `(reset signal, init value)` pair.
+pub type GroundReg = (String, SignalInfo, String, Option<(Expression, Expression)>);
+
 /// A module in which every port, wire and register is ground-typed and every reference
 /// is a plain mangled [`Expression::Ref`].
 #[derive(Debug, Clone)]
@@ -406,7 +409,7 @@ pub struct GroundModule {
     /// Ground wire declarations.
     pub wires: Vec<(String, SignalInfo)>,
     /// Ground registers: (name, info, clock net, reset).
-    pub regs: Vec<(String, SignalInfo, String, Option<(Expression, Expression)>)>,
+    pub regs: Vec<GroundReg>,
     /// Ground statements: nodes become defs, and all connects reference ground names.
     pub body: Vec<GroundStatement>,
 }
@@ -423,10 +426,7 @@ pub enum GroundStatement {
 }
 
 /// Expands aggregates in `module`, producing a [`GroundModule`].
-pub fn expand_aggregates(
-    module: &Module,
-    circuit: &Circuit,
-) -> Result<GroundModule, Diagnostic> {
+pub fn expand_aggregates(module: &Module, circuit: &Circuit) -> Result<GroundModule, Diagnostic> {
     let symbols = SymbolTable::build(module, circuit);
     let expander = Expander { module, symbols: &symbols };
     expander.run()
@@ -557,11 +557,7 @@ impl<'a> Expander<'a> {
                     let mut typer = ExprTyper::new(self.symbols, self.module);
                     let ty = typer.at(info).infer(value)?;
                     let expr = self.expand_expr(value)?;
-                    out.push(GroundStatement::Node(
-                        name.clone(),
-                        SignalInfo::from_type(&ty),
-                        expr,
-                    ));
+                    out.push(GroundStatement::Node(name.clone(), SignalInfo::from_type(&ty), expr));
                 }
                 Statement::Connect { loc, expr, info } => {
                     out.extend(self.expand_connect(loc, expr, info)?);
@@ -578,10 +574,7 @@ impl<'a> Expander<'a> {
                         )
                     })?;
                     for (gpath, _) in ground_paths(&path, &ty) {
-                        out.push(GroundStatement::Connect(
-                            mangle(&gpath),
-                            Expression::uint_lit(0),
-                        ));
+                        out.push(GroundStatement::Connect(mangle(&gpath), Expression::uint_lit(0)));
                     }
                 }
                 Statement::When { cond, then_body, else_body, .. } => {
@@ -687,10 +680,8 @@ impl<'a> Expander<'a> {
                 // A static index on a Vec selects an element signal; on a UInt/Bool it
                 // is a bit extract and must become a `bits` operation.
                 let mut typer = ExprTyper::new(self.symbols, self.module);
-                let inner_ty = typer
-                    .at(&SourceInfo::unknown())
-                    .infer(inner)
-                    .unwrap_or(Type::UInt(None));
+                let inner_ty =
+                    typer.at(&SourceInfo::unknown()).infer(inner).unwrap_or(Type::UInt(None));
                 match inner_ty {
                     Type::Vec(..) => {
                         let path =
@@ -799,10 +790,8 @@ impl<'a> Expander<'a> {
                         return Ok(acc);
                     }
                 }
-                let new_args = args
-                    .iter()
-                    .map(|a| self.expand_expr(a))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let new_args =
+                    args.iter().map(|a| self.expand_expr(a)).collect::<Result<Vec<_>, _>>()?;
                 Ok(Expression::Prim { op: *op, args: new_args, params: params.clone() })
             }
             Expression::ScalaCast { .. } | Expression::BadApply { .. } => Err(Diagnostic::error(
@@ -856,10 +845,7 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
     // becomes the next-state function.
     let mut regs: Vec<NetReg> = Vec::new();
     for (name, info, clock, reset) in &ground.regs {
-        let next = values
-            .get(name)
-            .cloned()
-            .unwrap_or_else(|| Expression::reference(name.clone()));
+        let next = values.get(name).cloned().unwrap_or_else(|| Expression::reference(name.clone()));
         regs.push(NetReg {
             name: name.clone(),
             info: *info,

@@ -147,10 +147,7 @@ impl<'a> ConnectChecker<'a> {
                     Diagnostic::error(
                         ErrorCode::BareChiselType,
                         info.clone(),
-                        format!(
-                            "{} must be hardware, not a bare Chisel type",
-                            ty.chisel_name()
-                        ),
+                        format!("{} must be hardware, not a bare Chisel type", ty.chisel_name()),
                     )
                     .with_suggestion("Perhaps you forgot to wrap it in Wire(_) or IO(_)?")
                     .with_subject(name.clone()),
@@ -336,11 +333,7 @@ pub fn connection_problem(sink: &Type, src: &Type) -> Option<String> {
             sink.chisel_name(),
             src.chisel_name()
         )),
-        _ => Some(format!(
-            "found: {}, required: {}",
-            src.chisel_name(),
-            sink.chisel_name()
-        )),
+        _ => Some(format!("found: {}, required: {}", src.chisel_name(), sink.chisel_name())),
     }
 }
 

@@ -51,7 +51,12 @@ pub fn check_initialization(module: &Module, circuit: &Circuit) -> DiagnosticRep
                         continue;
                     }
                     for (path, _) in ground_paths(&format!("{name}.{}", port.name), &port.ty) {
-                        required.push((path, info.clone(), Requirement::InstanceInput, name.clone()));
+                        required.push((
+                            path,
+                            info.clone(),
+                            Requirement::InstanceInput,
+                            name.clone(),
+                        ));
                     }
                 }
             }
@@ -328,10 +333,8 @@ mod tests {
             info: SourceInfo::unknown(),
         });
         let report = run(m);
-        let errs: Vec<_> = report
-            .errors()
-            .filter(|d| d.code == ErrorCode::NotFullyInitialized)
-            .collect();
+        let errs: Vec<_> =
+            report.errors().filter(|d| d.code == ErrorCode::NotFullyInitialized).collect();
         assert_eq!(errs.len(), 1);
         assert!(errs[0].message.contains("v[1]"));
     }

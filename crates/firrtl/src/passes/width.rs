@@ -34,21 +34,21 @@ pub fn check_widths(module: &Module, circuit: &Circuit) -> DiagnosticReport {
     }
     let inferred = infer_declaration_widths(module, circuit);
     module.visit_statements(&mut |stmt| match stmt {
-        Statement::Wire { name, ty, info } | Statement::Reg { name, ty, info, .. } => {
-            if !type_has_known_width(ty) && !inferred.contains_key(name) {
-                report.push(
-                    Diagnostic::error(
-                        ErrorCode::WidthInferenceFailure,
-                        info.clone(),
-                        format!(
-                            "unable to infer a width for {name}; it is never driven by a value \
+        Statement::Wire { name, ty, info } | Statement::Reg { name, ty, info, .. }
+            if !type_has_known_width(ty) && !inferred.contains_key(name) =>
+        {
+            report.push(
+                Diagnostic::error(
+                    ErrorCode::WidthInferenceFailure,
+                    info.clone(),
+                    format!(
+                        "unable to infer a width for {name}; it is never driven by a value \
                              with a known width"
-                        ),
-                    )
-                    .with_suggestion("declare an explicit width, e.g. UInt(8.W)")
-                    .with_subject(name.clone()),
-                );
-            }
+                    ),
+                )
+                .with_suggestion("declare an explicit width, e.g. UInt(8.W)")
+                .with_subject(name.clone()),
+            );
         }
         _ => {}
     });
@@ -61,10 +61,10 @@ pub fn infer_declaration_widths(module: &Module, circuit: &Circuit) -> BTreeMap<
     let symbols = SymbolTable::build(module, circuit);
     let mut unresolved: Vec<(String, bool)> = Vec::new();
     module.visit_statements(&mut |stmt| match stmt {
-        Statement::Wire { name, ty, .. } | Statement::Reg { name, ty, .. } => {
-            if !type_has_known_width(ty) && ty.is_ground() {
-                unresolved.push((name.clone(), ty.is_signed()));
-            }
+        Statement::Wire { name, ty, .. } | Statement::Reg { name, ty, .. }
+            if !type_has_known_width(ty) && ty.is_ground() =>
+        {
+            unresolved.push((name.clone(), ty.is_signed()));
         }
         _ => {}
     });
@@ -110,11 +110,11 @@ pub fn resolve_widths(module: &mut Module, circuit: &Circuit) {
         return;
     }
     module.visit_statements_mut(&mut |stmt| match stmt {
-        Statement::Wire { name, ty, .. } | Statement::Reg { name, ty, .. } => {
-            if !type_has_known_width(ty) {
-                if let Some(new_ty) = inferred.get(name) {
-                    *ty = new_ty.clone();
-                }
+        Statement::Wire { name, ty, .. } | Statement::Reg { name, ty, .. }
+            if !type_has_known_width(ty) =>
+        {
+            if let Some(new_ty) = inferred.get(name) {
+                *ty = new_ty.clone();
             }
         }
         _ => {}

@@ -50,12 +50,7 @@ fn collect_flipped(prefix: &str, ty: &Type, flipped: bool, out: &mut Vec<(String
         }
         Type::Bundle(fields) => {
             for f in fields {
-                collect_flipped(
-                    &format!("{prefix}.{}", f.name),
-                    &f.ty,
-                    flipped ^ f.flipped,
-                    out,
-                );
+                collect_flipped(&format!("{prefix}.{}", f.name), &f.ty, flipped ^ f.flipped, out);
             }
         }
         ground => out.push((prefix.to_string(), ground.clone(), flipped)),
@@ -130,8 +125,8 @@ mod tests {
             Field::flipped("ready", Type::bool()),
         ]);
         let fields = flattened_fields("io", &ty);
-        assert_eq!(fields[0].2, false);
-        assert_eq!(fields[1].2, true);
+        assert!(!fields[0].2);
+        assert!(fields[1].2);
     }
 
     #[test]

@@ -153,12 +153,9 @@ fn chisel_expr(expr: &Expression) -> String {
         Expression::UIntLiteral { value, width: None } => format!("{value}.U"),
         Expression::SIntLiteral { value, width: Some(w) } => format!("{value}.S({w}.W)"),
         Expression::SIntLiteral { value, width: None } => format!("{value}.S"),
-        Expression::Mux { cond, tval, fval } => format!(
-            "Mux({}, {}, {})",
-            chisel_expr(cond),
-            chisel_expr(tval),
-            chisel_expr(fval)
-        ),
+        Expression::Mux { cond, tval, fval } => {
+            format!("Mux({}, {}, {})", chisel_expr(cond), chisel_expr(tval), chisel_expr(fval))
+        }
         Expression::Prim { op, args, params } => chisel_prim(*op, args, params),
         Expression::ScalaCast { arg, target } => {
             format!("{}.asInstanceOf[{target}]", chisel_expr(arg))

@@ -112,7 +112,7 @@ impl SymbolTable {
             Statement::Instance { name, module: child, info } => {
                 let ty = circuit
                     .module(child)
-                    .map(|m| instance_bundle_type(m))
+                    .map(instance_bundle_type)
                     .unwrap_or(Type::Bundle(Vec::new()));
                 table.insert(Symbol {
                     name: name.clone(),
@@ -138,10 +138,7 @@ impl SymbolTable {
                 Diagnostic::error(
                     ErrorCode::DuplicateDeclaration,
                     symbol.info.clone(),
-                    format!(
-                        "{} is already declared at {}",
-                        symbol.name, existing.info
-                    ),
+                    format!("{} is already declared at {}", symbol.name, existing.info),
                 )
                 .with_subject(symbol.name.clone()),
             );
@@ -286,25 +283,25 @@ impl<'a> ExprTyper<'a> {
             Expression::SubField(inner, field) => {
                 let inner_ty = self.infer_depth(inner, depth + 1)?;
                 match inner_ty {
-                    Type::Bundle(fields) => fields
-                        .iter()
-                        .find(|f| &f.name == field)
-                        .map(|f| f.ty.clone())
-                        .ok_or_else(|| {
-                            Diagnostic::error(
-                                ErrorCode::BundleFieldMismatch,
-                                self.context.clone(),
-                                format!(
-                                    "record has no field named {field}; available fields: {}",
-                                    fields
-                                        .iter()
-                                        .map(|f| f.name.clone())
-                                        .collect::<Vec<_>>()
-                                        .join(", ")
-                                ),
-                            )
-                            .with_subject(field.clone())
-                        }),
+                    Type::Bundle(fields) => {
+                        fields.iter().find(|f| &f.name == field).map(|f| f.ty.clone()).ok_or_else(
+                            || {
+                                Diagnostic::error(
+                                    ErrorCode::BundleFieldMismatch,
+                                    self.context.clone(),
+                                    format!(
+                                        "record has no field named {field}; available fields: {}",
+                                        fields
+                                            .iter()
+                                            .map(|f| f.name.clone())
+                                            .collect::<Vec<_>>()
+                                            .join(", ")
+                                    ),
+                                )
+                                .with_subject(field.clone())
+                            },
+                        )
+                    }
                     other => Err(Diagnostic::error(
                         ErrorCode::TypeMismatch,
                         self.context.clone(),
@@ -328,9 +325,7 @@ impl<'a> ExprTyper<'a> {
                                     len.saturating_sub(1)
                                 ),
                             )
-                            .with_subject(
-                                inner.root_ref().unwrap_or_default().to_string(),
-                            ))
+                            .with_subject(inner.root_ref().unwrap_or_default().to_string()))
                         } else {
                             Ok(*elem)
                         }
@@ -348,9 +343,7 @@ impl<'a> ExprTyper<'a> {
                                         w.saturating_sub(1)
                                     ),
                                 )
-                                .with_subject(
-                                    inner.root_ref().unwrap_or_default().to_string(),
-                                ));
+                                .with_subject(inner.root_ref().unwrap_or_default().to_string()));
                             }
                         }
                         Ok(Type::Bool)
@@ -408,10 +401,7 @@ impl<'a> ExprTyper<'a> {
                     return Err(Diagnostic::error(
                         ErrorCode::TypeMismatch,
                         self.context.clone(),
-                        format!(
-                            "mux condition must be a Bool, found {}",
-                            cond_ty.chisel_name()
-                        ),
+                        format!("mux condition must be a Bool, found {}", cond_ty.chisel_name()),
                     ));
                 }
                 let t = self.infer_depth(tval, depth + 1)?;
@@ -467,11 +457,7 @@ impl<'a> ExprTyper<'a> {
             return Err(Diagnostic::error(
                 ErrorCode::BadInvocation,
                 self.context.clone(),
-                format!(
-                    "primitive {op} expects {} argument(s), found {}",
-                    op.arity(),
-                    args.len()
-                ),
+                format!("primitive {op} expects {} argument(s), found {}", op.arity(), args.len()),
             ));
         }
         if params.len() != op.param_count() {
@@ -485,10 +471,8 @@ impl<'a> ExprTyper<'a> {
                 ),
             ));
         }
-        let arg_tys: Vec<Type> = args
-            .iter()
-            .map(|a| self.infer_depth(a, depth + 1))
-            .collect::<Result<_, _>>()?;
+        let arg_tys: Vec<Type> =
+            args.iter().map(|a| self.infer_depth(a, depth + 1)).collect::<Result<_, _>>()?;
         // `asUInt` on an aggregate is legal Chisel: it concatenates the flattened
         // elements (element 0 in the least-significant bits). Every other primitive
         // requires ground operands.
@@ -499,10 +483,7 @@ impl<'a> ExprTyper<'a> {
                     None => Err(Diagnostic::error(
                         ErrorCode::WidthInferenceFailure,
                         self.context.clone(),
-                        format!(
-                            "cannot compute the width of {} for asUInt",
-                            ty.chisel_name()
-                        ),
+                        format!("cannot compute the width of {} for asUInt", ty.chisel_name()),
                     )),
                 };
             }
@@ -562,9 +543,9 @@ impl<'a> ExprTyper<'a> {
             And | Or | Xor => {
                 // Chisel requires both operands to be UInt (Bool is fine); Bool op UInt
                 // mixes are the classic B5 mismatch.
-                let bad = arg_tys.iter().find(|t| {
-                    !matches!(t, Type::UInt(_) | Type::Bool | Type::SInt(_))
-                });
+                let bad = arg_tys
+                    .iter()
+                    .find(|t| !matches!(t, Type::UInt(_) | Type::Bool | Type::SInt(_)));
                 if let Some(bad) = bad {
                     return Err(self.type_mismatch(bad, "chisel3.UInt"));
                 }
@@ -663,7 +644,8 @@ impl<'a> ExprTyper<'a> {
             }
             AsClock => {
                 let t = &arg_tys[0];
-                if matches!(t, Type::Bool) || matches!(numeric_width(t), Some(1)) && !is_clock_like(t)
+                if matches!(t, Type::Bool)
+                    || matches!(numeric_width(t), Some(1)) && !is_clock_like(t)
                 {
                     Ok(Type::Clock)
                 } else {

@@ -177,11 +177,7 @@ impl ModuleBuilder {
     /// Declares a named intermediate value (`val x = <expr>`).
     pub fn node(&mut self, name: &str, value: &Signal) -> Signal {
         let info = self.next_info();
-        self.push(Statement::Node {
-            name: name.to_string(),
-            value: value.expr().clone(),
-            info,
-        });
+        self.push(Statement::Node { name: name.to_string(), value: value.expr().clone(), info });
         Signal::new(Expression::reference(name), value.ty().clone())
     }
 
@@ -201,11 +197,7 @@ impl ModuleBuilder {
     /// the child's ports.
     pub fn instance(&mut self, name: &str, child: &Module) -> Signal {
         let info = self.next_info();
-        self.push(Statement::Instance {
-            name: name.to_string(),
-            module: child.name.clone(),
-            info,
-        });
+        self.push(Statement::Instance { name: name.to_string(), module: child.name.clone(), info });
         let ty = rechisel_firrtl::typeenv::instance_bundle_type(child);
         Signal::new(Expression::reference(name), ty)
     }
@@ -254,7 +246,8 @@ impl ModuleBuilder {
     /// equality comparisons; an optional default arm is set with
     /// [`SwitchBuilder::default`].
     pub fn switch(&mut self, sel: &Signal, f: impl FnOnce(&mut SwitchBuilder<'_>)) {
-        let mut sw = SwitchBuilder { builder: self, sel: sel.clone(), arms: Vec::new(), default: None };
+        let mut sw =
+            SwitchBuilder { builder: self, sel: sel.clone(), arms: Vec::new(), default: None };
         f(&mut sw);
         sw.finish();
     }
@@ -322,12 +315,8 @@ impl<'a> SwitchBuilder<'a> {
         for (value, body) in arms.into_iter().rev() {
             let info = builder.next_info();
             let cond = sel.eq(&Signal::lit(value));
-            let when = Statement::When {
-                cond: cond.expr().clone(),
-                then_body: body,
-                else_body,
-                info,
-            };
+            let when =
+                Statement::When { cond: cond.expr().clone(), then_body: body, else_body, info };
             else_body = vec![when];
         }
         for stmt in else_body {

@@ -110,22 +110,12 @@ impl Signal {
 
     /// Division.
     pub fn div(&self, other: &Signal) -> Signal {
-        self.prim(
-            PrimOp::Div,
-            vec![self.expr.clone(), other.expr.clone()],
-            vec![],
-            self.ty.clone(),
-        )
+        self.prim(PrimOp::Div, vec![self.expr.clone(), other.expr.clone()], vec![], self.ty.clone())
     }
 
     /// Remainder.
     pub fn rem(&self, other: &Signal) -> Signal {
-        self.prim(
-            PrimOp::Rem,
-            vec![self.expr.clone(), other.expr.clone()],
-            vec![],
-            self.ty.clone(),
-        )
+        self.prim(PrimOp::Rem, vec![self.expr.clone(), other.expr.clone()], vec![], self.ty.clone())
     }
 
     /// Arithmetic negation.
@@ -273,10 +263,7 @@ impl Signal {
                 Expression::SubIndex(Box::new(self.expr.clone()), index),
                 (**elem).clone(),
             ),
-            _ => Signal::new(
-                Expression::SubIndex(Box::new(self.expr.clone()), index),
-                Type::Bool,
-            ),
+            _ => Signal::new(Expression::SubIndex(Box::new(self.expr.clone()), index), Type::Bool),
         }
     }
 
@@ -308,10 +295,7 @@ impl Signal {
                 .unwrap_or(Type::UInt(None)),
             _ => Type::UInt(None),
         };
-        Signal::new(
-            Expression::SubField(Box::new(self.expr.clone()), name.to_string()),
-            field_ty,
-        )
+        Signal::new(Expression::SubField(Box::new(self.expr.clone()), name.to_string()), field_ty)
     }
 
     // --- reductions ------------------------------------------------------------------
@@ -335,12 +319,7 @@ impl Signal {
 
     /// Reinterpret as `UInt` (`.asUInt`).
     pub fn as_uint(&self) -> Signal {
-        self.prim(
-            PrimOp::AsUInt,
-            vec![self.expr.clone()],
-            vec![],
-            Type::UInt(self.ty.width()),
-        )
+        self.prim(PrimOp::AsUInt, vec![self.expr.clone()], vec![], Type::UInt(self.ty.width()))
     }
 
     /// Reinterpret as `SInt` (`.asSInt`).

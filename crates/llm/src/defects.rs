@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn expected_codes_match_table2_labels() {
-        assert_eq!(
-            DefectKind::MissingInit.expected_code().unwrap().taxonomy_label(),
-            "B3"
-        );
+        assert_eq!(DefectKind::MissingInit.expected_code().unwrap().taxonomy_label(), "B3");
         assert_eq!(DefectKind::CombLoop.expected_code().unwrap().taxonomy_label(), "C2");
         assert_eq!(DefectKind::Misspelling.expected_code().unwrap().taxonomy_label(), "A1");
     }

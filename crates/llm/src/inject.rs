@@ -131,8 +131,7 @@ fn fallback_syntax_defect(module: &mut Module) {
 fn fallback_functional_defect(module: &mut Module, rng: &mut impl Rng) {
     // Invert the source of one connect whose sink is an output port: guaranteed to
     // change observable behaviour while staying compilable.
-    let outputs: Vec<String> =
-        module.outputs().map(|p| p.name.clone()).collect();
+    let outputs: Vec<String> = module.outputs().map(|p| p.name.clone()).collect();
     let mut indices = Vec::new();
     let mut i = 0usize;
     module.visit_statements(&mut |s| {
@@ -145,7 +144,8 @@ fn fallback_functional_defect(module: &mut Module, rng: &mut impl Rng) {
             i += 1;
         }
     });
-    let Some(&target) = indices.get(rng.gen_range(0..indices.len().max(1)).min(indices.len().saturating_sub(1)))
+    let Some(&target) =
+        indices.get(rng.gen_range(0..indices.len().max(1)).min(indices.len().saturating_sub(1)))
     else {
         return;
     };
@@ -258,10 +258,9 @@ fn inject_missing_init(module: &mut Module, rng: &mut impl Rng) -> bool {
         .iter()
         .enumerate()
         .filter(|(_, s)| match s {
-            Statement::Connect { loc, .. } => loc
-                .root_ref()
-                .map(|root| !reg_names.iter().any(|r| r == root))
-                .unwrap_or(false),
+            Statement::Connect { loc, .. } => {
+                loc.root_ref().map(|root| !reg_names.iter().any(|r| r == root)).unwrap_or(false)
+            }
             _ => false,
         })
         .map(|(i, _)| i)
@@ -282,9 +281,8 @@ fn inject_missing_init(module: &mut Module, rng: &mut impl Rng) -> bool {
 
 /// A boolean condition built from the module's first data input.
 fn guard_condition(module: &Module) -> Expression {
-    let input = module
-        .inputs()
-        .find(|p| p.name != "clock" && p.name != "reset" && p.ty.is_ground());
+    let input =
+        module.inputs().find(|p| p.name != "clock" && p.name != "reset" && p.ty.is_ground());
     match input {
         Some(p) if p.ty == Type::Bool => Expression::reference(&p.name),
         Some(p) => Expression::prim(
@@ -480,9 +478,7 @@ fn swap_first_operator(expr: &mut Expression) -> bool {
         Expression::SubField(inner, _) | Expression::SubIndex(inner, _) => {
             swap_first_operator(inner)
         }
-        Expression::SubAccess(inner, idx) => {
-            swap_first_operator(inner) || swap_first_operator(idx)
-        }
+        Expression::SubAccess(inner, idx) => swap_first_operator(inner) || swap_first_operator(idx),
         Expression::Mux { cond, tval, fval } => {
             swap_first_operator(cond) || swap_first_operator(tval) || swap_first_operator(fval)
         }
@@ -763,10 +759,7 @@ mod tests {
             let defect = DefectInstance::new(*kind, 1000 + i as u64);
             let broken = inject_defects(&rich_reference(), &[defect]);
             let report = check_circuit(&broken);
-            assert!(
-                report.has_errors(),
-                "syntax defect {kind:?} did not produce a compile error"
-            );
+            assert!(report.has_errors(), "syntax defect {kind:?} did not produce a compile error");
         }
     }
 
@@ -818,7 +811,11 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= kinds.len() - 1, "only {changed}/{} kinds changed behaviour", kinds.len());
+        assert!(
+            changed >= kinds.len() - 1,
+            "only {changed}/{} kinds changed behaviour",
+            kinds.len()
+        );
     }
 
     #[test]
@@ -827,7 +824,8 @@ mod tests {
         let a = inject_defects(&rich_reference(), &[d]);
         let b = inject_defects(&rich_reference(), &[d]);
         assert_eq!(a, b);
-        let c = inject_defects(&rich_reference(), &[DefectInstance::new(DefectKind::MissingInit, 8)]);
+        let c =
+            inject_defects(&rich_reference(), &[DefectInstance::new(DefectKind::MissingInit, 8)]);
         // Different seed may pick a different site; at minimum it must stay defective.
         assert!(check_circuit(&c).has_errors());
     }
@@ -837,9 +835,9 @@ mod tests {
         let d = DefectInstance::new(DefectKind::MissingInit, 11);
         let broken = inject_defects(&rich_reference(), &[d]);
         let report = check_circuit(&broken);
-        assert!(report
-            .errors()
-            .any(|e| e.code == ErrorCode::NotFullyInitialized || e.code == ErrorCode::UndrivenOutput));
+        assert!(report.errors().any(
+            |e| e.code == ErrorCode::NotFullyInitialized || e.code == ErrorCode::UndrivenOutput
+        ));
     }
 
     #[test]

@@ -150,8 +150,18 @@ impl ModelProfile {
     pub fn gpt4_turbo() -> Self {
         Self {
             name: "GPT-4 Turbo".into(),
-            chisel: GenerationRates { syntax_rate: 0.21, functional_rate: 0.11, defect_density: 1.5, hard_case_rate: 0.36 },
-            verilog: GenerationRates { syntax_rate: 0.04, functional_rate: 0.12, defect_density: 1.3, hard_case_rate: 0.20 },
+            chisel: GenerationRates {
+                syntax_rate: 0.21,
+                functional_rate: 0.11,
+                defect_density: 1.5,
+                hard_case_rate: 0.36,
+            },
+            verilog: GenerationRates {
+                syntax_rate: 0.04,
+                functional_rate: 0.12,
+                defect_density: 1.3,
+                hard_case_rate: 0.20,
+            },
             chisel_repair: RepairRates {
                 syntax_repair: 0.55,
                 functional_repair: 0.42,
@@ -177,8 +187,18 @@ impl ModelProfile {
     pub fn gpt4o() -> Self {
         Self {
             name: "GPT-4o".into(),
-            chisel: GenerationRates { syntax_rate: 0.21, functional_rate: 0.18, defect_density: 1.5, hard_case_rate: 0.31 },
-            verilog: GenerationRates { syntax_rate: 0.02, functional_rate: 0.07, defect_density: 1.3, hard_case_rate: 0.24 },
+            chisel: GenerationRates {
+                syntax_rate: 0.21,
+                functional_rate: 0.18,
+                defect_density: 1.5,
+                hard_case_rate: 0.31,
+            },
+            verilog: GenerationRates {
+                syntax_rate: 0.02,
+                functional_rate: 0.07,
+                defect_density: 1.3,
+                hard_case_rate: 0.24,
+            },
             chisel_repair: RepairRates {
                 syntax_repair: 0.58,
                 functional_repair: 0.45,
@@ -204,8 +224,18 @@ impl ModelProfile {
     pub fn gpt4o_mini() -> Self {
         Self {
             name: "GPT-4o mini".into(),
-            chisel: GenerationRates { syntax_rate: 0.65, functional_rate: 0.07, defect_density: 2.1, hard_case_rate: 0.66 },
-            verilog: GenerationRates { syntax_rate: 0.04, functional_rate: 0.13, defect_density: 1.6, hard_case_rate: 0.29 },
+            chisel: GenerationRates {
+                syntax_rate: 0.65,
+                functional_rate: 0.07,
+                defect_density: 2.1,
+                hard_case_rate: 0.66,
+            },
+            verilog: GenerationRates {
+                syntax_rate: 0.04,
+                functional_rate: 0.13,
+                defect_density: 1.6,
+                hard_case_rate: 0.29,
+            },
             chisel_repair: RepairRates {
                 syntax_repair: 0.34,
                 functional_repair: 0.24,
@@ -231,8 +261,18 @@ impl ModelProfile {
     pub fn claude35_sonnet() -> Self {
         Self {
             name: "Claude 3.5 Sonnet".into(),
-            chisel: GenerationRates { syntax_rate: 0.38, functional_rate: 0.08, defect_density: 1.6, hard_case_rate: 0.42 },
-            verilog: GenerationRates { syntax_rate: 0.02, functional_rate: 0.05, defect_density: 1.2, hard_case_rate: 0.17 },
+            chisel: GenerationRates {
+                syntax_rate: 0.38,
+                functional_rate: 0.08,
+                defect_density: 1.6,
+                hard_case_rate: 0.42,
+            },
+            verilog: GenerationRates {
+                syntax_rate: 0.02,
+                functional_rate: 0.05,
+                defect_density: 1.2,
+                hard_case_rate: 0.17,
+            },
             chisel_repair: RepairRates {
                 syntax_repair: 0.74,
                 functional_repair: 0.58,
@@ -258,8 +298,18 @@ impl ModelProfile {
     pub fn claude35_haiku() -> Self {
         Self {
             name: "Claude 3.5 Haiku".into(),
-            chisel: GenerationRates { syntax_rate: 0.48, functional_rate: 0.11, defect_density: 1.7, hard_case_rate: 0.43 },
-            verilog: GenerationRates { syntax_rate: 0.02, functional_rate: 0.07, defect_density: 1.3, hard_case_rate: 0.17 },
+            chisel: GenerationRates {
+                syntax_rate: 0.48,
+                functional_rate: 0.11,
+                defect_density: 1.7,
+                hard_case_rate: 0.43,
+            },
+            verilog: GenerationRates {
+                syntax_rate: 0.02,
+                functional_rate: 0.07,
+                defect_density: 1.3,
+                hard_case_rate: 0.17,
+            },
             chisel_repair: RepairRates {
                 syntax_repair: 0.72,
                 functional_repair: 0.55,
@@ -307,13 +357,7 @@ mod tests {
         let names: Vec<String> = ModelProfile::paper_models().into_iter().map(|m| m.name).collect();
         assert_eq!(
             names,
-            vec![
-                "GPT-4 Turbo",
-                "GPT-4o",
-                "GPT-4o mini",
-                "Claude 3.5 Sonnet",
-                "Claude 3.5 Haiku"
-            ]
+            vec!["GPT-4 Turbo", "GPT-4o", "GPT-4o mini", "Claude 3.5 Sonnet", "Claude 3.5 Haiku"]
         );
     }
 

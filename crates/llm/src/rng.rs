@@ -12,7 +12,8 @@ use rand::SeedableRng;
 pub fn mix(parts: &[u64]) -> u64 {
     let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
     for &p in parts {
-        state ^= p.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(state << 6).wrapping_add(state >> 2);
+        state ^=
+            p.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(state << 6).wrapping_add(state >> 2);
         state = splitmix(state);
     }
     state

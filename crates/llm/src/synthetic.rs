@@ -138,7 +138,7 @@ impl SyntheticLlm {
         let mut out = Vec::new();
         let count = {
             let extra = (gen.defect_density - 1.0).clamp(0.0, 1.5);
-            1 + usize::from(rng.gen_bool((extra.min(1.0)).max(0.0)))
+            1 + usize::from(rng.gen_bool(extra.clamp(0.0, 1.0)))
         };
         for _ in 0..count {
             let kind = self.sample_kind(syntax, rng);
@@ -199,9 +199,7 @@ impl Generator for SyntheticLlm {
             // For hard cases the inability to repair is a property of the (case, model)
             // pair, not of the individual sample: this is what keeps the paper's Pass@5
             // and Pass@10 below 100% even after ten reflection iterations.
-            if !defects.is_empty()
-                && hardness_rng.gen_bool(repair.hopeless_rate.clamp(0.0, 1.0))
-            {
+            if !defects.is_empty() && hardness_rng.gen_bool(repair.hopeless_rate.clamp(0.0, 1.0)) {
                 defects[0].hopeless = true;
             }
         } else {
@@ -333,7 +331,11 @@ mod tests {
         FunctionalTester::new(netlist, tb)
     }
 
-    fn run_case(profile: ModelProfile, seed: u64, config: WorkflowConfig) -> rechisel_core::WorkflowResult {
+    fn run_case(
+        profile: ModelProfile,
+        seed: u64,
+        config: WorkflowConfig,
+    ) -> rechisel_core::WorkflowResult {
         let mut llm = SyntheticLlm::new(profile, Language::Chisel, reference(), seed);
         let mut reviewer = TemplateReviewer::new();
         let mut inspector = TraceInspector::new();
@@ -397,11 +399,8 @@ mod tests {
             if z.success {
                 zero_shot += 1;
             }
-            let r = run_case(
-                ModelProfile::claude35_sonnet(),
-                seed,
-                WorkflowConfig::paper_default(),
-            );
+            let r =
+                run_case(ModelProfile::claude35_sonnet(), seed, WorkflowConfig::paper_default());
             if r.success {
                 reflected += 1;
             }

@@ -98,10 +98,11 @@ pub fn eval_expr(
     match expr {
         Expression::Ref(name) => {
             let bits = *env.get(name).ok_or_else(|| EvalError::UnknownSignal(name.clone()))?;
-            let info = infos
-                .get(name)
-                .copied()
-                .unwrap_or(SignalInfo { width: 64, signed: false, is_clock: false });
+            let info = infos.get(name).copied().unwrap_or(SignalInfo {
+                width: 64,
+                signed: false,
+                is_clock: false,
+            });
             Ok(EvalValue::new(bits, info.width, info.signed))
         }
         Expression::UIntLiteral { value, width } => {
@@ -199,7 +200,11 @@ fn eval_prim(
         Not => EvalValue::new(!a.bits, a.width, false),
         Eq => EvalValue::new(u128::from(a.as_i128() == b.expect("binary op").as_i128()), 1, false),
         Neq => EvalValue::new(u128::from(a.as_i128() != b.expect("binary op").as_i128()), 1, false),
-        Lt => EvalValue::new(u128::from(cmp(a, b.expect("binary op")) == std::cmp::Ordering::Less), 1, false),
+        Lt => EvalValue::new(
+            u128::from(cmp(a, b.expect("binary op")) == std::cmp::Ordering::Less),
+            1,
+            false,
+        ),
         Leq => EvalValue::new(
             u128::from(cmp(a, b.expect("binary op")) != std::cmp::Ordering::Greater),
             1,
@@ -236,11 +241,7 @@ fn eval_prim(
         Dshr => {
             let b = b.expect("binary op");
             let amount = (b.as_u128().min(127)) as u32;
-            let value = if a.signed {
-                (a.as_i128() >> amount) as u128
-            } else {
-                a.bits >> amount
-            };
+            let value = if a.signed { (a.as_i128() >> amount) as u128 } else { a.bits >> amount };
             EvalValue::new(value, a.width, a.signed)
         }
         Cat => {
@@ -295,7 +296,9 @@ fn cmp(a: EvalValue, b: EvalValue) -> std::cmp::Ordering {
 mod tests {
     use super::*;
 
-    fn env_of(pairs: &[(&str, u128, u32, bool)]) -> (BTreeMap<String, u128>, BTreeMap<String, SignalInfo>) {
+    fn env_of(
+        pairs: &[(&str, u128, u32, bool)],
+    ) -> (BTreeMap<String, u128>, BTreeMap<String, SignalInfo>) {
         let mut env = BTreeMap::new();
         let mut infos = BTreeMap::new();
         for (name, value, width, signed) in pairs {
@@ -437,6 +440,86 @@ mod tests {
         let (env, infos) = env_of(&[]);
         let err = eval_expr(&Expression::reference("ghost"), &env, &infos).unwrap_err();
         assert!(matches!(err, EvalError::UnknownSignal(_)));
+    }
+
+    #[test]
+    fn width_zero_masks_everything_away() {
+        assert_eq!(mask(u128::MAX, 0), 0);
+        assert_eq!(mask(1, 0), 0);
+        let v = EvalValue::new(0b1011, 0, false);
+        assert_eq!(v.bits, 0);
+        assert_eq!(v.as_u128(), 0);
+        // Signed interpretation of a zero-width value is still zero (no sign bit).
+        let v = EvalValue::new(0b1011, 0, true);
+        assert_eq!(v.as_i128(), 0);
+        // A width-0 signal in the environment reads back as zero regardless of the
+        // stored bit pattern.
+        let e = Expression::reference("z");
+        let v = eval(&e, &[("z", 0xDEAD, 0, false)]);
+        assert_eq!(v.bits, 0);
+        assert_eq!(v.width, 0);
+    }
+
+    #[test]
+    fn width_64_boundary_is_not_truncated() {
+        let all_ones = u64::MAX as u128;
+        assert_eq!(mask(all_ones, 64), all_ones);
+        assert_eq!(mask(all_ones << 1 | 1, 64), all_ones);
+        let v = eval(&Expression::reference("a"), &[("a", all_ones, 64, false)]);
+        assert_eq!(v.bits, all_ones);
+        assert_eq!(v.width, 64);
+        // Addition at the 64-bit boundary carries into bit 64 instead of wrapping.
+        let add = Expression::prim(
+            PrimOp::Add,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&add, &[("a", all_ones, 64, false), ("b", 1, 64, false)]);
+        assert_eq!(v.width, 65);
+        assert_eq!(v.bits, 1u128 << 64);
+        // Cat of two full 64-bit values fills exactly 128 bits.
+        let cat = Expression::prim(
+            PrimOp::Cat,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        let v = eval(&cat, &[("a", all_ones, 64, false), ("b", all_ones, 64, false)]);
+        assert_eq!(v.width, 128);
+        assert_eq!(v.bits, u128::MAX);
+        // 64-bit signed -1 round-trips through the signed interpretation.
+        let v = eval(&Expression::reference("s"), &[("s", all_ones, 64, true)]);
+        assert_eq!(v.as_i128(), -1);
+    }
+
+    #[test]
+    fn signed_sub_wraparound() {
+        let sub = Expression::prim(
+            PrimOp::Sub,
+            vec![Expression::reference("a"), Expression::reference("b")],
+            vec![],
+        );
+        // 4-bit signed: (-8) - 7 = -15, held exactly in the 5-bit result.
+        let v = eval(&sub, &[("a", 0b1000, 4, true), ("b", 0b0111, 4, true)]);
+        assert_eq!(v.width, 5);
+        assert!(v.signed);
+        assert_eq!(v.as_i128(), -15);
+        assert_eq!(v.bits, mask((-15i128) as u128, 5));
+        // 7 - (-8) = 15: the most positive 5-bit signed value.
+        let v = eval(&sub, &[("a", 0b0111, 4, true), ("b", 0b1000, 4, true)]);
+        assert_eq!(v.as_i128(), 15);
+        // Re-truncating the 5-bit result to 4 bits (Bits) wraps: -15 -> 0b0001 -> 1.
+        let trunc = Expression::prim(
+            PrimOp::Bits,
+            vec![Expression::prim(
+                PrimOp::Sub,
+                vec![Expression::reference("a"), Expression::reference("b")],
+                vec![],
+            )],
+            vec![3, 0],
+        );
+        let v = eval(&trunc, &[("a", 0b1000, 4, true), ("b", 0b0111, 4, true)]);
+        assert_eq!(v.bits, 1);
+        assert_eq!(v.width, 4);
     }
 
     #[test]

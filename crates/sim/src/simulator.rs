@@ -118,10 +118,7 @@ impl Simulator {
     ///
     /// Returns [`SimError::NoSuchPort`] if the signal does not exist.
     pub fn peek(&self, name: &str) -> Result<u128, SimError> {
-        self.values
-            .get(name)
-            .copied()
-            .ok_or_else(|| SimError::NoSuchPort(name.to_string()))
+        self.values.get(name).copied().ok_or_else(|| SimError::NoSuchPort(name.to_string()))
     }
 
     /// Re-evaluates all combinational logic with the current inputs and register state.
@@ -172,11 +169,8 @@ impl Simulator {
 
     /// Asserts the `reset` input (when present) for `cycles` cycles, then deasserts it.
     pub fn reset(&mut self, cycles: u32) -> Result<(), SimError> {
-        let has_reset = self
-            .netlist
-            .ports
-            .iter()
-            .any(|p| p.name == "reset" && p.direction == Direction::Input);
+        let has_reset =
+            self.netlist.ports.iter().any(|p| p.name == "reset" && p.direction == Direction::Input);
         if has_reset {
             self.poke("reset", 1)?;
             self.step_n(cycles)?;
@@ -198,11 +192,7 @@ impl Simulator {
 
     /// Names of the data input ports (excluding clock and reset).
     pub fn input_names(&self) -> Vec<String> {
-        self.netlist
-            .data_inputs()
-            .filter(|p| p.name != "reset")
-            .map(|p| p.name.clone())
-            .collect()
+        self.netlist.data_inputs().filter(|p| p.name != "reset").map(|p| p.name.clone()).collect()
     }
 }
 

@@ -229,7 +229,9 @@ impl VModule {
 
     /// Counts structural elements, used by benches as a size proxy.
     pub fn size(&self) -> usize {
-        self.ports.len() + self.decls.len() + self.assigns.len()
+        self.ports.len()
+            + self.decls.len()
+            + self.assigns.len()
             + self.always.iter().map(|a| a.updates.len()).sum::<usize>()
     }
 }

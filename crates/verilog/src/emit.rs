@@ -48,12 +48,15 @@ pub fn emit_netlist(netlist: &Netlist) -> Result<VModule, EmitError> {
     let output_names: Vec<String> = netlist.outputs().map(|p| p.name.clone()).collect();
     for def in &netlist.defs {
         if !output_names.contains(&def.name) {
-            module.decls.push(VDecl { name: def.name.clone(), width: def.info.width, is_reg: false });
+            module.decls.push(VDecl {
+                name: def.name.clone(),
+                width: def.info.width,
+                is_reg: false,
+            });
         }
-        module.assigns.push(VAssign {
-            target: def.name.clone(),
-            expr: emit_expr(&def.expr, netlist)?,
-        });
+        module
+            .assigns
+            .push(VAssign { target: def.name.clone(), expr: emit_expr(&def.expr, netlist)? });
     }
     // Group register updates by clock.
     for reg in &netlist.regs {
@@ -68,9 +71,7 @@ pub fn emit_netlist(netlist: &Netlist) -> Result<VModule, EmitError> {
         };
         match module.always.iter_mut().find(|a| a.clock == reg.clock) {
             Some(block) => block.updates.push(update),
-            None => module
-                .always
-                .push(VAlways { clock: reg.clock.clone(), updates: vec![update] }),
+            None => module.always.push(VAlways { clock: reg.clock.clone(), updates: vec![update] }),
         }
     }
     Ok(module)
@@ -86,9 +87,7 @@ pub fn emit_verilog(netlist: &Netlist) -> Result<String, EmitError> {
 }
 
 fn signal_info(netlist: &Netlist, name: &str) -> SignalInfo {
-    netlist
-        .signal(name)
-        .unwrap_or(SignalInfo { width: 1, signed: false, is_clock: false })
+    netlist.signal(name).unwrap_or(SignalInfo { width: 1, signed: false, is_clock: false })
 }
 
 fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
@@ -99,7 +98,8 @@ fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
         }
         Expression::SIntLiteral { value, width } => {
             let w = width.unwrap_or(32);
-            let masked = if w >= 128 { *value as u128 } else { (*value as u128) & ((1u128 << w) - 1) };
+            let masked =
+                if w >= 128 { *value as u128 } else { (*value as u128) & ((1u128 << w) - 1) };
             Ok(VExpr::lit(masked, w))
         }
         Expression::Mux { cond, tval, fval } => Ok(VExpr::Conditional {

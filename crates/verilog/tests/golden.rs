@@ -1,0 +1,48 @@
+//! Golden-file test for the Verilog emitter.
+//!
+//! The emitted text of a representative module — ports of several widths, named
+//! intermediate wires, a reset+enable register, a mux tree, arithmetic with bit
+//! truncation and a reduction — is pinned in `tests/golden/accum_alu.v`. Emitter
+//! refactors that change the output, even in whitespace, must update the golden
+//! file deliberately rather than drifting silently.
+
+use rechisel_hcl::prelude::*;
+use rechisel_verilog::emit_verilog;
+
+/// The representative design: an accumulating ALU with enable and op-select.
+fn accum_alu() -> Circuit {
+    let mut m = ModuleBuilder::new("AccumAlu");
+    let en = m.input("en", Type::bool());
+    let op = m.input("op", Type::bool());
+    let a = m.input("a", Type::uint(8));
+    let b = m.input("b", Type::uint(8));
+    let out = m.output("out", Type::uint(8));
+    let busy = m.output("busy", Type::bool());
+    let sum = m.node("sum", &a.add(&b).bits(7, 0));
+    let diff = m.node("diff", &a.sub(&b).bits(7, 0));
+    let picked = mux(&op, &diff, &sum);
+    let acc = m.reg_init("acc", Type::uint(8), &Signal::lit_w(0, 8));
+    m.when(&en, |m| m.connect(&acc, &picked));
+    m.connect(&out, &acc);
+    m.connect(&busy, &acc.or_r());
+    m.into_circuit()
+}
+
+#[test]
+fn emitted_verilog_matches_golden_file() {
+    let netlist = rechisel_firrtl::lower_circuit(&accum_alu()).expect("AccumAlu lowers");
+    let emitted = emit_verilog(&netlist).expect("AccumAlu emits");
+    let golden = include_str!("golden/accum_alu.v");
+    assert_eq!(
+        emitted.trim_end(),
+        golden.trim_end(),
+        "emitted Verilog diverged from tests/golden/accum_alu.v; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn golden_module_is_stable_across_emissions() {
+    let netlist = rechisel_firrtl::lower_circuit(&accum_alu()).unwrap();
+    assert_eq!(emit_verilog(&netlist).unwrap(), emit_verilog(&netlist).unwrap());
+}

@@ -1,0 +1,27 @@
+module AccumAlu(
+  input wire clock,
+  input wire reset,
+  input wire en,
+  input wire op,
+  input wire [7:0] a,
+  input wire [7:0] b,
+  output wire [7:0] out,
+  output wire busy
+);
+  wire [7:0] sum;
+  wire [7:0] diff;
+  reg [7:0] acc;
+
+  assign sum = (((a + b) >> 32'd0) & 8'd255);
+  assign diff = (((a - b) >> 32'd0) & 8'd255);
+  assign out = acc;
+  assign busy = (|acc);
+
+  always @(posedge clock) begin
+    if (reset) begin
+      acc <= 8'd0;
+    end else begin
+      acc <= (en ? (op ? diff : sum) : acc);
+    end
+  end
+endmodule

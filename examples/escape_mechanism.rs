@@ -16,8 +16,18 @@ use rechisel::llm::{GenerationRates, Language, ModelProfile, RepairRates, Synthe
 fn stubborn_profile() -> ModelProfile {
     ModelProfile {
         name: "Stubborn-LLM".into(),
-        chisel: GenerationRates { syntax_rate: 1.0, functional_rate: 0.2, defect_density: 1.0, hard_case_rate: 0.0 },
-        verilog: GenerationRates { syntax_rate: 0.2, functional_rate: 0.3, defect_density: 1.0, hard_case_rate: 0.0 },
+        chisel: GenerationRates {
+            syntax_rate: 1.0,
+            functional_rate: 0.2,
+            defect_density: 1.0,
+            hard_case_rate: 0.0,
+        },
+        verilog: GenerationRates {
+            syntax_rate: 0.2,
+            functional_rate: 0.3,
+            defect_density: 1.0,
+            hard_case_rate: 0.0,
+        },
         chisel_repair: RepairRates {
             syntax_repair: 0.45,
             functional_repair: 0.35,

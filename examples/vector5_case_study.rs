@@ -25,8 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = ModelProfile::gpt4o();
     let mut chosen = None;
     for attempt in 0..32u32 {
-        let mut llm =
-            SyntheticLlm::new(profile.clone(), Language::Chisel, case.reference.clone(), case.seed());
+        let mut llm = SyntheticLlm::new(
+            profile.clone(),
+            Language::Chisel,
+            case.reference.clone(),
+            case.seed(),
+        );
         let result =
             workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, attempt);
         if result.success && result.success_iteration.unwrap_or(0) > 0 {
@@ -35,8 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let (attempt, result) = chosen.unwrap_or_else(|| {
-        let mut llm =
-            SyntheticLlm::new(profile.clone(), Language::Chisel, case.reference.clone(), case.seed());
+        let mut llm = SyntheticLlm::new(
+            profile.clone(),
+            Language::Chisel,
+            case.reference.clone(),
+            case.seed(),
+        );
         (0, workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, 0))
     });
 

@@ -52,42 +52,42 @@ fn broken_design_produces_structured_feedback() {
     let circuit = m.into_circuit();
 
     let errors = ChiselCompiler::new().compile(&circuit).unwrap_err();
-    assert!(errors
-        .iter()
-        .any(|d| d.code == rechisel::firrtl::ErrorCode::NotFullyInitialized));
-    let b3 = errors
-        .iter()
-        .find(|d| d.code == rechisel::firrtl::ErrorCode::NotFullyInitialized)
-        .unwrap();
+    assert!(errors.iter().any(|d| d.code == rechisel::firrtl::ErrorCode::NotFullyInitialized));
+    let b3 =
+        errors.iter().find(|d| d.code == rechisel::firrtl::ErrorCode::NotFullyInitialized).unwrap();
     assert_eq!(b3.subject.as_deref(), Some("w"));
     assert!(b3.suggestion.as_ref().unwrap().contains("WireDefault"));
 }
 
 #[test]
 fn workflow_repairs_a_defective_generation() {
-    // Use a strong profile and check that across a few samples, at least one run that
-    // failed at iteration 0 is repaired by reflection.
-    let case = &sampled_suite(8)[3];
-    let tester = case.tester();
+    // Use a strong profile and check that across a slice of cases and a few samples
+    // each, runs that failed at iteration 0 get repaired by reflection. (A single case
+    // can be hopeless for a given (case, model) hardness draw, so the scan covers the
+    // whole slice rather than betting on one case.)
+    let suite = sampled_suite(8);
     let workflow = Workflow::new(WorkflowConfig::paper_default());
     let profile = ModelProfile::claude35_sonnet();
 
     let mut repaired = 0;
-    for sample in 0..12u32 {
-        let mut llm = SyntheticLlm::new(
-            profile.clone(),
-            Language::Chisel,
-            case.reference.clone(),
-            case.seed(),
-        );
-        let mut reviewer = TemplateReviewer::new();
-        let mut inspector = TraceInspector::new();
-        let result =
-            workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, sample);
-        if result.success && result.success_iteration.unwrap_or(0) > 0 {
-            repaired += 1;
-            // A successful run must produce Verilog for the user.
-            assert!(result.final_verilog.is_some());
+    for case in &suite {
+        let tester = case.tester();
+        for sample in 0..6u32 {
+            let mut llm = SyntheticLlm::new(
+                profile.clone(),
+                Language::Chisel,
+                case.reference.clone(),
+                case.seed(),
+            );
+            let mut reviewer = TemplateReviewer::new();
+            let mut inspector = TraceInspector::new();
+            let result =
+                workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, sample);
+            if result.success && result.success_iteration.unwrap_or(0) > 0 {
+                repaired += 1;
+                // A successful run must produce Verilog for the user.
+                assert!(result.final_verilog.is_some());
+            }
         }
     }
     assert!(repaired > 0, "expected at least one run to be repaired by reflection");
@@ -107,9 +107,11 @@ fn reflection_beats_zero_shot_on_a_suite_slice() {
 #[test]
 fn chisel_baseline_is_weaker_than_verilog_but_rechisel_closes_the_gap() {
     // The paper's central comparison, on a small slice: zero-shot Chisel < zero-shot
-    // Verilog, but with reflection the Chisel flow becomes comparable.
-    let suite = sampled_suite(8);
-    let samples = 3;
+    // Verilog, but with reflection the Chisel flow becomes comparable. The slice is
+    // large enough (16 cases x 5 samples) that per-case hardness draws don't dominate
+    // the estimate.
+    let suite = sampled_suite(16);
+    let samples = 5;
     let chisel = run_model(
         &ModelProfile::claude35_sonnet(),
         &suite,

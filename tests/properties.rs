@@ -37,7 +37,7 @@ proptest! {
         let c = c.min(n);
         let p = pass_at_k(n, c, k);
         prop_assert!((0.0..=1.0).contains(&p));
-        if c + 1 <= n {
+        if c < n {
             prop_assert!(pass_at_k(n, c + 1, k) >= p - 1e-12);
         }
         prop_assert!(pass_at_k(n, c, k + 1) >= p - 1e-12);

@@ -1,0 +1,118 @@
+//! Offline stub of `criterion` (see vendor/README.md).
+//!
+//! Provides the subset used by this repository's benches: `Criterion`
+//! (`default`, `sample_size`, `bench_function`), `Bencher::iter`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Timing is plain
+//! wall-clock sampling with a median report — enough to compare hot paths
+//! while offline; swap in the real crate for statistics and HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. Runs each registered function `sample_size` times and
+/// reports the median per-iteration wall-clock time.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warmup sample, then the measured ones.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if i > 0 && b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() / u128::from(b.iters));
+            }
+        }
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
+        println!("{id:<40} median {median:>12} ns/iter ({} samples)", samples.len());
+        self
+    }
+
+    /// Accepted for CLI compatibility with the real crate; the stub has no
+    /// persistent baselines to configure.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Per-sample measurement handle passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // A fixed small batch keeps stub runtime bounded regardless of the
+        // routine's cost; the median across samples smooths the noise.
+        const BATCH: u64 = 10;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn group_and_samples_run() {
+        let mut c = Criterion::default().sample_size(3);
+        trivial_bench(&mut c);
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline deterministic stub of the `rand` crate (see vendor/README.md).
+//!
+//! Implements the subset of the rand 0.8 API surface used in this repository:
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`RngCore`], [`SeedableRng`] and
+//! [`rngs::StdRng`]. The generator is a splitmix64 stream: statistically fine
+//! for test-stimulus generation and, critically for the test-suite, fully
+//! deterministic in the seed.
+
+/// Low-level entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible from a uniform `u64` draw via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn from_u64(raw: u64) -> Self {
+        u128::from(raw)
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                let off = (u128::from(draw) % span) as $wide;
+                (lo as $wide).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleUniform for u128 {
+    fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + u128::from(draw) % (hi - lo)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        let draw = self.next_u64();
+        T::sample_half_open(range.start, range.end, draw)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 stream, standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let x = rng.gen_range(0u128..1u128 << 80);
+            assert!(x < 1u128 << 80);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

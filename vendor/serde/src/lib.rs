@@ -1,0 +1,13 @@
+//! Offline stub of `serde` (see vendor/README.md).
+//!
+//! Exposes the `Serialize` / `Deserialize` names as marker traits plus the
+//! no-op derive macros from the sibling `serde_derive` stub, which is all the
+//! surface this repository uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

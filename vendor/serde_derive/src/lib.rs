@@ -1,0 +1,18 @@
+//! No-op stand-ins for serde's derive macros (offline stub, see vendor/README.md).
+//!
+//! The repository derives `Serialize`/`Deserialize` on its IR types but never
+//! serializes them (there is no `serde_json` in the tree), so the derives can
+//! safely expand to nothing. When the real `serde` is swapped back in, these
+//! derives regain their full meaning without any source changes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
