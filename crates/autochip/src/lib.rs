@@ -20,13 +20,14 @@
 
 #![warn(missing_docs)]
 
-use rechisel_benchsuite::runner::{CaseOutcome, ExperimentConfig, ModelOutcome};
-use rechisel_benchsuite::BenchmarkCase;
-use rechisel_core::{
-    ChiselCompiler, TemplateReviewer, TraceInspector, Workflow, WorkflowConfig, WorkflowResult,
+use rechisel_benchsuite::runner::{
+    run_case_with_engine, run_sample_with_engine, sweep_suite, CaseOutcome, ExperimentConfig,
+    ModelOutcome,
 };
+use rechisel_benchsuite::BenchmarkCase;
+use rechisel_core::{ChiselCompiler, Engine, Workflow, WorkflowConfig, WorkflowResult};
 use rechisel_firrtl::check::CheckOptions;
-use rechisel_llm::{Language, ModelProfile, SyntheticLlm};
+use rechisel_llm::{Language, ModelProfile};
 
 /// Configuration of the AutoChip baseline flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,16 +72,35 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
 }
 
-/// Builds the AutoChip workflow: Verilog-style checking, no Chisel knowledge base,
-/// escape behaviour identical to the generic feedback loop.
-pub fn autochip_workflow(max_iterations: u32) -> Workflow {
-    let config = WorkflowConfig {
+/// The AutoChip workflow configuration: escape behaviour identical to the generic
+/// feedback loop, but no Chisel knowledge base.
+fn autochip_workflow_config(max_iterations: u32) -> WorkflowConfig {
+    WorkflowConfig {
         max_iterations,
         escape_enabled: true,
         knowledge_enabled: false,
         feedback_detail: rechisel_core::FeedbackDetail::Full,
-    };
-    Workflow::new(config).with_compiler(ChiselCompiler::with_options(CheckOptions::verilog_like()))
+    }
+}
+
+/// The AutoChip compiler: only the checks a plain Verilog tool-flow would perform (no
+/// abstract reset or implicit-clock analysis).
+fn autochip_compiler() -> ChiselCompiler {
+    ChiselCompiler::with_options(CheckOptions::verilog_like())
+}
+
+/// Builds the AutoChip engine: Verilog-style checking, no Chisel knowledge base.
+pub fn autochip_engine(max_iterations: u32) -> Engine {
+    Engine::builder()
+        .config(autochip_workflow_config(max_iterations))
+        .compiler(autochip_compiler())
+        .build()
+}
+
+/// Builds the AutoChip workflow — the legacy shim over [`autochip_engine`], kept for
+/// callers still on the `Workflow::run` entry point.
+pub fn autochip_workflow(max_iterations: u32) -> Workflow {
+    Workflow::new(autochip_workflow_config(max_iterations)).with_compiler(autochip_compiler())
 }
 
 /// Runs one sample of one case through the AutoChip flow.
@@ -90,13 +110,8 @@ pub fn run_autochip_sample(
     config: &AutoChipConfig,
     sample: u32,
 ) -> WorkflowResult {
-    let tester = case.tester();
-    let mut llm =
-        SyntheticLlm::new(profile.clone(), Language::Verilog, case.reference.clone(), case.seed());
-    let mut reviewer = TemplateReviewer::new();
-    let mut inspector = TraceInspector::new();
-    let workflow = autochip_workflow(config.max_iterations);
-    workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, sample)
+    let engine = autochip_engine(config.max_iterations);
+    run_sample_with_engine(&engine, case, profile, Language::Verilog, sample)
 }
 
 /// Runs every sample of one case through the AutoChip flow.
@@ -105,50 +120,23 @@ pub fn run_autochip_case(
     profile: &ModelProfile,
     config: &AutoChipConfig,
 ) -> CaseOutcome {
-    let mut samples = Vec::with_capacity(config.samples as usize);
-    for sample in 0..config.samples {
-        samples.push(run_autochip_sample(case, profile, config, sample));
-    }
-    CaseOutcome { case_id: case.id.clone(), samples }
+    let engine = autochip_engine(config.max_iterations);
+    run_case_with_engine(&engine, case, profile, Language::Verilog, config.samples)
 }
 
-/// Runs a full model × suite sweep through the AutoChip flow.
+/// Runs a full model × suite sweep through the AutoChip flow, at the same case × sample
+/// parallel granularity (and with the same deterministic result ordering) as
+/// `rechisel_benchsuite::run_model`.
 pub fn run_autochip_model(
     profile: &ModelProfile,
     suite: &[BenchmarkCase],
     config: &AutoChipConfig,
 ) -> ModelOutcome {
-    let threads = config.threads.max(1);
-    let mut outcomes: Vec<Option<CaseOutcome>> = vec![None; suite.len()];
-    if threads == 1 || suite.len() <= 1 {
-        for (i, case) in suite.iter().enumerate() {
-            outcomes[i] = Some(run_autochip_case(case, profile, config));
-        }
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: std::sync::Mutex<Vec<(usize, CaseOutcome)>> =
-            std::sync::Mutex::new(Vec::with_capacity(suite.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(suite.len()) {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if index >= suite.len() {
-                        break;
-                    }
-                    let outcome = run_autochip_case(&suite[index], profile, config);
-                    results.lock().expect("autochip mutex").push((index, outcome));
-                });
-            }
-        });
-        for (index, outcome) in results.into_inner().expect("autochip mutex") {
-            outcomes[index] = Some(outcome);
-        }
-    }
-    ModelOutcome {
-        model: profile.name.clone(),
-        language: Language::Verilog,
-        cases: outcomes.into_iter().map(|o| o.expect("all cases evaluated")).collect(),
-    }
+    let engine = autochip_engine(config.max_iterations);
+    let cases = sweep_suite(suite, config.samples, config.threads, |case, sample| {
+        run_sample_with_engine(&engine, case, profile, Language::Verilog, sample)
+    });
+    ModelOutcome { model: profile.name.clone(), language: Language::Verilog, cases }
 }
 
 #[cfg(test)]

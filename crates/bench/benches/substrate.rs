@@ -10,8 +10,8 @@ use rechisel_sim::{run_testbench, Testbench};
 use rechisel_verilog::emit_verilog;
 
 fn bench_substrate(c: &mut Criterion) {
-    let comb = combinational::vector5().reference;
-    let seq = sequential::register_file(8, 8, SourceFamily::Rtllm).reference;
+    let comb = combinational::vector5().into_reference();
+    let seq = sequential::register_file(8, 8, SourceFamily::Rtllm).into_reference();
 
     c.bench_function("check/vector5", |b| b.iter(|| check_circuit(std::hint::black_box(&comb))));
     c.bench_function("check/regfile8x8", |b| b.iter(|| check_circuit(std::hint::black_box(&seq))));
@@ -26,6 +26,18 @@ fn bench_substrate(c: &mut Criterion) {
     let seq_netlist = lower_circuit(&seq).unwrap();
     c.bench_function("emit_verilog/regfile8x8", |b| {
         b.iter(|| emit_verilog(std::hint::black_box(&seq_netlist)).unwrap())
+    });
+
+    // Tester construction: the per-sample cost the per-case caches remove. "uncached"
+    // is the reference lowering every tester() call used to pay; "cached" is a
+    // tester() call against the warm per-case caches (netlist + tester prototype).
+    let case = sequential::register_file(8, 8, SourceFamily::Rtllm);
+    c.bench_function("tester/regfile8x8_uncached_lower", |b| {
+        b.iter(|| lower_circuit(std::hint::black_box(case.reference())).unwrap())
+    });
+    case.tester();
+    c.bench_function("tester/regfile8x8_cached", |b| {
+        b.iter(|| std::hint::black_box(&case).tester())
     });
 
     let comb_tb = Testbench::random_for(&comb_netlist, 32, 0, 1);

@@ -13,8 +13,8 @@ use rechisel_llm::{inject_defects, DefectInstance, DefectKind};
 
 fn main() {
     println!("Table II: common syntax errors and the compiler feedback they produce\n");
-    let comb_reference = combinational::vector5().reference;
-    let seq_reference = sequential::accumulator(8, SourceFamily::Rtllm).reference;
+    let comb_reference = combinational::vector5().into_reference();
+    let seq_reference = sequential::accumulator(8, SourceFamily::Rtllm).into_reference();
 
     for (i, kind) in DefectKind::syntax_kinds().iter().enumerate() {
         // Clock/reset-related defects need a sequential design to show themselves.

@@ -6,8 +6,11 @@
 //! used to judge functional correctness, and a testbench. [`BenchmarkCase`] carries
 //! exactly those pieces, built on this repository's substrate.
 
+use std::sync::OnceLock;
+
 use rechisel_core::{FunctionalTester, PortSpec, Spec};
 use rechisel_firrtl::ir::{Circuit, Direction};
+use rechisel_firrtl::lower::Netlist;
 use rechisel_firrtl::lower_circuit;
 use rechisel_sim::Testbench;
 
@@ -60,7 +63,7 @@ impl std::fmt::Display for Category {
 }
 
 /// One benchmark case.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BenchmarkCase {
     /// Unique id, e.g. `hdlbits/vector5`.
     pub id: String,
@@ -70,12 +73,38 @@ pub struct BenchmarkCase {
     pub category: Category,
     /// The specification handed to the Generator.
     pub spec: Spec,
-    /// The reference implementation.
-    pub reference: Circuit,
+    /// The reference implementation. Private so it cannot be swapped after the
+    /// netlist/tester caches below are populated; read it via
+    /// [`reference`](Self::reference).
+    reference: Circuit,
     /// Number of functional points in the testbench.
     pub test_points: usize,
     /// Clock cycles advanced per functional point (0 = combinational check).
     pub cycles_per_point: u32,
+    /// Lazily compiled reference netlist, so that building a tester per sample does
+    /// not recompile the reference per call.
+    reference_netlist: OnceLock<Netlist>,
+    /// Lazily built tester prototype; [`tester`](Self::tester) hands out clones so the
+    /// per-sample cost is a copy, not a testbench regeneration.
+    tester_cache: OnceLock<FunctionalTester>,
+}
+
+impl Clone for BenchmarkCase {
+    /// Clones the case with fresh (empty) caches; the clone re-derives them on first
+    /// use from its own IR.
+    fn clone(&self) -> Self {
+        Self {
+            id: self.id.clone(),
+            family: self.family,
+            category: self.category,
+            spec: self.spec.clone(),
+            reference: self.reference.clone(),
+            test_points: self.test_points,
+            cycles_per_point: self.cycles_per_point,
+            reference_netlist: OnceLock::new(),
+            tester_cache: OnceLock::new(),
+        }
+    }
 }
 
 impl BenchmarkCase {
@@ -99,7 +128,27 @@ impl BenchmarkCase {
             .map(|p| PortSpec { name: p.name.clone(), direction: p.direction, ty: p.ty.clone() })
             .collect();
         let spec = Spec::new(top.name.clone(), description, ports);
-        Self { id, family, category, spec, reference, test_points, cycles_per_point }
+        Self {
+            id,
+            family,
+            category,
+            spec,
+            reference,
+            test_points,
+            cycles_per_point,
+            reference_netlist: OnceLock::new(),
+            tester_cache: OnceLock::new(),
+        }
+    }
+
+    /// The reference implementation.
+    pub fn reference(&self) -> &Circuit {
+        &self.reference
+    }
+
+    /// Unwraps the reference implementation (drops the caches).
+    pub fn into_reference(self) -> Circuit {
+        self.reference
     }
 
     /// A stable per-case seed derived from the id.
@@ -128,18 +177,44 @@ impl BenchmarkCase {
             .sum()
     }
 
+    /// The compiled reference netlist, lowered on first use and cached per instance
+    /// (clones start with a fresh cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference design does not compile — reference designs are part of
+    /// the suite and are validated by the suite's tests.
+    pub fn reference_netlist(&self) -> &Netlist {
+        self.reference_netlist.get_or_init(|| {
+            lower_circuit(&self.reference)
+                .unwrap_or_else(|e| panic!("reference design {} failed to lower: {e}", self.id))
+        })
+    }
+
     /// Builds the functional tester (reference netlist + testbench) for this case.
+    ///
+    /// The tester is built once per case instance and cached; repeated calls — one per
+    /// sample in a sweep — pay only a clone, not a reference lowering or a testbench
+    /// regeneration. (The testbench is seeded by [`seed`](Self::seed), so a clone and a
+    /// regeneration are identical.)
     ///
     /// # Panics
     ///
     /// Panics if the reference design does not compile — reference designs are part of
     /// the suite and are validated by the suite's tests.
     pub fn tester(&self) -> FunctionalTester {
-        let netlist = lower_circuit(&self.reference)
-            .unwrap_or_else(|e| panic!("reference design {} failed to lower: {e}", self.id));
-        let testbench =
-            Testbench::random_for(&netlist, self.test_points, self.cycles_per_point, self.seed());
-        FunctionalTester::new(netlist, testbench)
+        self.tester_cache
+            .get_or_init(|| {
+                let netlist = self.reference_netlist().clone();
+                let testbench = Testbench::random_for(
+                    &netlist,
+                    self.test_points,
+                    self.cycles_per_point,
+                    self.seed(),
+                );
+                FunctionalTester::new(netlist, testbench)
+            })
+            .clone()
     }
 }
 
@@ -179,6 +254,20 @@ mod tests {
         let mut b = tiny_case();
         b.id = "test/other".into();
         assert_ne!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn reference_netlist_is_cached_per_instance() {
+        let case = tiny_case();
+        let first = case.reference_netlist() as *const Netlist;
+        let again = case.reference_netlist() as *const Netlist;
+        assert_eq!(first, again, "repeated calls must hit the cache");
+        // Clones get a fresh cache (so a clone with a replaced `reference` can never
+        // see the original's netlist), but derive an equal netlist from the same IR.
+        let clone = case.clone();
+        let cloned = clone.reference_netlist() as *const Netlist;
+        assert_ne!(first, cloned, "clones must not share the cache");
+        assert_eq!(case.reference_netlist(), clone.reference_netlist());
     }
 
     #[test]

@@ -182,7 +182,7 @@ mod tests {
     use rechisel_sim::Simulator;
 
     fn assert_clean(case: &BenchmarkCase) {
-        let report = check_circuit(&case.reference);
+        let report = check_circuit(case.reference());
         assert!(!report.has_errors(), "{} has errors: {report:?}", case.id);
         let tester = case.tester();
         assert!(tester.test(tester.reference()).passed(), "{} self-test failed", case.id);
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn adder_produces_carry() {
         let case = adder(8, SourceFamily::VerilogEval);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.poke("a", 200).unwrap();
         sim.poke("b", 100).unwrap();
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn alu_opcodes() {
         let case = alu(8, SourceFamily::Rtllm);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.poke("a", 12).unwrap();
         sim.poke("b", 10).unwrap();
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn saturating_adder_clamps() {
         let case = saturating_adder(4, SourceFamily::VerilogEval);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.poke("a", 12).unwrap();
         sim.poke("b", 9).unwrap();

@@ -395,7 +395,7 @@ mod tests {
     use rechisel_firrtl::check_circuit;
 
     fn assert_clean(case: &BenchmarkCase) {
-        let report = check_circuit(&case.reference);
+        let report = check_circuit(case.reference());
         assert!(!report.has_errors(), "{} has errors: {report:?}", case.id);
         let tester = case.tester();
         assert!(tester.test(tester.reference()).passed(), "{} self-test failed", case.id);
@@ -433,7 +433,7 @@ mod tests {
         use rechisel_firrtl::lower_circuit;
         use rechisel_sim::Simulator;
         let case = vector5();
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         // a=1, b=0, c=1, d=0, e=1.
         for (name, value) in [("a", 1u128), ("b", 0), ("c", 1), ("d", 0), ("e", 1)] {
@@ -465,7 +465,7 @@ mod tests {
         use rechisel_firrtl::lower_circuit;
         use rechisel_sim::Simulator;
         let case = priority_encoder(8, SourceFamily::VerilogEval);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.poke("in", 0b0110_0000).unwrap();
         sim.eval().unwrap();
@@ -481,7 +481,7 @@ mod tests {
         use rechisel_firrtl::lower_circuit;
         use rechisel_sim::Simulator;
         let case = byte_swap(2, SourceFamily::HdlBits);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.poke("in", 0xAB_CD).unwrap();
         sim.eval().unwrap();

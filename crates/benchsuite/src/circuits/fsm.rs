@@ -261,7 +261,7 @@ mod tests {
     use rechisel_sim::Simulator;
 
     fn assert_clean(case: &BenchmarkCase) {
-        let report = check_circuit(&case.reference);
+        let report = check_circuit(case.reference());
         assert!(!report.has_errors(), "{} has errors: {report:?}", case.id);
         let tester = case.tester();
         assert!(tester.test(tester.reference()).passed(), "{} self-test failed", case.id);
@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn sequence_detector_fires_on_pattern() {
         let case = sequence_detector(&[1, 0, 1], SourceFamily::HdlBits);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.reset(2).unwrap();
         let stream = [1u128, 0, 1, 1, 0, 1];
@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn arbiter_grants_are_mutually_exclusive() {
         let case = arbiter2(SourceFamily::VerilogEval);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.reset(2).unwrap();
         for pattern in [(0u128, 0u128), (1, 0), (0, 1), (1, 1), (1, 1), (1, 1)] {
@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn vending_machine_dispenses_at_price() {
         let case = vending_machine(3, SourceFamily::Rtllm);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.reset(2).unwrap();
         // Insert 2 then 1: dispense on the second coin.

@@ -359,7 +359,7 @@ mod tests {
     use rechisel_sim::Simulator;
 
     fn assert_clean(case: &BenchmarkCase) {
-        let report = check_circuit(&case.reference);
+        let report = check_circuit(case.reference());
         assert!(!report.has_errors(), "{} has errors: {report:?}", case.id);
         let tester = case.tester();
         assert!(tester.test(tester.reference()).passed(), "{} self-test failed", case.id);
@@ -391,7 +391,7 @@ mod tests {
     #[test]
     fn counter_mod_wraps_at_modulus() {
         let case = counter_mod(3, SourceFamily::Rtllm);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.reset(2).unwrap();
         sim.poke("en", 1).unwrap();
@@ -406,7 +406,7 @@ mod tests {
     #[test]
     fn register_file_reads_back_writes() {
         let case = register_file(8, 4, SourceFamily::Rtllm);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.reset(2).unwrap();
         sim.poke("we", 1).unwrap();
@@ -425,7 +425,7 @@ mod tests {
     #[test]
     fn timer_counts_down_and_stops() {
         let case = timer(4, SourceFamily::Rtllm);
-        let netlist = lower_circuit(&case.reference).unwrap();
+        let netlist = lower_circuit(case.reference()).unwrap();
         let mut sim = Simulator::new(netlist);
         sim.reset(2).unwrap();
         sim.poke("load", 1).unwrap();

@@ -39,5 +39,8 @@ pub mod suite;
 
 pub use case::{BenchmarkCase, Category, SourceFamily};
 pub use passk::{mean_pass_at_k, pass_at_k};
-pub use runner::{run_case, run_model, run_sample, CaseOutcome, ExperimentConfig, ModelOutcome};
+pub use runner::{
+    run_case, run_case_with_engine, run_model, run_model_with_engine, run_sample,
+    run_sample_with_engine, sweep_suite, CaseOutcome, ExperimentConfig, ModelOutcome,
+};
 pub use suite::{full_suite, sampled_suite, SUITE_SIZE};

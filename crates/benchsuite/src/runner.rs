@@ -1,12 +1,19 @@
-//! Experiment runners: sweeping models × cases × samples through the ReChisel workflow
-//! and aggregating the metrics the paper reports.
+//! Experiment runners: sweeping models × cases × samples through the ReChisel
+//! Engine/Session API and aggregating the metrics the paper reports.
 //!
 //! A [`ModelOutcome`] holds every [`WorkflowResult`] of one model over one suite; the
 //! aggregation methods compute the quantities behind the paper's tables and figures:
 //! Pass@k at a given iteration cap (Tables I/III/IV, Fig. 6) and per-iteration error
 //! proportions (Figs. 1 and 7).
+//!
+//! All entry points route through one per-sample body driven by a shared
+//! [`Engine`]: [`run_sample`] runs it once, [`run_case`] runs every sample of one
+//! case, and [`run_model`] sweeps a whole suite with [`sweep_suite`] at case × sample
+//! granularity. Attach an [`Observer`] to the engine (via
+//! [`ExperimentConfig::engine_with_observer`] + [`run_model_with_engine`]) to stream
+//! [`RunEvent`](rechisel_core::RunEvent)s from every run of a sweep.
 
-use rechisel_core::{TraceInspector, Workflow, WorkflowConfig, WorkflowResult};
+use rechisel_core::{Engine, Observer, TemplateReviewer, TraceInspector, WorkflowResult};
 use rechisel_llm::{Language, ModelProfile, SyntheticLlm};
 
 use crate::case::BenchmarkCase;
@@ -78,13 +85,36 @@ impl ExperimentConfig {
         self
     }
 
-    fn workflow_config(&self) -> WorkflowConfig {
-        WorkflowConfig {
+    /// Enables or disables the common-error knowledge base.
+    pub fn with_knowledge(mut self, enabled: bool) -> Self {
+        self.knowledge_enabled = enabled;
+        self
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1 when the sweep runs).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The equivalent workflow configuration.
+    pub fn workflow_config(&self) -> rechisel_core::WorkflowConfig {
+        rechisel_core::WorkflowConfig {
             max_iterations: self.max_iterations,
             escape_enabled: self.escape_enabled,
             knowledge_enabled: self.knowledge_enabled,
             feedback_detail: rechisel_core::FeedbackDetail::Full,
         }
+    }
+
+    /// Builds an engine for this configuration (standard pipeline, silent observer).
+    pub fn engine(&self) -> Engine {
+        Engine::builder().config(self.workflow_config()).build()
+    }
+
+    /// Builds an engine for this configuration that streams run events to `observer`.
+    pub fn engine_with_observer(&self, observer: impl Observer + 'static) -> Engine {
+        Engine::builder().config(self.workflow_config()).observer(observer).build()
     }
 }
 
@@ -191,6 +221,30 @@ impl ModelOutcome {
     }
 }
 
+/// Runs one sample of one case through a session of `engine`.
+///
+/// This is the single per-sample body every runner entry point routes through: a fresh
+/// synthetic LLM seeded by the case, the deterministic Reviewer/Inspector pair, and a
+/// tester built from the case's cached reference netlist.
+pub fn run_sample_with_engine(
+    engine: &Engine,
+    case: &BenchmarkCase,
+    profile: &ModelProfile,
+    language: Language,
+    sample: u32,
+) -> WorkflowResult {
+    let llm = SyntheticLlm::new(profile.clone(), language, case.reference().clone(), case.seed());
+    engine
+        .session(
+            llm,
+            TemplateReviewer::new(),
+            TraceInspector::new(),
+            case.spec.clone(),
+            case.tester(),
+        )
+        .run(sample)
+}
+
 /// Runs one sample of one case through the workflow.
 pub fn run_sample(
     case: &BenchmarkCase,
@@ -198,13 +252,23 @@ pub fn run_sample(
     config: &ExperimentConfig,
     sample: u32,
 ) -> WorkflowResult {
-    let tester = case.tester();
-    let mut llm =
-        SyntheticLlm::new(profile.clone(), config.language, case.reference.clone(), case.seed());
-    let mut reviewer = rechisel_core::TemplateReviewer::new();
-    let mut inspector = TraceInspector::new();
-    let workflow = Workflow::new(config.workflow_config());
-    workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, sample)
+    run_sample_with_engine(&config.engine(), case, profile, config.language, sample)
+}
+
+/// Runs every sample of one case through sessions of a shared engine.
+pub fn run_case_with_engine(
+    engine: &Engine,
+    case: &BenchmarkCase,
+    profile: &ModelProfile,
+    language: Language,
+    samples: u32,
+) -> CaseOutcome {
+    CaseOutcome {
+        case_id: case.id.clone(),
+        samples: (0..samples)
+            .map(|sample| run_sample_with_engine(engine, case, profile, language, sample))
+            .collect(),
+    }
 }
 
 /// Runs every sample of one case.
@@ -213,28 +277,79 @@ pub fn run_case(
     profile: &ModelProfile,
     config: &ExperimentConfig,
 ) -> CaseOutcome {
-    let tester = case.tester();
-    let workflow = Workflow::new(config.workflow_config());
-    let mut samples = Vec::with_capacity(config.samples as usize);
-    for sample in 0..config.samples {
-        let mut llm = SyntheticLlm::new(
-            profile.clone(),
-            config.language,
-            case.reference.clone(),
-            case.seed(),
-        );
-        let mut reviewer = rechisel_core::TemplateReviewer::new();
-        let mut inspector = TraceInspector::new();
-        samples.push(workflow.run(
-            &mut llm,
-            &mut reviewer,
-            &mut inspector,
-            &case.spec,
-            &tester,
-            sample,
-        ));
+    run_case_with_engine(&config.engine(), case, profile, config.language, config.samples)
+}
+
+/// Sweeps a suite at case × sample granularity: every `(case, sample)` pair is an
+/// independent work item distributed over `threads` workers, and the results are
+/// reassembled into per-case outcomes in deterministic suite order (sample order within
+/// each case is preserved regardless of which worker finished first).
+pub fn sweep_suite<F>(
+    suite: &[BenchmarkCase],
+    samples: u32,
+    threads: usize,
+    run: F,
+) -> Vec<CaseOutcome>
+where
+    F: Fn(&BenchmarkCase, u32) -> WorkflowResult + Sync,
+{
+    let per_case = samples as usize;
+    let total = suite.len() * per_case;
+    let threads = threads.max(1).min(total.max(1));
+    let mut slots: Vec<Option<WorkflowResult>> = (0..total).map(|_| None).collect();
+    if threads == 1 || total <= 1 {
+        for (slot, item) in slots.iter_mut().enumerate() {
+            let (case_index, sample) = (slot / per_case, (slot % per_case) as u32);
+            *item = Some(run(&suite[case_index], sample));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<(usize, WorkflowResult)>> =
+            std::sync::Mutex::new(Vec::with_capacity(total));
+        let run = &run;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if slot >= total {
+                        break;
+                    }
+                    let (case_index, sample) = (slot / per_case, (slot % per_case) as u32);
+                    let result = run(&suite[case_index], sample);
+                    results.lock().expect("sweep mutex").push((slot, result));
+                });
+            }
+        });
+        for (slot, result) in results.into_inner().expect("sweep mutex") {
+            slots[slot] = Some(result);
+        }
     }
-    CaseOutcome { case_id: case.id.clone(), samples }
+    let mut slots = slots.into_iter();
+    suite
+        .iter()
+        .map(|case| CaseOutcome {
+            case_id: case.id.clone(),
+            samples: slots
+                .by_ref()
+                .take(per_case)
+                .map(|r| r.expect("all samples evaluated"))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs a full model × suite sweep through sessions of a shared engine, evaluating
+/// case × sample work items in parallel with deterministic result ordering.
+pub fn run_model_with_engine(
+    engine: &Engine,
+    profile: &ModelProfile,
+    suite: &[BenchmarkCase],
+    config: &ExperimentConfig,
+) -> ModelOutcome {
+    let cases = sweep_suite(suite, config.samples, config.threads, |case, sample| {
+        run_sample_with_engine(engine, case, profile, config.language, sample)
+    });
+    ModelOutcome { model: profile.name.clone(), language: config.language, cases }
 }
 
 /// Runs a full model × suite sweep, evaluating cases in parallel.
@@ -243,37 +358,7 @@ pub fn run_model(
     suite: &[BenchmarkCase],
     config: &ExperimentConfig,
 ) -> ModelOutcome {
-    let threads = config.threads.max(1);
-    let mut outcomes: Vec<Option<CaseOutcome>> = vec![None; suite.len()];
-    if threads == 1 || suite.len() <= 1 {
-        for (i, case) in suite.iter().enumerate() {
-            outcomes[i] = Some(run_case(case, profile, config));
-        }
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: std::sync::Mutex<Vec<(usize, CaseOutcome)>> =
-            std::sync::Mutex::new(Vec::with_capacity(suite.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(suite.len()) {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if index >= suite.len() {
-                        break;
-                    }
-                    let outcome = run_case(&suite[index], profile, config);
-                    results.lock().expect("runner mutex").push((index, outcome));
-                });
-            }
-        });
-        for (index, outcome) in results.into_inner().expect("runner mutex") {
-            outcomes[index] = Some(outcome);
-        }
-    }
-    ModelOutcome {
-        model: profile.name.clone(),
-        language: config.language,
-        cases: outcomes.into_iter().map(|o| o.expect("all cases evaluated")).collect(),
-    }
+    run_model_with_engine(&config.engine(), profile, suite, config)
 }
 
 #[cfg(test)]
@@ -319,5 +404,54 @@ mod tests {
         let via_sample = run_sample(&suite[0], &ModelProfile::gpt4_turbo(), &config, 0);
         assert_eq!(via_case.samples[0].success, via_sample.success);
         assert_eq!(via_case.samples[0].success_iteration, via_sample.success_iteration);
+    }
+
+    #[test]
+    fn config_builders_set_threads_and_knowledge() {
+        let config = ExperimentConfig::paper().with_threads(3).with_knowledge(false);
+        assert_eq!(config.threads, 3);
+        assert!(!config.knowledge_enabled);
+        assert!(!config.workflow_config().knowledge_enabled);
+        assert!(config.engine().knowledge().is_empty());
+    }
+
+    #[test]
+    fn sweep_observer_sees_every_run_of_the_sweep() {
+        use rechisel_core::{CollectingObserver, RunEventKind};
+
+        let suite = sampled_suite(3);
+        let config = ExperimentConfig::quick().with_samples(2).with_threads(4);
+        let observer = CollectingObserver::new();
+        let engine = config.engine_with_observer(observer.clone());
+        let outcome = run_model_with_engine(&engine, &ModelProfile::gpt4o(), &suite, &config);
+        let events = observer.take();
+        let started = events.iter().filter(|e| matches!(e.kind, RunEventKind::RunStarted)).count();
+        let finished =
+            events.iter().filter(|e| matches!(e.kind, RunEventKind::RunFinished { .. })).count();
+        assert_eq!(started, suite.len() * 2);
+        assert_eq!(finished, suite.len() * 2);
+        let successes: usize =
+            outcome.cases.iter().flat_map(|c| &c.samples).filter(|s| s.success).count();
+        let success_events =
+            events.iter().filter(|e| matches!(e.kind, RunEventKind::Success { .. })).count();
+        assert_eq!(success_events, successes);
+        let escape_total: u64 =
+            outcome.cases.iter().flat_map(|c| &c.samples).map(|s| u64::from(s.escapes)).sum();
+        let escape_events =
+            events.iter().filter(|e| matches!(e.kind, RunEventKind::EscapeFired { .. })).count()
+                as u64;
+        assert_eq!(escape_events, escape_total);
+        // Interleaved events from the parallel sweep stay attributable: each (spec,
+        // attempt) pair sees exactly one RunStarted and one RunFinished.
+        for case in &suite {
+            for attempt in 0..2u32 {
+                let per_run = events
+                    .iter()
+                    .filter(|e| e.spec == case.spec.name && e.attempt == attempt)
+                    .filter(|e| matches!(e.kind, RunEventKind::RunStarted))
+                    .count();
+                assert_eq!(per_run, 1, "run ({}, {attempt})", case.spec.name);
+            }
+        }
     }
 }

@@ -221,7 +221,7 @@ mod tests {
         // The heavyweight validation: each of the 216 references must check cleanly,
         // lower, and match itself in simulation.
         for case in full_suite() {
-            let report = rechisel_firrtl::check_circuit(&case.reference);
+            let report = rechisel_firrtl::check_circuit(case.reference());
             assert!(!report.has_errors(), "{} fails checking: {report:?}", case.id);
             let tester = case.tester();
             assert!(

@@ -27,9 +27,9 @@ fn full_suite_enumerates_all_216_cases() {
 #[test]
 fn every_reference_circuit_checks_and_lowers() {
     for case in full_suite() {
-        let report = check_circuit(&case.reference);
+        let report = check_circuit(case.reference());
         assert!(!report.has_errors(), "reference of {} has check errors: {:?}", case.id, report);
-        let netlist = lower_circuit(&case.reference)
+        let netlist = lower_circuit(case.reference())
             .unwrap_or_else(|e| panic!("reference of {} fails to lower: {e:?}", case.id));
         // The lowered interface must still expose every spec port.
         for port in &case.spec.ports {

@@ -51,6 +51,37 @@ pub trait Inspector {
     fn detect_cycle(&mut self, trace: &Trace, feedback: &Feedback) -> Option<usize>;
 }
 
+// Mutable references forward to the underlying agent, so a Session can either own its
+// agents or borrow them from a caller that reuses them across runs.
+
+impl<G: Generator + ?Sized> Generator for &mut G {
+    fn generate(&mut self, spec: &Spec, attempt: u32) -> Candidate {
+        (**self).generate(spec, attempt)
+    }
+
+    fn revise(&mut self, previous: &Candidate, plan: &RevisionPlan, iteration: u32) -> Candidate {
+        (**self).revise(previous, plan, iteration)
+    }
+}
+
+impl<R: Reviewer + ?Sized> Reviewer for &mut R {
+    fn review(
+        &mut self,
+        candidate: &Candidate,
+        feedback: &Feedback,
+        trace: &Trace,
+        knowledge: &CommonErrorKnowledge,
+    ) -> RevisionPlan {
+        (**self).review(candidate, feedback, trace, knowledge)
+    }
+}
+
+impl<I: Inspector + ?Sized> Inspector for &mut I {
+    fn detect_cycle(&mut self, trace: &Trace, feedback: &Feedback) -> Option<usize> {
+        (**self).detect_cycle(trace, feedback)
+    }
+}
+
 /// The default Inspector: flags a cycle when the incoming feedback repeats an error
 /// identity (same error class, same subject, same location) already present in a
 /// non-adjacent earlier iteration.

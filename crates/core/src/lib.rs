@@ -11,6 +11,13 @@
 //! runs equally against the offline synthetic LLM of `rechisel-llm` (used by the
 //! benchmark harness) or a live LLM backend.
 //!
+//! The primary entry point is the [`Engine`]/[`Session`] façade
+//! (`Engine::builder().config(..).pipeline(..).observer(..).build()`): an engine holds
+//! the shared configuration, staged compilation pipeline and knowledge base, each
+//! session owns one case's agents and tester, and every run streams [`RunEvent`]s to
+//! the engine's [`Observer`]. The older [`Workflow::run`] entry point remains as a thin
+//! shim over a one-shot engine.
+//!
 //! # Example
 //!
 //! Running the workflow requires a Generator implementation; see `rechisel-llm` for the
@@ -32,6 +39,7 @@
 
 pub mod agents;
 pub mod candidate;
+pub mod engine;
 pub mod feedback;
 pub mod knowledge;
 pub mod revision;
@@ -42,6 +50,10 @@ pub mod workflow;
 
 pub use agents::{Generator, Inspector, Reviewer, TemplateReviewer, TraceInspector};
 pub use candidate::Candidate;
+pub use engine::{
+    CollectingObserver, Engine, EngineBuilder, NullObserver, Observer, RunEvent, RunEventKind,
+    Session,
+};
 pub use feedback::{ErrorKind, Feedback, FeedbackDetail};
 pub use knowledge::{CommonErrorKnowledge, ErrorGuidance};
 pub use revision::{RevisionItem, RevisionPlan};

@@ -1,12 +1,13 @@
 //! The external tools of the workflow: the Chisel→Verilog compiler wrapper and the
 //! functional tester (workflow steps ❷ and ❸ of the paper's Fig. 2).
 
-use rechisel_firrtl::check::{check_circuit_with, CheckOptions};
+use rechisel_firrtl::check::CheckOptions;
 use rechisel_firrtl::diagnostics::Diagnostic;
 use rechisel_firrtl::ir::Circuit;
-use rechisel_firrtl::lower::{lower_circuit, Netlist};
+use rechisel_firrtl::lower::Netlist;
+use rechisel_firrtl::pipeline::{PassManager, Pipeline};
 use rechisel_sim::{run_testbench, SimReport, Testbench};
-use rechisel_verilog::emit_verilog;
+use rechisel_verilog::VerilogBackend;
 
 /// The output of a successful compilation.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,10 +19,16 @@ pub struct Compiled {
     pub verilog: String,
 }
 
-/// The "Compiler" external tool: checking, lowering and Verilog emission.
+/// The "Compiler" external tool: a [`Pipeline`] with the Verilog backend, packaged as
+/// workflow step ❷.
+///
+/// The compiler is a thin façade: [`ChiselCompiler::compile`] runs the staged pipeline
+/// (check → lower → emit) and flattens the result into the [`Compiled`] pair the
+/// workflow consumes. Callers that want the staged artifacts, per-pass timing stats or
+/// a different backend use [`ChiselCompiler::pipeline`] / [`ChiselCompiler::from_pipeline`].
 #[derive(Debug, Clone)]
 pub struct ChiselCompiler {
-    options: CheckOptions,
+    pipeline: Pipeline,
 }
 
 impl Default for ChiselCompiler {
@@ -33,34 +40,38 @@ impl Default for ChiselCompiler {
 impl ChiselCompiler {
     /// A compiler with all checks enabled (the normal Chisel/FIRRTL pipeline).
     pub fn new() -> Self {
-        Self { options: CheckOptions::all() }
+        Self { pipeline: Pipeline::new(VerilogBackend) }
     }
 
     /// A compiler with custom check options (used by ablations and by the AutoChip
     /// baseline's Verilog-style checking).
     pub fn with_options(options: CheckOptions) -> Self {
-        Self { options }
+        Self::from_pipeline(
+            Pipeline::new(VerilogBackend).with_passes(PassManager::from_options(options)),
+        )
+    }
+
+    /// Wraps an explicit pipeline (custom passes and/or backend).
+    pub fn from_pipeline(pipeline: Pipeline) -> Self {
+        Self { pipeline }
+    }
+
+    /// The underlying staged pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
     }
 
     /// Compiles a circuit.
+    ///
+    /// Uses the pipeline's borrowed fused path ([`Pipeline::run_ref`]), so the hot
+    /// reflection loop pays no circuit clone per candidate evaluation.
     ///
     /// # Errors
     ///
     /// Returns the list of error-severity diagnostics when any check fails or lowering
     /// is impossible — the "syntax error" feedback of the ReChisel workflow.
     pub fn compile(&self, circuit: &Circuit) -> Result<Compiled, Vec<Diagnostic>> {
-        let report = check_circuit_with(circuit, self.options);
-        if report.has_errors() {
-            return Err(report.errors().cloned().collect());
-        }
-        let netlist = lower_circuit(circuit).map_err(|d| vec![d])?;
-        let verilog = emit_verilog(&netlist).map_err(|e| {
-            vec![Diagnostic::error(
-                rechisel_firrtl::diagnostics::ErrorCode::WidthInferenceFailure,
-                rechisel_firrtl::ir::SourceInfo::unknown(),
-                format!("verilog emission failed: {e}"),
-            )]
-        })?;
+        let (netlist, verilog) = self.pipeline.run_ref(circuit)?;
         Ok(Compiled { netlist, verilog })
     }
 }

@@ -14,11 +14,10 @@
 
 use crate::agents::{Generator, Inspector, Reviewer};
 use crate::candidate::Candidate;
-use crate::feedback::{ErrorKind, Feedback, FeedbackDetail};
-use crate::knowledge::CommonErrorKnowledge;
+use crate::feedback::{ErrorKind, FeedbackDetail};
 use crate::spec::Spec;
 use crate::tools::{ChiselCompiler, FunctionalTester};
-use crate::trace::{Trace, TraceEntry};
+use crate::trace::Trace;
 
 /// Configuration of one workflow run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,12 +143,11 @@ impl WorkflowResult {
     }
 }
 
-/// The orchestrator tying agents and tools together.
+/// The orchestrator tying agents and tools together — a thin shim over a silent
+/// [`Engine`](crate::engine::Engine) built once at construction.
 #[derive(Debug, Clone)]
 pub struct Workflow {
-    config: WorkflowConfig,
-    compiler: ChiselCompiler,
-    knowledge: CommonErrorKnowledge,
+    engine: crate::engine::Engine,
 }
 
 impl Default for Workflow {
@@ -162,55 +160,38 @@ impl Workflow {
     /// Creates a workflow with the given configuration and the standard compiler and
     /// knowledge base.
     pub fn new(config: WorkflowConfig) -> Self {
-        let knowledge = if config.knowledge_enabled {
-            CommonErrorKnowledge::standard()
-        } else {
-            CommonErrorKnowledge::empty()
-        };
-        Self { config, compiler: ChiselCompiler::new(), knowledge }
+        Self { engine: crate::engine::Engine::builder().config(config).build() }
     }
 
     /// Replaces the compiler (used by the AutoChip baseline to mimic a Verilog-only
     /// checking flow).
-    pub fn with_compiler(mut self, compiler: ChiselCompiler) -> Self {
-        self.compiler = compiler;
-        self
+    ///
+    /// The knowledge base is re-derived from the configuration so that swapping the
+    /// compiler can never leave the two out of sync (the knowledge base is keyed by the
+    /// `knowledge_enabled` flag, not by the compiler).
+    pub fn with_compiler(self, compiler: ChiselCompiler) -> Self {
+        Self {
+            engine: crate::engine::Engine::builder()
+                .config(*self.engine.config())
+                .compiler(compiler)
+                .build(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &WorkflowConfig {
-        &self.config
-    }
-
-    /// Evaluates one candidate: compile, then simulate.
-    fn evaluate(
-        &self,
-        candidate: &Candidate,
-        tester: &FunctionalTester,
-    ) -> (Feedback, Option<String>) {
-        match self.compiler.compile(&candidate.circuit) {
-            Err(diagnostics) => (Feedback::Syntax { diagnostics }, None),
-            Ok(compiled) => {
-                let report = tester.test(&compiled.netlist);
-                if report.passed() {
-                    (Feedback::Success, Some(compiled.verilog))
-                } else {
-                    (
-                        Feedback::Functional {
-                            failures: report.failures,
-                            total_points: report.total_points,
-                        },
-                        None,
-                    )
-                }
-            }
-        }
+        self.engine.config()
     }
 
     /// Runs the full reflection workflow for one sample of one case.
     ///
     /// `attempt` identifies the sample (the paper evaluates each case ten times); it is
     /// forwarded to the Generator so stochastic backends can diversify their attempts.
+    ///
+    /// This entry point is a thin shim kept for backwards compatibility: it runs a
+    /// single [`Session`](crate::engine::Session) against the workflow's silent engine.
+    /// New code that wants streaming run events, custom pipelines or shared state
+    /// across runs should use the Engine/Session API directly.
     pub fn run<G, R, I>(
         &self,
         generator: &mut G,
@@ -225,86 +206,7 @@ impl Workflow {
         R: Reviewer,
         I: Inspector,
     {
-        let mut trace = Trace::new();
-        let mut statuses = Vec::new();
-        let mut candidate = generator.generate(spec, attempt);
-        let mut final_verilog = None;
-        let mut success_iteration = None;
-
-        for iteration in 0..=self.config.max_iterations {
-            let (feedback, verilog) = self.evaluate(&candidate, tester);
-            let status = match feedback.error_kind() {
-                None => IterationStatus::Success,
-                Some(ErrorKind::Syntax) => IterationStatus::SyntaxError,
-                Some(ErrorKind::Functional) => IterationStatus::FunctionalError,
-            };
-            statuses.push(status);
-
-            if feedback.is_success() {
-                success_iteration = Some(iteration);
-                final_verilog = verilog;
-                trace.push(TraceEntry {
-                    iteration,
-                    candidate: candidate.clone(),
-                    feedback,
-                    plan: None,
-                });
-                break;
-            }
-
-            if iteration == self.config.max_iterations {
-                trace.push(TraceEntry {
-                    iteration,
-                    candidate: candidate.clone(),
-                    feedback,
-                    plan: None,
-                });
-                break;
-            }
-
-            // Step ❹/❺: the Inspector compares the feedback against the trace.
-            let cycle = inspector.detect_cycle(&trace, &feedback);
-            if let (Some(start), true) = (cycle, self.config.escape_enabled) {
-                // Escape: discard the loop and restart the review from the entry that
-                // immediately precedes it (paper Fig. 5).
-                let _discarded = trace.discard_loop(start);
-                if let Some(basis) = trace.last().cloned() {
-                    let plan = reviewer
-                        .review(&basis.candidate, &basis.feedback, &trace, &self.knowledge)
-                        .escaped();
-                    trace.attach_plan(plan.clone());
-                    candidate = generator.revise(&basis.candidate, &plan, iteration + 1);
-                } else {
-                    // The loop started at the very first attempt: regenerate from the
-                    // current candidate with the escape marker set.
-                    let plan =
-                        reviewer.review(&candidate, &feedback, &trace, &self.knowledge).escaped();
-                    candidate = generator.revise(&candidate, &plan, iteration + 1);
-                }
-                continue;
-            }
-
-            // Normal reflection: record the entry, review, revise (steps ❺–❼).
-            trace.push(TraceEntry {
-                iteration,
-                candidate: candidate.clone(),
-                feedback: feedback.clone(),
-                plan: None,
-            });
-            let plan = reviewer.review(&candidate, &feedback, &trace, &self.knowledge);
-            trace.attach_plan(plan.clone());
-            candidate = generator.revise(&candidate, &plan, iteration + 1);
-        }
-
-        WorkflowResult {
-            success: success_iteration.is_some(),
-            success_iteration,
-            statuses,
-            escapes: trace.escape_count(),
-            trace,
-            final_candidate: candidate,
-            final_verilog,
-        }
+        self.engine.session_ref(generator, reviewer, inspector, spec, tester).run(attempt)
     }
 }
 

@@ -5,11 +5,9 @@
 //! diagnostics. An empty error set means the design can be lowered to a netlist and
 //! emitted as Verilog.
 
-use crate::diagnostics::{Diagnostic, DiagnosticReport, ErrorCode};
-use crate::ir::{Circuit, SourceInfo};
-use crate::passes::{
-    check_clocking, check_combinational_loops, check_connects, check_initialization, check_widths,
-};
+use crate::diagnostics::DiagnosticReport;
+use crate::ir::Circuit;
+use crate::pipeline::PassManager;
 
 /// Options controlling which checks run.
 ///
@@ -67,40 +65,18 @@ pub fn check_circuit(circuit: &Circuit) -> DiagnosticReport {
 }
 
 /// Checks a full circuit with explicit options.
+///
+/// This is a thin shim over the staged pipeline: the options are translated into a
+/// [`PassManager`] and the registered passes run in the canonical order.
 pub fn check_circuit_with(circuit: &Circuit, options: CheckOptions) -> DiagnosticReport {
-    let mut report = DiagnosticReport::new();
-    if circuit.top_module().is_none() {
-        report.push(Diagnostic::error(
-            ErrorCode::MissingTopModule,
-            SourceInfo::unknown(),
-            format!("top module {} is not defined in the circuit", circuit.top),
-        ));
-        return report;
-    }
-    for module in &circuit.modules {
-        if options.connects {
-            report.extend(check_connects(module, circuit));
-        }
-        if options.widths {
-            report.extend(check_widths(module, circuit));
-        }
-        if options.clocking {
-            report.extend(check_clocking(module, circuit));
-        }
-        if options.initialization {
-            report.extend(check_initialization(module, circuit));
-        }
-        if options.combinational_loops {
-            report.extend(check_combinational_loops(module, circuit));
-        }
-    }
-    report
+    PassManager::from_options(options).run(circuit)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{Direction, Expression, Module, ModuleKind, Port, Statement, Type};
+    use crate::diagnostics::ErrorCode;
+    use crate::ir::{Direction, Expression, Module, ModuleKind, Port, SourceInfo, Statement, Type};
 
     fn passthrough() -> Circuit {
         let mut m = Module::new("Pass", ModuleKind::Module);

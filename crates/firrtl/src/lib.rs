@@ -13,6 +13,9 @@
 //!   reset inference, combinational-loop detection, width inference).
 //! * [`lower`] — lowering of checked circuits to a flat, ground-typed [`Netlist`]
 //!   consumed by the simulator and the Verilog emitter.
+//! * [`pipeline`] — the staged [`Pipeline`] (`Circuit → CheckedCircuit → Netlist →
+//!   emitted output`) with its named-pass [`PassManager`] and the pluggable
+//!   [`EmitBackend`] seam.
 //! * [`printer`] — FIRRTL-flavoured and pseudo-Chisel pretty-printers.
 //!
 //! # Example
@@ -53,6 +56,7 @@ pub mod ir;
 pub mod lower;
 pub mod passes;
 pub mod paths;
+pub mod pipeline;
 pub mod printer;
 pub mod typeenv;
 
@@ -60,4 +64,8 @@ pub use check::{check_circuit, check_circuit_with, CheckOptions};
 pub use diagnostics::{Diagnostic, DiagnosticReport, ErrorCode, Severity};
 pub use ir::{Circuit, Expression, Module, ModuleKind, Port, PrimOp, SourceInfo, Statement, Type};
 pub use lower::{lower_circuit, NetDef, NetPort, NetReg, Netlist, SignalInfo};
+pub use pipeline::{
+    CheckedCircuit, EmitBackend, FirrtlBackend, Pass, PassManager, PassStats, PassTiming, Pipeline,
+    PipelineOutput,
+};
 pub use printer::{print_chisel, print_chisel_module, print_firrtl};

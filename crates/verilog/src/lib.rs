@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod backend;
 pub mod emit;
 
 pub use ast::{VAlways, VAssign, VDecl, VExpr, VModule, VPort, VPortDir, VRegUpdate};
+pub use backend::VerilogBackend;
 pub use emit::{emit_netlist, emit_verilog, EmitError};

@@ -2,14 +2,16 @@
 //!
 //! A model profile with a high "stuck" probability is run on one case with the escape
 //! mechanism enabled and disabled; the example prints both traces so the discarded loop
-//! is visible, plus aggregate success over a few samples.
+//! is visible, plus aggregate success over a few samples. The escape events themselves
+//! arrive through the streaming observer of the Engine/Session API.
 //!
 //! Run with `cargo run --example escape_mechanism`.
 
 use rechisel::benchsuite::circuits::sequential;
+use rechisel::benchsuite::runner::run_sample_with_engine;
 use rechisel::benchsuite::SourceFamily;
-use rechisel::core::{TemplateReviewer, TraceInspector, Workflow, WorkflowConfig};
-use rechisel::llm::{GenerationRates, Language, ModelProfile, RepairRates, SyntheticLlm};
+use rechisel::core::{CollectingObserver, Engine, RunEventKind, WorkflowConfig};
+use rechisel::llm::{GenerationRates, Language, ModelProfile, RepairRates};
 
 /// A deliberately stubborn profile: always generates one syntax defect, often locks
 /// onto a wrong fix, but responds well to an escape.
@@ -43,28 +45,20 @@ fn stubborn_profile() -> ModelProfile {
 
 fn main() {
     let case = sequential::accumulator(8, SourceFamily::Rtllm);
-    let tester = case.tester();
     let profile = stubborn_profile();
 
     let mut summary = Vec::new();
     for escape in [true, false] {
-        let workflow = Workflow::new(
-            WorkflowConfig::paper_default().with_max_iterations(10).with_escape(escape),
-        );
+        let observer = CollectingObserver::new();
+        let engine = Engine::builder()
+            .config(WorkflowConfig::paper_default().with_max_iterations(10).with_escape(escape))
+            .observer(observer.clone())
+            .build();
         let mut successes = 0;
         let mut escapes = 0u32;
         let mut sample_trace = None;
         for sample in 0..8u32 {
-            let mut llm = SyntheticLlm::new(
-                profile.clone(),
-                Language::Chisel,
-                case.reference.clone(),
-                case.seed(),
-            );
-            let mut reviewer = TemplateReviewer::new();
-            let mut inspector = TraceInspector::new();
-            let result =
-                workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, sample);
+            let result = run_sample_with_engine(&engine, &case, &profile, Language::Chisel, sample);
             if result.success {
                 successes += 1;
             }
@@ -78,7 +72,15 @@ fn main() {
         if let Some(result) = sample_trace {
             println!("sample 0 trace:\n{}", result.trace.to_text());
         }
-        println!("successes: {successes}/8, total escape events: {escapes}\n");
+        let streamed = observer
+            .take()
+            .into_iter()
+            .filter(|e| matches!(e.kind, RunEventKind::EscapeFired { .. }))
+            .count();
+        println!(
+            "successes: {successes}/8, total escape events: {escapes} (streamed {streamed} \
+             EscapeFired events to the observer)\n"
+        );
         summary.push((label, successes, escapes));
     }
     println!("Summary:");

@@ -1,12 +1,14 @@
-//! Quickstart: build a small Chisel-like design, check it, lower it, emit Verilog and
-//! simulate it — the full substrate pipeline without the agents.
+//! Quickstart: build a small Chisel-like design and drive it through the staged
+//! pipeline — check, lower, emit (Verilog *and* FIRRTL backends), simulate — without
+//! the agents.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use rechisel::firrtl::{check_circuit, lower_circuit, print_chisel};
+use rechisel::firrtl::pipeline::{FirrtlBackend, Pipeline};
+use rechisel::firrtl::print_chisel;
 use rechisel::hcl::prelude::*;
 use rechisel::sim::Simulator;
-use rechisel::verilog::emit_verilog;
+use rechisel::verilog::VerilogBackend;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8-bit loadable up-counter with a terminal-count flag.
@@ -34,20 +36,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== pseudo-Chisel source ===\n{}", print_chisel(&circuit));
 
-    // 1. Check (the "Compiler" of the ReChisel workflow).
-    let report = check_circuit(&circuit);
-    println!("=== compiler diagnostics ===");
-    if report.is_empty() {
-        println!("(clean)\n");
-    } else {
-        println!("{}", report.to_compiler_output());
+    // 1. Check (the "Compiler" of the ReChisel workflow): stage one of the pipeline,
+    //    with per-pass timing stats on the side.
+    let pipeline = Pipeline::new(VerilogBackend);
+    let (checked, stats) = pipeline.check_timed(&circuit);
+    let checked = checked.map_err(|report| report.to_compiler_output())?;
+    println!("=== checking passes ===");
+    for timing in stats.timings() {
+        println!(
+            "{:<16} {:>8.1} us, {} diagnostics",
+            timing.name,
+            timing.duration.as_secs_f64() * 1e6,
+            timing.diagnostics
+        );
     }
-    assert!(!report.has_errors());
+    println!();
 
-    // 2. Lower and emit Verilog.
-    let netlist = lower_circuit(&circuit)?;
-    let verilog = emit_verilog(&netlist)?;
-    println!("=== emitted Verilog ===\n{verilog}");
+    // 2. Lower, then emit through two pluggable backends.
+    let netlist = pipeline.lower(&checked)?;
+    let verilog = pipeline.emit(&checked, &netlist)?;
+    println!("=== emitted Verilog ({} backend) ===\n{verilog}", pipeline.backend().name());
+    let firrtl_pipeline = pipeline.with_backend(FirrtlBackend);
+    let firrtl = firrtl_pipeline.emit(&checked, &netlist)?;
+    println!("=== emitted FIRRTL ({} backend) ===\n{firrtl}", firrtl_pipeline.backend().name());
 
     // 3. Simulate.
     let mut sim = Simulator::new(netlist);

@@ -4,7 +4,9 @@
 //! Run with `cargo run --release --example rechisel_workflow`.
 
 use rechisel::benchsuite::report::{format_table, pct};
-use rechisel::benchsuite::{run_model, sampled_suite, ExperimentConfig};
+use rechisel::benchsuite::runner::run_model_with_engine;
+use rechisel::benchsuite::{sampled_suite, ExperimentConfig};
+use rechisel::core::{CollectingObserver, RunEventKind};
 use rechisel::llm::ModelProfile;
 
 fn main() {
@@ -18,7 +20,17 @@ fn main() {
 
     let mut rows = Vec::new();
     for profile in [ModelProfile::gpt4o(), ModelProfile::claude35_sonnet()] {
-        let outcome = run_model(&profile, &suite, &config);
+        // The observer streams every run's events during the sweep; here we just count
+        // iterations, but a telemetry layer would subscribe the same way.
+        let observer = CollectingObserver::new();
+        let engine = config.engine_with_observer(observer.clone());
+        let outcome = run_model_with_engine(&engine, &profile, &suite, &config);
+        let iterations_streamed = observer
+            .take()
+            .into_iter()
+            .filter(|e| matches!(e.kind, RunEventKind::IterationStarted { .. }))
+            .count();
+        println!("  {}: streamed {iterations_streamed} iteration events", profile.name);
         let (escapes, escape_fraction) = outcome.escape_stats();
         rows.push(vec![
             profile.name.clone(),

@@ -8,44 +8,29 @@
 //! Run with `cargo run --example vector5_case_study`.
 
 use rechisel::benchsuite::circuits::combinational;
-use rechisel::core::{TemplateReviewer, TraceInspector, Workflow, WorkflowConfig};
-use rechisel::llm::{Language, ModelProfile, SyntheticLlm};
+use rechisel::benchsuite::runner::run_sample_with_engine;
+use rechisel::core::{Engine, WorkflowConfig};
+use rechisel::llm::{Language, ModelProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let case = combinational::vector5();
     println!("=== specification ({}) ===\n{}", case.id, case.spec.to_prompt());
 
-    let tester = case.tester();
-    let workflow = Workflow::new(WorkflowConfig::paper_default());
-    let mut reviewer = TemplateReviewer::new();
-    let mut inspector = TraceInspector::new();
+    let engine = Engine::builder().config(WorkflowConfig::paper_default()).build();
 
     // Search for a seed whose zero-shot generation is defective, so the reflection
     // process is visible (as in the paper's walkthrough the first attempts fail).
     let profile = ModelProfile::gpt4o();
     let mut chosen = None;
     for attempt in 0..32u32 {
-        let mut llm = SyntheticLlm::new(
-            profile.clone(),
-            Language::Chisel,
-            case.reference.clone(),
-            case.seed(),
-        );
-        let result =
-            workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, attempt);
+        let result = run_sample_with_engine(&engine, &case, &profile, Language::Chisel, attempt);
         if result.success && result.success_iteration.unwrap_or(0) > 0 {
             chosen = Some((attempt, result));
             break;
         }
     }
     let (attempt, result) = chosen.unwrap_or_else(|| {
-        let mut llm = SyntheticLlm::new(
-            profile.clone(),
-            Language::Chisel,
-            case.reference.clone(),
-            case.seed(),
-        );
-        (0, workflow.run(&mut llm, &mut reviewer, &mut inspector, &case.spec, &tester, 0))
+        (0, run_sample_with_engine(&engine, &case, &profile, Language::Chisel, 0))
     });
 
     println!("=== reflection trace (sample #{attempt}, model {}) ===", profile.name);

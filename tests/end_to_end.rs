@@ -76,7 +76,7 @@ fn workflow_repairs_a_defective_generation() {
             let mut llm = SyntheticLlm::new(
                 profile.clone(),
                 Language::Chisel,
-                case.reference.clone(),
+                case.reference().clone(),
                 case.seed(),
             );
             let mut reviewer = TemplateReviewer::new();
