@@ -25,7 +25,7 @@ use rechisel_benchsuite::runner::{
     ModelOutcome,
 };
 use rechisel_benchsuite::BenchmarkCase;
-use rechisel_core::{ChiselCompiler, Engine, Workflow, WorkflowConfig, WorkflowResult};
+use rechisel_core::{ChiselCompiler, Engine, EngineKind, Workflow, WorkflowConfig, WorkflowResult};
 use rechisel_firrtl::check::CheckOptions;
 use rechisel_llm::{Language, ModelProfile};
 
@@ -38,6 +38,9 @@ pub struct AutoChipConfig {
     pub max_iterations: u32,
     /// Worker threads.
     pub threads: usize,
+    /// Simulation engine used by the functional testers (defaults to the compiled
+    /// instruction-tape engine, like the ReChisel sweeps).
+    pub sim_engine: EngineKind,
 }
 
 impl Default for AutoChipConfig {
@@ -49,22 +52,37 @@ impl Default for AutoChipConfig {
 impl AutoChipConfig {
     /// The paper's comparison configuration.
     pub fn paper() -> Self {
-        Self { samples: 10, max_iterations: 10, threads: default_threads() }
+        Self {
+            samples: 10,
+            max_iterations: 10,
+            threads: default_threads(),
+            sim_engine: EngineKind::default(),
+        }
     }
 
     /// A fast configuration for tests.
     pub fn quick() -> Self {
-        Self { samples: 3, max_iterations: 5, threads: default_threads() }
+        Self { samples: 3, max_iterations: 5, ..Self::paper() }
     }
 
     /// Derives the baseline from a ReChisel experiment configuration so both systems
-    /// run with identical budgets.
+    /// run with identical budgets (and the same simulation engine).
     pub fn matching(config: &ExperimentConfig) -> Self {
         Self {
             samples: config.samples,
             max_iterations: config.max_iterations,
             threads: config.threads,
+            sim_engine: config.sim_engine,
         }
+    }
+
+    /// Builds the AutoChip engine for this configuration.
+    pub fn engine(&self) -> Engine {
+        Engine::builder()
+            .config(autochip_workflow_config(self.max_iterations))
+            .compiler(autochip_compiler())
+            .sim_engine(self.sim_engine)
+            .build()
     }
 }
 
@@ -110,7 +128,7 @@ pub fn run_autochip_sample(
     config: &AutoChipConfig,
     sample: u32,
 ) -> WorkflowResult {
-    let engine = autochip_engine(config.max_iterations);
+    let engine = config.engine();
     run_sample_with_engine(&engine, case, profile, Language::Verilog, sample)
 }
 
@@ -120,7 +138,7 @@ pub fn run_autochip_case(
     profile: &ModelProfile,
     config: &AutoChipConfig,
 ) -> CaseOutcome {
-    let engine = autochip_engine(config.max_iterations);
+    let engine = config.engine();
     run_case_with_engine(&engine, case, profile, Language::Verilog, config.samples)
 }
 
@@ -132,7 +150,7 @@ pub fn run_autochip_model(
     suite: &[BenchmarkCase],
     config: &AutoChipConfig,
 ) -> ModelOutcome {
-    let engine = autochip_engine(config.max_iterations);
+    let engine = config.engine();
     let cases = sweep_suite(suite, config.samples, config.threads, |case, sample| {
         run_sample_with_engine(&engine, case, profile, Language::Verilog, sample)
     });
@@ -177,9 +195,16 @@ mod tests {
 
     #[test]
     fn matching_config_copies_budgets() {
-        let exp = ExperimentConfig::paper().with_samples(7).with_max_iterations(4);
+        let exp = ExperimentConfig::paper()
+            .with_samples(7)
+            .with_max_iterations(4)
+            .with_sim_engine(EngineKind::Interp);
         let ac = AutoChipConfig::matching(&exp);
         assert_eq!(ac.samples, 7);
         assert_eq!(ac.max_iterations, 4);
+        assert_eq!(ac.sim_engine, EngineKind::Interp);
+        assert_eq!(ac.engine().sim_engine(), EngineKind::Interp);
+        // The default sweep runs on the fast engine, like the ReChisel runner.
+        assert_eq!(AutoChipConfig::quick().sim_engine, EngineKind::Compiled);
     }
 }

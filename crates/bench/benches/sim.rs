@@ -1,0 +1,89 @@
+//! `sim/` — per-cycle throughput of the two simulation engines.
+//!
+//! The compiled instruction-tape engine exists to make the Simulator tool (step ❸ of
+//! the workflow) as fast as the substrate allows; this group quantifies the win on two
+//! suite circuits (a register file and an FSM). `sim/interp/*` vs `sim/compiled/*`
+//! measure a single `step()` on each engine; `sim/compile_tape/*` measures the
+//! one-time cost the per-case tape cache amortizes across a sweep. A direct
+//! steady-state speedup measurement is printed at the end (the acceptance bar for the
+//! compiled engine is ≥5× per cycle on these cases).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rechisel_benchsuite::circuits::{fsm, sequential};
+use rechisel_benchsuite::SourceFamily;
+use rechisel_firrtl::lower::Netlist;
+use rechisel_sim::{CompiledSimulator, Simulator, Tape};
+
+/// Drives every data input with an in-range, activity-producing value.
+fn poke_ones(poke: &mut dyn FnMut(&str), netlist: &Netlist) {
+    for port in netlist.data_inputs().filter(|p| p.name != "reset") {
+        poke(&port.name);
+    }
+}
+
+/// Steady-state per-cycle speedup of compiled over interp, measured directly.
+fn measured_speedup(netlist: &Netlist) -> f64 {
+    const WARMUP: u32 = 200;
+    const CYCLES: u32 = 4000;
+
+    let mut interp = Simulator::new(netlist.clone());
+    interp.reset(2).unwrap();
+    poke_ones(&mut |name| interp.poke(name, 1).unwrap(), netlist);
+    interp.step_n(WARMUP).unwrap();
+    let start = Instant::now();
+    interp.step_n(CYCLES).unwrap();
+    let interp_time = start.elapsed();
+
+    let mut compiled = CompiledSimulator::new(netlist).unwrap();
+    compiled.reset(2).unwrap();
+    poke_ones(&mut |name| compiled.poke(name, 1).unwrap(), netlist);
+    compiled.step_n(WARMUP);
+    let start = Instant::now();
+    compiled.step_n(CYCLES);
+    let compiled_time = start.elapsed();
+
+    assert_eq!(interp.outputs(), compiled.outputs(), "engines diverged during the benchmark");
+    interp_time.as_secs_f64() / compiled_time.as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let cases = [
+        ("regfile8x8", sequential::register_file(8, 8, SourceFamily::Rtllm)),
+        ("fsm_seq1101", fsm::sequence_detector(&[1, 1, 0, 1], SourceFamily::HdlBits)),
+    ];
+    for (label, case) in &cases {
+        let netlist = case.reference_netlist().clone();
+
+        let mut interp = Simulator::new(netlist.clone());
+        interp.reset(2).unwrap();
+        poke_ones(&mut |name| interp.poke(name, 1).unwrap(), &netlist);
+        c.bench_function(&format!("sim/interp/{label}/step"), |b| {
+            b.iter(|| interp.step().unwrap())
+        });
+
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        compiled.reset(2).unwrap();
+        poke_ones(&mut |name| compiled.poke(name, 1).unwrap(), &netlist);
+        c.bench_function(&format!("sim/compiled/{label}/step"), |b| b.iter(|| compiled.step()));
+
+        // The one-time cost the per-case tape cache pays exactly once per sweep.
+        c.bench_function(&format!("sim/compile_tape/{label}"), |b| {
+            b.iter(|| Tape::compile(&netlist).unwrap())
+        });
+    }
+
+    println!();
+    for (label, case) in &cases {
+        let speedup = measured_speedup(case.reference_netlist());
+        println!("sim/{label}: compiled engine is {speedup:.1}x faster per cycle than interp");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use rechisel_core::{FunctionalTester, PortSpec, Spec};
 use rechisel_firrtl::ir::{Circuit, Direction};
 use rechisel_firrtl::lower::Netlist;
 use rechisel_firrtl::lower_circuit;
-use rechisel_sim::Testbench;
+use rechisel_sim::{EngineKind, Testbench};
 
 /// Which benchmark family a case is modelled after.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -196,7 +196,9 @@ impl BenchmarkCase {
     /// The tester is built once per case instance and cached; repeated calls — one per
     /// sample in a sweep — pay only a clone, not a reference lowering or a testbench
     /// regeneration. (The testbench is seeded by [`seed`](Self::seed), so a clone and a
-    /// regeneration are identical.)
+    /// regeneration are identical.) Clones also share the prototype's lazily compiled
+    /// reference instruction tape, so on the default compiled simulation engine the
+    /// whole sweep compiles each reference **once per case**, like the netlist cache.
     ///
     /// # Panics
     ///
@@ -215,6 +217,14 @@ impl BenchmarkCase {
                 FunctionalTester::new(netlist, testbench)
             })
             .clone()
+    }
+
+    /// Like [`tester`](Self::tester), but with an explicit simulation engine. The
+    /// returned tester still shares this case's cached reference netlist and compiled
+    /// tape (the tape is only compiled — once — when a compiled-engine tester first
+    /// runs).
+    pub fn tester_with_engine(&self, engine: EngineKind) -> FunctionalTester {
+        self.tester().with_engine(engine)
     }
 }
 
@@ -278,5 +288,16 @@ mod tests {
         assert!(report.passed());
         assert!(case.is_combinational());
         assert_eq!(case.input_bits(), 1);
+    }
+
+    #[test]
+    fn tester_with_engine_selects_the_engine_and_agrees() {
+        let case = tiny_case();
+        let compiled = case.tester_with_engine(EngineKind::Compiled);
+        let interp = case.tester_with_engine(EngineKind::Interp);
+        assert_eq!(compiled.engine(), EngineKind::Compiled);
+        assert_eq!(interp.engine(), EngineKind::Interp);
+        let dut = case.reference_netlist().clone();
+        assert_eq!(compiled.test(&dut), interp.test(&dut));
     }
 }

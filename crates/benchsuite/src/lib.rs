@@ -33,12 +33,14 @@
 pub mod case;
 pub mod circuits;
 pub mod passk;
+pub mod random_circuit;
 pub mod report;
 pub mod runner;
 pub mod suite;
 
 pub use case::{BenchmarkCase, Category, SourceFamily};
 pub use passk::{mean_pass_at_k, pass_at_k};
+pub use random_circuit::{random_circuit, random_stimulus, RandomCircuitConfig};
 pub use runner::{
     run_case, run_case_with_engine, run_model, run_model_with_engine, run_sample,
     run_sample_with_engine, sweep_suite, CaseOutcome, ExperimentConfig, ModelOutcome,

@@ -15,6 +15,7 @@
 
 use rechisel_core::{Engine, Observer, TemplateReviewer, TraceInspector, WorkflowResult};
 use rechisel_llm::{Language, ModelProfile, SyntheticLlm};
+use rechisel_sim::EngineKind;
 
 use crate::case::BenchmarkCase;
 use crate::passk::mean_pass_at_k;
@@ -34,6 +35,10 @@ pub struct ExperimentConfig {
     pub language: Language,
     /// Worker threads used to evaluate cases in parallel.
     pub threads: usize,
+    /// Simulation engine used by the functional testers. Defaults to the compiled
+    /// instruction-tape engine, which amortizes one tape compilation per case over
+    /// every sample's testbench points.
+    pub sim_engine: EngineKind,
 }
 
 impl Default for ExperimentConfig {
@@ -53,6 +58,7 @@ impl ExperimentConfig {
             knowledge_enabled: true,
             language: Language::Chisel,
             threads: default_threads(),
+            sim_engine: EngineKind::default(),
         }
     }
 
@@ -97,6 +103,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the simulation engine for the sweep's testers.
+    pub fn with_sim_engine(mut self, engine: EngineKind) -> Self {
+        self.sim_engine = engine;
+        self
+    }
+
     /// The equivalent workflow configuration.
     pub fn workflow_config(&self) -> rechisel_core::WorkflowConfig {
         rechisel_core::WorkflowConfig {
@@ -109,12 +121,16 @@ impl ExperimentConfig {
 
     /// Builds an engine for this configuration (standard pipeline, silent observer).
     pub fn engine(&self) -> Engine {
-        Engine::builder().config(self.workflow_config()).build()
+        Engine::builder().config(self.workflow_config()).sim_engine(self.sim_engine).build()
     }
 
     /// Builds an engine for this configuration that streams run events to `observer`.
     pub fn engine_with_observer(&self, observer: impl Observer + 'static) -> Engine {
-        Engine::builder().config(self.workflow_config()).observer(observer).build()
+        Engine::builder()
+            .config(self.workflow_config())
+            .sim_engine(self.sim_engine)
+            .observer(observer)
+            .build()
     }
 }
 
@@ -240,7 +256,7 @@ pub fn run_sample_with_engine(
             TemplateReviewer::new(),
             TraceInspector::new(),
             case.spec.clone(),
-            case.tester(),
+            case.tester_with_engine(engine.sim_engine()),
         )
         .run(sample)
 }
@@ -413,6 +429,28 @@ mod tests {
         assert!(!config.knowledge_enabled);
         assert!(!config.workflow_config().knowledge_enabled);
         assert!(config.engine().knowledge().is_empty());
+    }
+
+    #[test]
+    fn sweeps_default_to_the_compiled_engine_and_both_engines_agree() {
+        let config = ExperimentConfig::quick().with_samples(2);
+        assert_eq!(config.sim_engine, EngineKind::Compiled);
+        assert_eq!(config.engine().sim_engine(), EngineKind::Compiled);
+        let interp_config = config.with_sim_engine(EngineKind::Interp);
+        assert_eq!(interp_config.engine().sim_engine(), EngineKind::Interp);
+
+        // The engine choice must be invisible in the results: a sweep over either
+        // engine produces identical outcomes.
+        let suite = sampled_suite(5);
+        let fast = run_model(&ModelProfile::gpt4o(), &suite, &config);
+        let slow = run_model(&ModelProfile::gpt4o(), &suite, &interp_config);
+        assert_eq!(fast.pass_at_k(1, 5), slow.pass_at_k(1, 5));
+        assert_eq!(fast.status_proportions(0), slow.status_proportions(0));
+        for (a, b) in fast.cases.iter().zip(&slow.cases) {
+            for (ra, rb) in a.samples.iter().zip(&b.samples) {
+                assert_eq!(ra.statuses, rb.statuses, "case {}", a.case_id);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Differential fuzzing of the two simulation engines.
+//!
+//! The compiled instruction-tape engine is only allowed to exist because it is
+//! mechanically indistinguishable from the tree-walking interpreter: for thousands of
+//! randomly generated circuits × random stimulus, every signal must agree **peek for
+//! peek, cycle for cycle**. Seeds are produced by the deterministic proptest stub
+//! (fixed per test name), so a failure reproduces forever; the case count is raised in
+//! CI's dedicated fuzz job via `RECHISEL_FUZZ_CASES`.
+
+use proptest::prelude::*;
+use rechisel_benchsuite::{random_circuit, random_stimulus, sampled_suite, RandomCircuitConfig};
+use rechisel_firrtl::lower_circuit;
+use rechisel_sim::{run_testbench, run_testbench_with, CompiledSimulator, EngineKind, Simulator};
+
+/// Generated-circuit count for the property below: default 1000, raised in CI.
+fn fuzz_cases() -> u32 {
+    std::env::var("RECHISEL_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(1000)
+        .max(1)
+}
+
+/// Asserts that both engines agree on every named signal of the netlist.
+fn assert_all_peeks_agree(
+    interp: &Simulator,
+    compiled: &CompiledSimulator,
+    names: &[String],
+    seed: u64,
+    at: &str,
+) {
+    for name in names {
+        let a = interp.peek(name).unwrap();
+        let b = compiled.peek(name).unwrap();
+        assert_eq!(a, b, "seed {seed}: signal {name} diverges {at} (interp {a} vs compiled {b})");
+    }
+}
+
+/// One differential run: generate, lower, drive both engines with identical stimulus,
+/// and compare every signal after every eval and every step.
+fn differential_run(seed: u64) {
+    let circuit = random_circuit(seed, &RandomCircuitConfig::default());
+    let netlist = lower_circuit(&circuit)
+        .unwrap_or_else(|e| panic!("seed {seed}: generated circuit fails to lower: {e}"));
+    let names: Vec<String> = netlist.slot_assignment().iter().map(|(_, n)| n.to_string()).collect();
+
+    let mut interp = Simulator::new(netlist.clone());
+    let mut compiled = CompiledSimulator::new(&netlist)
+        .unwrap_or_else(|e| panic!("seed {seed}: tape compilation failed: {e}"));
+
+    assert_all_peeks_agree(&interp, &compiled, &names, seed, "at construction");
+    interp.reset(2).unwrap();
+    compiled.reset(2).unwrap();
+    assert_all_peeks_agree(&interp, &compiled, &names, seed, "after reset");
+
+    for (cycle, assignment) in random_stimulus(&netlist, 10, seed).iter().enumerate() {
+        for (name, value) in assignment {
+            interp.poke(name, *value).unwrap();
+            compiled.poke(name, *value).unwrap();
+        }
+        interp.eval().unwrap();
+        compiled.eval();
+        assert_all_peeks_agree(&interp, &compiled, &names, seed, &format!("eval {cycle}"));
+        interp.step().unwrap();
+        compiled.step();
+        assert_all_peeks_agree(&interp, &compiled, &names, seed, &format!("step {cycle}"));
+        assert_eq!(interp.outputs(), compiled.outputs(), "seed {seed} cycle {cycle}");
+        assert_eq!(interp.cycles(), compiled.cycles(), "seed {seed} cycle {cycle}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Thousands of generated circuits × random stimulus: both engines, identical
+    /// peeks, cycle for cycle.
+    #[test]
+    fn engines_agree_on_generated_circuits(seed in 0u64..u64::MAX) {
+        differential_run(seed);
+    }
+}
+
+#[test]
+fn engines_agree_on_suite_references() {
+    // Beyond generated circuits: both engines must produce byte-identical testbench
+    // reports over real benchmark-suite reference designs (all five categories).
+    for case in sampled_suite(24) {
+        let netlist = case.reference_netlist();
+        let tester = case.tester();
+        let tb = tester.testbench();
+        let interp = run_testbench(netlist, netlist, tb).unwrap();
+        let compiled = run_testbench_with(EngineKind::Compiled, netlist, netlist, tb).unwrap();
+        assert_eq!(interp, compiled, "case {}", case.id);
+        assert!(compiled.passed(), "case {}", case.id);
+    }
+}

@@ -35,6 +35,7 @@ use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
 use rechisel_firrtl::pipeline::Pipeline;
+use rechisel_sim::EngineKind;
 
 use crate::agents::{Generator, Inspector, Reviewer};
 use crate::feedback::{ErrorKind, Feedback};
@@ -193,6 +194,7 @@ pub struct Engine {
     config: WorkflowConfig,
     compiler: ChiselCompiler,
     knowledge: CommonErrorKnowledge,
+    sim_engine: EngineKind,
     /// `None` means no observer is attached; sessions then skip event construction and
     /// the observer mutex entirely (the hot path of an unobserved sweep).
     observer: Option<SharedObserver>,
@@ -206,6 +208,7 @@ impl Clone for Engine {
             config: self.config,
             compiler: self.compiler.clone(),
             knowledge: self.knowledge.clone(),
+            sim_engine: self.sim_engine,
             observer: self.observer.clone(),
         }
     }
@@ -247,6 +250,12 @@ impl Engine {
     /// The common-error knowledge base handed to Reviewers.
     pub fn knowledge(&self) -> &CommonErrorKnowledge {
         &self.knowledge
+    }
+
+    /// The simulation engine testers spawned for this engine's sessions should use
+    /// (see [`EngineBuilder::sim_engine`]).
+    pub fn sim_engine(&self) -> EngineKind {
+        self.sim_engine
     }
 
     /// Spawns a session owning the given agents, specification and tester.
@@ -317,6 +326,7 @@ pub struct EngineBuilder {
     config: Option<WorkflowConfig>,
     compiler: Option<ChiselCompiler>,
     knowledge: Option<CommonErrorKnowledge>,
+    sim_engine: Option<EngineKind>,
     observer: Option<SharedObserver>,
 }
 
@@ -355,6 +365,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the simulation engine (default: [`EngineKind::Compiled`], the
+    /// levelized instruction-tape engine). Benchmark runners consult
+    /// [`Engine::sim_engine`] when building per-case testers, so one builder call
+    /// switches the whole sweep; pick [`EngineKind::Interp`] to run on the
+    /// tree-walking reference interpreter instead.
+    pub fn sim_engine(mut self, kind: EngineKind) -> Self {
+        self.sim_engine = Some(kind);
+        self
+    }
+
     /// Sets the observer receiving streaming run events.
     ///
     /// By default no observer is attached and sessions skip event delivery entirely;
@@ -378,6 +398,7 @@ impl EngineBuilder {
             config,
             compiler: self.compiler.unwrap_or_default(),
             knowledge,
+            sim_engine: self.sim_engine.unwrap_or_default(),
             observer: self.observer,
         }
     }
@@ -777,6 +798,11 @@ mod tests {
         assert_eq!(engine.config().max_iterations, 10);
         assert_eq!(engine.compiler().pipeline().backend().name(), "verilog");
         assert!(!engine.knowledge().is_empty());
+        // The fast simulation engine is the default; the interpreter is selectable.
+        assert_eq!(engine.sim_engine(), EngineKind::Compiled);
+        let interp = Engine::builder().sim_engine(EngineKind::Interp).build();
+        assert_eq!(interp.sim_engine(), EngineKind::Interp);
+        assert_eq!(interp.clone().sim_engine(), EngineKind::Interp);
 
         let engine = Engine::builder()
             .config(WorkflowConfig { knowledge_enabled: false, ..WorkflowConfig::default() })

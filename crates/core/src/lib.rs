@@ -56,6 +56,7 @@ pub use engine::{
 };
 pub use feedback::{ErrorKind, Feedback, FeedbackDetail};
 pub use knowledge::{CommonErrorKnowledge, ErrorGuidance};
+pub use rechisel_sim::EngineKind;
 pub use revision::{RevisionItem, RevisionPlan};
 pub use spec::{PortSpec, Spec};
 pub use tools::{ChiselCompiler, Compiled, FunctionalTester};

@@ -1,12 +1,17 @@
 //! The external tools of the workflow: the Chisel→Verilog compiler wrapper and the
 //! functional tester (workflow steps ❷ and ❸ of the paper's Fig. 2).
 
+use std::sync::{Arc, OnceLock};
+
 use rechisel_firrtl::check::CheckOptions;
 use rechisel_firrtl::diagnostics::Diagnostic;
 use rechisel_firrtl::ir::Circuit;
 use rechisel_firrtl::lower::Netlist;
 use rechisel_firrtl::pipeline::{PassManager, Pipeline};
-use rechisel_sim::{run_testbench, SimReport, Testbench};
+use rechisel_sim::{
+    run_testbench, run_testbench_on, CompiledSimulator, EngineKind, SimError, SimReport, Tape,
+    Testbench,
+};
 use rechisel_verilog::VerilogBackend;
 
 /// The output of a successful compilation.
@@ -78,16 +83,42 @@ impl ChiselCompiler {
 
 /// The "Simulator" external tool: functional testing of a compiled design against the
 /// benchmark's reference model.
+///
+/// The tester runs on either simulation engine (see [`EngineKind`]); the default is
+/// the compiled engine. On the compiled path the reference netlist's instruction
+/// [`Tape`] is compiled once, lazily, and **shared across clones** — a benchmark case
+/// hands out one tester clone per sample, so the whole sweep pays a single reference
+/// compilation per case, mirroring the existing reference-netlist cache.
 #[derive(Debug, Clone)]
 pub struct FunctionalTester {
     reference: Netlist,
     testbench: Testbench,
+    engine: EngineKind,
+    /// Lazily compiled reference tape, shared across clones of this tester.
+    reference_tape: Arc<OnceLock<Result<Arc<Tape>, SimError>>>,
 }
 
 impl FunctionalTester {
-    /// Creates a tester from a reference netlist and a testbench.
+    /// Creates a tester from a reference netlist and a testbench, using the default
+    /// execution engine ([`EngineKind::Compiled`]).
     pub fn new(reference: Netlist, testbench: Testbench) -> Self {
-        Self { reference, testbench }
+        Self {
+            reference,
+            testbench,
+            engine: EngineKind::default(),
+            reference_tape: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Switches the execution engine, keeping the (shared) compiled-tape cache.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The execution engine used by [`test`](Self::test).
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// The testbench driven against DUT and reference.
@@ -100,13 +131,26 @@ impl FunctionalTester {
         &self.reference
     }
 
+    /// The compiled reference tape (compiling it on first use), shared across clones.
+    fn reference_tape(&self) -> Result<Arc<Tape>, SimError> {
+        self.reference_tape.get_or_init(|| Tape::compile(&self.reference).map(Arc::new)).clone()
+    }
+
     /// Runs the functional tests on a compiled DUT.
     ///
     /// Simulation infrastructure errors (e.g. a DUT that is missing a port entirely)
     /// are reported as a fully failing report rather than an `Err`, because from the
     /// workflow's point of view they are simply a non-functional design.
     pub fn test(&self, dut: &Netlist) -> SimReport {
-        match run_testbench(dut, &self.reference, &self.testbench) {
+        let outcome = match self.engine {
+            EngineKind::Interp => run_testbench(dut, &self.reference, &self.testbench),
+            EngineKind::Compiled => self.reference_tape().and_then(|tape| {
+                let mut ref_sim = CompiledSimulator::from_tape(tape);
+                let mut dut_sim = CompiledSimulator::new(dut)?;
+                run_testbench_on(&mut dut_sim, &mut ref_sim, &self.testbench)
+            }),
+        };
+        match outcome {
             Ok(report) => report,
             Err(_) => {
                 let total = self.testbench.checked_points();
@@ -174,5 +218,50 @@ mod tests {
         m.connect(&out, &a.not().bits(7, 0));
         let wrong = compiler.compile(&m.into_circuit()).unwrap().netlist;
         assert!(!tester.test(&wrong).passed());
+    }
+
+    #[test]
+    fn tester_engines_agree_and_share_the_tape_across_clones() {
+        let compiler = ChiselCompiler::new();
+        let reference = compiler.compile(&passthrough("Ref")).unwrap().netlist;
+        let tb = Testbench::random_for(&reference, 8, 0, 3);
+        let tester = FunctionalTester::new(reference, tb);
+        assert_eq!(tester.engine(), EngineKind::Compiled);
+
+        let mut m = ModuleBuilder::new("Wrong");
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        m.connect(&out, &a.not().bits(7, 0));
+        let wrong = compiler.compile(&m.into_circuit()).unwrap().netlist;
+
+        let compiled_report = tester.test(&wrong);
+        let interp_report = tester.clone().with_engine(EngineKind::Interp).test(&wrong);
+        assert_eq!(compiled_report, interp_report);
+
+        // Clones share the lazily compiled reference tape.
+        let clone = tester.clone();
+        let a = tester.reference_tape().unwrap();
+        let b = clone.reference_tape().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn tester_reports_structural_failures_as_fully_failing() {
+        // A DUT with a completely different interface cannot be simulated against the
+        // testbench; both engines must degrade to an all-failing report.
+        let compiler = ChiselCompiler::new();
+        let reference = compiler.compile(&passthrough("Ref")).unwrap().netlist;
+        let tb = Testbench::random_for(&reference, 6, 0, 3);
+        let mut m = ModuleBuilder::new("Alien");
+        let x = m.input("unrelated", Type::bool());
+        let y = m.output("other", Type::bool());
+        m.connect(&y, &x);
+        let alien = compiler.compile(&m.into_circuit()).unwrap().netlist;
+        for kind in [EngineKind::Interp, EngineKind::Compiled] {
+            let tester = FunctionalTester::new(reference.clone(), tb.clone()).with_engine(kind);
+            let report = tester.test(&alien);
+            assert!(!report.passed(), "engine {kind}");
+            assert_eq!(report.total_points, 6);
+        }
     }
 }

@@ -107,6 +107,45 @@ pub struct Netlist {
     pub signals: BTreeMap<String, SignalInfo>,
 }
 
+/// A dense, deterministic slot numbering of every signal of a [`Netlist`].
+///
+/// Compiled execution engines index signal state by integer slot instead of hashing
+/// names: ports come first (in port order), then registers (in register order), then
+/// the remaining combinational definitions (in evaluation order). Output ports — which
+/// appear both as ports and as defs — keep their port slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotAssignment {
+    names: Vec<String>,
+    index: BTreeMap<String, u32>,
+}
+
+impl SlotAssignment {
+    /// Number of slots (named signals).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the netlist has no signals at all.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The slot assigned to `name`, if the signal exists.
+    pub fn slot_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The signal name occupying `slot`.
+    pub fn name_of(&self, slot: u32) -> Option<&str> {
+        self.names.get(slot as usize).map(String::as_str)
+    }
+
+    /// Iterates `(slot, name)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
 impl Netlist {
     /// Flattened input ports (excluding clocks).
     pub fn data_inputs(&self) -> impl Iterator<Item = &NetPort> {
@@ -126,6 +165,30 @@ impl Netlist {
     /// Total number of state bits held in registers.
     pub fn state_bits(&self) -> u64 {
         self.regs.iter().map(|r| r.info.width as u64).sum()
+    }
+
+    /// Assigns every signal a dense slot index (ports, then registers, then remaining
+    /// combinational defs). The assignment is deterministic for a given netlist and is
+    /// the layout contract compiled simulators build their state vectors on.
+    pub fn slot_assignment(&self) -> SlotAssignment {
+        let mut names: Vec<String> = Vec::with_capacity(self.signals.len());
+        let mut index: BTreeMap<String, u32> = BTreeMap::new();
+        let push = |name: &String, names: &mut Vec<String>, index: &mut BTreeMap<String, u32>| {
+            if !index.contains_key(name) {
+                index.insert(name.clone(), names.len() as u32);
+                names.push(name.clone());
+            }
+        };
+        for p in &self.ports {
+            push(&p.name, &mut names, &mut index);
+        }
+        for r in &self.regs {
+            push(&r.name, &mut names, &mut index);
+        }
+        for d in &self.defs {
+            push(&d.name, &mut names, &mut index);
+        }
+        SlotAssignment { names, index }
     }
 }
 
@@ -1130,6 +1193,51 @@ mod tests {
         let netlist = lower_circuit(&c).unwrap();
         assert!(netlist.defs.iter().any(|d| d.name == "inv_y"));
         assert!(netlist.defs.iter().any(|d| d.name == "b"));
+    }
+
+    #[test]
+    fn slot_assignment_is_dense_and_deterministic() {
+        let mut m = Module::new("Counter", ModuleKind::Module);
+        m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+        m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("en", Direction::Input, Type::bool()));
+        m.ports.push(Port::new("count", Direction::Output, Type::uint(8)));
+        m.body.push(Statement::Reg {
+            name: "r".into(),
+            ty: Type::uint(8),
+            clock: ClockSpec::Implicit,
+            reset: Some(RegReset {
+                reset: Expression::reference("reset"),
+                init: Expression::uint_lit(0),
+            }),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("count"),
+            expr: Expression::reference("r"),
+            info: SourceInfo::unknown(),
+        });
+        let netlist = lower_circuit(&Circuit::single(m)).unwrap();
+        let slots = netlist.slot_assignment();
+        // Every signal gets exactly one slot; output ports keep their port slot even
+        // though they reappear as defs.
+        assert_eq!(slots.len(), netlist.signals.len());
+        assert!(!slots.is_empty());
+        // Ports first, in port order.
+        assert_eq!(slots.slot_of("clock"), Some(0));
+        assert_eq!(slots.slot_of("reset"), Some(1));
+        assert_eq!(slots.slot_of("en"), Some(2));
+        assert_eq!(slots.slot_of("count"), Some(3));
+        // Registers after ports.
+        assert_eq!(slots.slot_of("r"), Some(4));
+        assert_eq!(slots.slot_of("ghost"), None);
+        assert_eq!(slots.name_of(4), Some("r"));
+        assert_eq!(slots.name_of(99), None);
+        // Round trip: iter covers every slot exactly once.
+        let names: Vec<&str> = slots.iter().map(|(_, n)| n).collect();
+        assert_eq!(names.len(), slots.len());
+        // Deterministic: recomputing yields the identical assignment.
+        assert_eq!(slots, netlist.slot_assignment());
     }
 
     #[test]

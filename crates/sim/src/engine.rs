@@ -1,0 +1,207 @@
+//! The execution-engine seam: one trait, two implementations.
+//!
+//! [`SimEngine`] abstracts over *how* a lowered netlist is executed, so every consumer
+//! of simulation — the testbench runner, the functional tester, the benchmark sweeps —
+//! is engine-agnostic:
+//!
+//! * [`Simulator`] (selected by [`EngineKind::Interp`]) walks the
+//!   expression trees of the netlist on every evaluation. Zero startup cost, ideal for
+//!   one-shot evaluation and as the semantic reference.
+//! * [`CompiledSimulator`] (selected by
+//!   [`EngineKind::Compiled`]) levelizes the netlist once into a flat instruction
+//!   [`Tape`](crate::Tape) — slot-indexed state, pre-resolved operand indices,
+//!   pre-pooled constants, a register commit list — and then executes cycles with no
+//!   hashing or allocation. Sweeps that simulate the same design for thousands of
+//!   cycles amortize the one-time compile many times over.
+//!
+//! Both engines execute the *same* operator kernel ([`crate::eval::apply_prim`]) and
+//! are pinned cycle-for-cycle identical by the differential fuzz suite in
+//! `rechisel-benchsuite`.
+
+use rechisel_firrtl::lower::Netlist;
+
+use crate::compiled::CompiledSimulator;
+use crate::simulator::{SimError, Simulator};
+
+/// A cycle-accurate execution engine over a lowered netlist.
+///
+/// The trait mirrors the poke/peek/eval/step surface of [`Simulator`]; `step_n` and
+/// `reset` are provided in terms of the required methods.
+///
+/// # Example
+///
+/// ```
+/// use rechisel_hcl::prelude::*;
+/// use rechisel_sim::{EngineKind, SimEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ModuleBuilder::new("AddOne");
+/// let a = m.input("a", Type::uint(8));
+/// let out = m.output("out", Type::uint(8));
+/// m.connect(&out, &a.add(&Signal::lit_w(1, 8)).bits(7, 0));
+/// let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+///
+/// // The same driver code works against either engine.
+/// for kind in [EngineKind::Interp, EngineKind::Compiled] {
+///     let mut sim = kind.simulator(&netlist)?;
+///     sim.poke("a", 41)?;
+///     sim.eval()?;
+///     assert_eq!(sim.peek("out")?, 42);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait SimEngine {
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] if `name` is not an input port and
+    /// [`SimError::ValueTooWide`] if `value` does not fit in the port's width.
+    fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError>;
+
+    /// Reads the current value of any signal (port, wire or register).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] if the signal does not exist.
+    fn peek(&self, name: &str) -> Result<u128, SimError>;
+
+    /// Re-evaluates all combinational logic with the current inputs and register state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Eval`] when the netlist is structurally broken (dangling
+    /// references, non-ground expressions).
+    fn eval(&mut self) -> Result<(), SimError>;
+
+    /// Advances one clock cycle: evaluate, compute register next-states (applying
+    /// synchronous reset), commit them simultaneously, re-evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`eval`](Self::eval).
+    fn step(&mut self) -> Result<(), SimError>;
+
+    /// Number of clock cycles simulated so far.
+    fn cycles(&self) -> u64;
+
+    /// Reads all output ports, in port order.
+    fn outputs(&self) -> Vec<(String, u128)>;
+
+    /// True when the design has a `reset` input port.
+    fn has_reset(&self) -> bool;
+
+    /// Advances `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    fn step_n(&mut self, n: u32) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Asserts the `reset` input (when present) for `cycles` cycles, then deasserts it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    fn reset(&mut self, cycles: u32) -> Result<(), SimError> {
+        if self.has_reset() {
+            self.poke("reset", 1)?;
+            self.step_n(cycles)?;
+            self.poke("reset", 0)?;
+            self.eval()?;
+        }
+        Ok(())
+    }
+}
+
+/// Which [`SimEngine`] implementation to instantiate.
+///
+/// The default is [`EngineKind::Compiled`]: benchmark sweeps simulate each reference
+/// design for many points × cycles, which is exactly the regime where the one-time
+/// tape compilation pays for itself. Pick [`EngineKind::Interp`] for one-shot
+/// evaluations or when debugging the compiled engine against the reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Tree-walking interpreter ([`Simulator`]).
+    Interp,
+    /// Levelized instruction-tape engine ([`CompiledSimulator`]).
+    #[default]
+    Compiled,
+}
+
+impl EngineKind {
+    /// A short display name (`"interp"` / `"compiled"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Interp => "interp",
+            EngineKind::Compiled => "compiled",
+        }
+    }
+
+    /// Instantiates the engine for a netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineKind::Compiled`] returns [`SimError::Eval`] when the netlist cannot be
+    /// compiled to a tape (dangling references or non-ground expressions — conditions
+    /// the interpreter would only report at evaluation time).
+    pub fn simulator(self, netlist: &Netlist) -> Result<Box<dyn SimEngine>, SimError> {
+        match self {
+            EngineKind::Interp => Ok(Box::new(Simulator::new(netlist.clone()))),
+            EngineKind::Compiled => Ok(Box::new(CompiledSimulator::new(netlist)?)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    fn counter() -> Netlist {
+        let mut m = ModuleBuilder::new("Counter");
+        let en = m.input("en", Type::bool());
+        let out = m.output("out", Type::uint(8));
+        let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+        m.when(&en, |m| {
+            let next = count.add(&Signal::lit_w(1, 8)).bits(7, 0);
+            m.connect(&count, &next);
+        });
+        m.connect(&out, &count);
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn both_kinds_drive_the_same_trait_object_protocol() {
+        for kind in [EngineKind::Interp, EngineKind::Compiled] {
+            let mut sim = kind.simulator(&counter()).unwrap();
+            assert!(sim.has_reset());
+            sim.reset(2).unwrap();
+            sim.poke("en", 1).unwrap();
+            sim.step_n(5).unwrap();
+            assert_eq!(sim.peek("out").unwrap(), 5, "engine {kind}");
+            assert_eq!(sim.cycles(), 7);
+            assert_eq!(sim.outputs(), vec![("out".to_string(), 5)]);
+        }
+    }
+
+    #[test]
+    fn kind_names_and_default() {
+        assert_eq!(EngineKind::default(), EngineKind::Compiled);
+        assert_eq!(EngineKind::Interp.name(), "interp");
+        assert_eq!(EngineKind::Compiled.to_string(), "compiled");
+    }
+}

@@ -126,7 +126,7 @@ pub fn eval_expr(
     }
 }
 
-fn min_width(value: u128) -> u32 {
+pub(crate) fn min_width(value: u128) -> u32 {
     if value == 0 {
         1
     } else {
@@ -141,10 +141,25 @@ fn eval_prim(
     env: &BTreeMap<String, u128>,
     infos: &BTreeMap<String, SignalInfo>,
 ) -> Result<EvalValue, EvalError> {
-    use PrimOp::*;
     let a = eval_expr(&args[0], env, infos)?;
     let b = if args.len() > 1 { Some(eval_expr(&args[1], env, infos)?) } else { None };
-    let result = match op {
+    Ok(apply_prim(op, a, b, params))
+}
+
+/// Applies a primitive operation to already-evaluated operands.
+///
+/// This is the single source of truth for operator semantics (bit patterns, result
+/// widths, signedness): the tree-walking interpreter calls it per node, and the
+/// compiled engine calls it per tape instruction, so the two can never drift apart.
+///
+/// # Panics
+///
+/// Panics when a binary operation is applied without a second operand or a
+/// parameterized operation without its parameters — conditions that lowering never
+/// produces (compiled tapes reject them at build time instead).
+pub fn apply_prim(op: PrimOp, a: EvalValue, b: Option<EvalValue>, params: &[i64]) -> EvalValue {
+    use PrimOp::*;
+    match op {
         Add => {
             let b = b.expect("binary op");
             let w = a.width.max(b.width) + 1;
@@ -280,8 +295,7 @@ fn eval_prim(
             let shift = a.width.saturating_sub(keep);
             EvalValue::new(a.bits >> shift, keep, false)
         }
-    };
-    Ok(result)
+    }
 }
 
 fn cmp(a: EvalValue, b: EvalValue) -> std::cmp::Ordering {
@@ -440,6 +454,65 @@ mod tests {
         let (env, infos) = env_of(&[]);
         let err = eval_expr(&Expression::reference("ghost"), &env, &infos).unwrap_err();
         assert!(matches!(err, EvalError::UnknownSignal(_)));
+        assert_eq!(err.to_string(), "unknown signal ghost");
+        // Unknown signals are detected inside nested operands and mux branches too.
+        let nested = Expression::prim(
+            PrimOp::Add,
+            vec![Expression::uint_lit(1), Expression::reference("ghost")],
+            vec![],
+        );
+        assert!(
+            matches!(eval_expr(&nested, &env, &infos), Err(EvalError::UnknownSignal(n)) if n == "ghost")
+        );
+        let mux = Expression::mux(
+            Expression::uint_lit(1),
+            Expression::reference("ghost"),
+            Expression::uint_lit(0),
+        );
+        assert!(matches!(eval_expr(&mux, &env, &infos), Err(EvalError::UnknownSignal(_))));
+    }
+
+    #[test]
+    fn non_ground_expressions_are_unsupported() {
+        let (env, infos) = env_of(&[("x", 1, 4, false)]);
+        let field = Expression::SubField(Box::new(Expression::reference("x")), "f".into());
+        let err = eval_expr(&field, &env, &infos).unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedExpression(_)));
+        assert_eq!(err.to_string(), "unsupported expression during simulation: x.f");
+
+        let cast = Expression::ScalaCast {
+            arg: Box::new(Expression::reference("x")),
+            target: "SInt".into(),
+        };
+        let err = eval_expr(&cast, &env, &infos).unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedExpression(w) if w.contains("asInstanceOf")));
+
+        let apply = Expression::BadApply {
+            target: Box::new(Expression::reference("x")),
+            args: vec![Expression::uint_lit(0)],
+        };
+        assert!(matches!(
+            eval_expr(&apply, &env, &infos),
+            Err(EvalError::UnsupportedExpression(_))
+        ));
+        let index = Expression::SubIndex(Box::new(Expression::reference("x")), 0);
+        assert!(matches!(
+            eval_expr(&index, &env, &infos),
+            Err(EvalError::UnsupportedExpression(_))
+        ));
+    }
+
+    #[test]
+    fn apply_prim_matches_tree_evaluation() {
+        // The shared kernel is what both engines execute; spot-check it directly.
+        let a = EvalValue::new(200, 8, false);
+        let b = EvalValue::new(100, 8, false);
+        let sum = apply_prim(PrimOp::Add, a, Some(b), &[]);
+        assert_eq!((sum.bits, sum.width, sum.signed), (300, 9, false));
+        let sliced = apply_prim(PrimOp::Bits, sum, None, &[3, 1]);
+        assert_eq!((sliced.bits, sliced.width), ((300 >> 1) & 0b111, 3));
+        let neg = apply_prim(PrimOp::Neg, EvalValue::new(3, 4, false), None, &[]);
+        assert_eq!(neg.as_i128(), -3);
     }
 
     #[test]

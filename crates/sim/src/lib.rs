@@ -6,10 +6,16 @@
 //!
 //! The crate provides:
 //!
-//! * [`Simulator`] — poke/peek/step interpretation of a [`rechisel_firrtl::Netlist`].
+//! * [`SimEngine`] — the execution-engine trait, with two implementations selectable
+//!   via [`EngineKind`]:
+//!   [`Simulator`] (tree-walking interpreter, the semantic reference) and
+//!   [`CompiledSimulator`] (a levelized instruction [`Tape`] with slot-indexed state —
+//!   no hashing or allocation per cycle, typically an order of magnitude faster;
+//!   compile once, simulate many).
 //! * [`Testbench`] / [`FunctionalPoint`] — stimulus description, including seeded random
 //!   stimulus generation.
-//! * [`run_testbench`] — DUT-vs-reference comparison producing the [`SimReport`] whose
+//! * [`run_testbench`] / [`run_testbench_with`] / [`run_testbench_on`] —
+//!   DUT-vs-reference comparison producing the [`SimReport`] whose
 //!   [`PointFailure`]s become the "functional error" feedback consumed by the ReChisel
 //!   Reviewer agent.
 //!
@@ -38,10 +44,17 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
+pub mod engine;
 pub mod eval;
 pub mod simulator;
 pub mod testbench;
 
-pub use eval::{eval_expr, EvalError, EvalValue};
+pub use compiled::{CompiledSimulator, Tape};
+pub use engine::{EngineKind, SimEngine};
+pub use eval::{apply_prim, eval_expr, EvalError, EvalValue};
 pub use simulator::{SimError, Simulator};
-pub use testbench::{run_testbench, FunctionalPoint, PointFailure, SimReport, Testbench};
+pub use testbench::{
+    run_testbench, run_testbench_on, run_testbench_with, FunctionalPoint, PointFailure, SimReport,
+    Testbench,
+};

@@ -18,6 +18,15 @@ use crate::eval::{eval_expr, mask, EvalError};
 pub enum SimError {
     /// A signal name passed to poke/peek does not exist or has the wrong direction.
     NoSuchPort(String),
+    /// A poked literal does not fit the port: the value has bits above the port width.
+    ValueTooWide {
+        /// The input port being driven.
+        port: String,
+        /// The port's width in bits.
+        width: u32,
+        /// The rejected value.
+        value: u128,
+    },
     /// Expression evaluation failed (lowering bug or corrupted netlist).
     Eval(EvalError),
 }
@@ -26,6 +35,9 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::NoSuchPort(name) => write!(f, "no such port: {name}"),
+            SimError::ValueTooWide { port, width, value } => {
+                write!(f, "value {value} does not fit input port {port} ({width} bits)")
+            }
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
         }
     }
@@ -99,7 +111,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoSuchPort`] if `name` is not an input port.
+    /// Returns [`SimError::NoSuchPort`] if `name` is not an input port, and
+    /// [`SimError::ValueTooWide`] if `value` is wider than the port (out-of-range
+    /// literals are rejected rather than silently masked, so a testbench driving
+    /// `256` into an 8-bit port is a caller bug, not a quiet truncation to 0).
     pub fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError> {
         let port = self
             .netlist
@@ -108,7 +123,10 @@ impl Simulator {
             .find(|p| p.name == name && p.direction == Direction::Input)
             .ok_or_else(|| SimError::NoSuchPort(name.to_string()))?;
         let width = port.info.width;
-        self.values.insert(name.to_string(), mask(value, width));
+        if value != mask(value, width) {
+            return Err(SimError::ValueTooWide { port: name.to_string(), width, value });
+        }
+        self.values.insert(name.to_string(), value);
         Ok(())
     }
 
@@ -196,6 +214,36 @@ impl Simulator {
     }
 }
 
+impl crate::engine::SimEngine for Simulator {
+    fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        Simulator::poke(self, name, value)
+    }
+
+    fn peek(&self, name: &str) -> Result<u128, SimError> {
+        Simulator::peek(self, name)
+    }
+
+    fn eval(&mut self) -> Result<(), SimError> {
+        Simulator::eval(self)
+    }
+
+    fn step(&mut self) -> Result<(), SimError> {
+        Simulator::step(self)
+    }
+
+    fn cycles(&self) -> u64 {
+        Simulator::cycles(self)
+    }
+
+    fn outputs(&self) -> Vec<(String, u128)> {
+        Simulator::outputs(self)
+    }
+
+    fn has_reset(&self) -> bool {
+        self.netlist.ports.iter().any(|p| p.name == "reset" && p.direction == Direction::Input)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,10 +313,44 @@ mod tests {
     }
 
     #[test]
-    fn poke_masks_to_width() {
+    fn poke_rejects_values_wider_than_the_port() {
         let mut sim = Simulator::new(counter_netlist());
-        sim.poke("en", 0xFF).unwrap();
+        // In-range values (including the maximum) are accepted.
+        sim.poke("en", 1).unwrap();
         assert_eq!(sim.peek("en").unwrap(), 1);
+        sim.poke("en", 0).unwrap();
+        // Out-of-range literals are an error, not a silent mask.
+        let err = sim.poke("en", 0xFF).unwrap_err();
+        match &err {
+            SimError::ValueTooWide { port, width, value } => {
+                assert_eq!(port, "en");
+                assert_eq!(*width, 1);
+                assert_eq!(*value, 0xFF);
+            }
+            other => panic!("expected ValueTooWide, got {other:?}"),
+        }
+        // The rejected poke must not have clobbered the port value.
+        assert_eq!(sim.peek("en").unwrap(), 0);
+    }
+
+    #[test]
+    fn sim_error_display_formats() {
+        assert_eq!(SimError::NoSuchPort("x".into()).to_string(), "no such port: x");
+        assert_eq!(
+            SimError::ValueTooWide { port: "en".into(), width: 1, value: 255 }.to_string(),
+            "value 255 does not fit input port en (1 bits)"
+        );
+        assert_eq!(
+            SimError::Eval(EvalError::UnknownSignal("s".into())).to_string(),
+            "evaluation error: unknown signal s"
+        );
+        assert_eq!(
+            SimError::from(EvalError::UnsupportedExpression("w.f".into())).to_string(),
+            "evaluation error: unsupported expression during simulation: w.f"
+        );
+        // SimError is a std error with no source chaining.
+        let err: Box<dyn std::error::Error> = Box::new(SimError::NoSuchPort("x".into()));
+        assert!(err.source().is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use rechisel_firrtl::lower::Netlist;
 
+use crate::engine::{EngineKind, SimEngine};
 use crate::simulator::{SimError, Simulator};
 
 /// One functional point: a set of input assignments, how many clock cycles to advance
@@ -197,6 +198,48 @@ pub fn run_testbench(
 ) -> Result<SimReport, SimError> {
     let mut dut_sim = Simulator::new(dut.clone());
     let mut ref_sim = Simulator::new(reference.clone());
+    run_testbench_on(&mut dut_sim, &mut ref_sim, testbench)
+}
+
+/// Runs `testbench` against DUT and reference netlists using the chosen execution
+/// engine — [`run_testbench`] with an [`EngineKind`] knob.
+///
+/// # Errors
+///
+/// Same conditions as [`run_testbench`]; additionally, [`EngineKind::Compiled`]
+/// reports structural netlist problems eagerly (at tape compilation) instead of at the
+/// first evaluation.
+pub fn run_testbench_with(
+    engine: EngineKind,
+    dut: &Netlist,
+    reference: &Netlist,
+    testbench: &Testbench,
+) -> Result<SimReport, SimError> {
+    let mut dut_sim = engine.simulator(dut)?;
+    let mut ref_sim = engine.simulator(reference)?;
+    run_testbench_on(dut_sim.as_mut(), ref_sim.as_mut(), testbench)
+}
+
+/// Runs `testbench` against two already-constructed engines (not necessarily of the
+/// same kind), comparing outputs at every checked point.
+///
+/// This is the engine-agnostic core of [`run_testbench`]: callers that cache a
+/// compiled reference tape per benchmark case instantiate the reference side from the
+/// shared tape and hand both engines here.
+///
+/// Stimulus values that do not apply — ports missing on one side, or out-of-range
+/// literals — are skipped on that side; a DUT whose interface does not match the
+/// testbench simply diverges at the comparison.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when either simulation fails structurally. Functional
+/// mismatches are *not* errors; they are reported in the returned [`SimReport`].
+pub fn run_testbench_on(
+    dut_sim: &mut dyn SimEngine,
+    ref_sim: &mut dyn SimEngine,
+    testbench: &Testbench,
+) -> Result<SimReport, SimError> {
     if testbench.reset_cycles > 0 {
         dut_sim.reset(testbench.reset_cycles)?;
         ref_sim.reset(testbench.reset_cycles)?;
@@ -204,8 +247,8 @@ pub fn run_testbench(
     let mut report = SimReport::default();
     for (index, point) in testbench.points.iter().enumerate() {
         for (name, value) in &point.inputs {
-            // Drive only ports that exist on each side; a DUT with a missing port will
-            // simply diverge at the comparison.
+            // Drive only ports that exist (and fit) on each side; a DUT with a missing
+            // or narrower port will simply diverge at the comparison.
             let _ = ref_sim.poke(name, *value);
             let _ = dut_sim.poke(name, *value);
         }
@@ -315,6 +358,24 @@ mod tests {
         let bad = run_testbench(&counter(true), &counter(false), &tb).unwrap();
         assert!(!bad.passed());
         assert_eq!(bad.total_points, 3);
+    }
+
+    #[test]
+    fn engines_produce_identical_reports() {
+        let tb = Testbench::random_for(&adder(), 16, 0, 9);
+        let interp =
+            run_testbench_with(EngineKind::Interp, &broken_adder(), &adder(), &tb).unwrap();
+        let compiled =
+            run_testbench_with(EngineKind::Compiled, &broken_adder(), &adder(), &tb).unwrap();
+        assert_eq!(interp, compiled);
+        assert!(!compiled.passed());
+        // The legacy entry point is the interpreter path.
+        assert_eq!(run_testbench(&broken_adder(), &adder(), &tb).unwrap(), interp);
+        // Mixed engines agree too: the interpreter DUT vs the compiled reference.
+        let mut dut = Simulator::new(adder());
+        let mut reference = EngineKind::Compiled.simulator(&adder()).unwrap();
+        let mixed = run_testbench_on(&mut dut, reference.as_mut(), &tb).unwrap();
+        assert!(mixed.passed());
     }
 
     #[test]
