@@ -10,8 +10,8 @@
 
 use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rechisel_benchsuite::circuits::{fsm, sequential};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rechisel_benchsuite::circuits::{fsm, memory, sequential};
 use rechisel_benchsuite::SourceFamily;
 use rechisel_firrtl::lower::Netlist;
 use rechisel_sim::{CompiledSimulator, Simulator, Tape};
@@ -48,10 +48,28 @@ fn measured_speedup(netlist: &Netlist) -> f64 {
     interp_time.as_secs_f64() / compiled_time.as_secs_f64().max(f64::MIN_POSITIVE)
 }
 
+/// Fixed pure-CPU work (a splitmix64 spin) whose cost scales with host speed the same
+/// way the engine loops do. `bench_gate` divides every `sim/` median by this one, so
+/// the committed baseline gates on machine-independent *ratios*, not raw nanoseconds.
+fn calibration_spin() -> u64 {
+    let mut z: u64 = 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..4096 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= x >> 31;
+    }
+    z
+}
+
 fn bench_sim(c: &mut Criterion) {
+    c.bench_function("sim/_calibration/spin", |b| b.iter(|| black_box(calibration_spin())));
+
     let cases = [
         ("regfile8x8", sequential::register_file(8, 8, SourceFamily::Rtllm)),
         ("fsm_seq1101", fsm::sequence_detector(&[1, 1, 0, 1], SourceFamily::HdlBits)),
+        ("fifo8x8", memory::fifo(8, 8, SourceFamily::VerilogEval)),
     ];
     for (label, case) in &cases {
         let netlist = case.reference_netlist().clone();

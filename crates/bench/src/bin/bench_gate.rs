@@ -1,0 +1,282 @@
+//! Criterion-output → `BENCH_results.json` converter and regression gate.
+//!
+//! The vendored criterion stub appends one JSON object per measurement to the file
+//! named by `CRITERION_JSON` (JSON Lines). This tool turns that raw stream into a
+//! stable, committed-friendly `BENCH_results.json` and compares it against a committed
+//! `BENCH_baseline.json`, failing (exit 1) when any benchmark in the gated group
+//! regressed by more than the allowed fraction.
+//!
+//! Medians are normalized by the `sim/_calibration/spin` benchmark — fixed pure-CPU
+//! work measured in the same process — so the committed baseline gates on
+//! machine-independent ratios instead of raw nanoseconds.
+//!
+//! ```text
+//! bench_gate --results target/criterion.jsonl --out BENCH_results.json \
+//!            --baseline BENCH_baseline.json [--bless] [--max-regression 0.25] \
+//!            [--group sim/]
+//! ```
+//!
+//! `--bless` rewrites the baseline from the current results instead of gating.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const CALIBRATION_ID: &str = "sim/_calibration/spin";
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    median_ns: u128,
+    samples: u64,
+}
+
+/// Extracts the string value of `"key":"..."` from a JSON object line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// Extracts the integer value of `"key":N` from a JSON object line.
+fn json_u128(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses measurements out of a JSONL stream or a rendered results document (both use
+/// one `{"id":...,"median_ns":...,"samples":...}` object per line). Later duplicates
+/// win, so re-running a bench binary into the same sidecar file stays well-defined.
+fn parse(text: &str) -> BTreeMap<String, Entry> {
+    let mut entries = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = json_str(line, "id") else { continue };
+        let Some(median_ns) = json_u128(line, "median_ns") else { continue };
+        let samples = json_u128(line, "samples").unwrap_or(0) as u64;
+        entries.insert(id, Entry { median_ns, samples });
+    }
+    entries
+}
+
+/// Renders the committed/artifact JSON document: a stable, sorted, line-per-entry
+/// layout that both humans and [`parse`] read back.
+fn render(entries: &BTreeMap<String, Entry>) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, (id, e)) in entries.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\":\"{}\",\"median_ns\":{},\"samples\":{}}}{comma}\n",
+            id.replace('\\', "\\\\").replace('"', "\\\""),
+            e.median_ns,
+            e.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Median normalized by the run's own calibration spin; falls back to raw
+/// nanoseconds when the calibration benchmark is missing.
+fn normalized(entries: &BTreeMap<String, Entry>, id: &str) -> f64 {
+    let raw = entries.get(id).map(|e| e.median_ns as f64).unwrap_or(0.0);
+    match entries.get(CALIBRATION_ID) {
+        Some(cal) if cal.median_ns > 0 => raw / cal.median_ns as f64,
+        _ => raw,
+    }
+}
+
+struct Args {
+    results: String,
+    out: String,
+    baseline: String,
+    group: String,
+    max_regression: f64,
+    bless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        results: "target/criterion.jsonl".into(),
+        out: "BENCH_results.json".into(),
+        baseline: "BENCH_baseline.json".into(),
+        group: "sim/".into(),
+        max_regression: 0.25,
+        bless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--results" => args.results = value("--results")?,
+            "--out" => args.out = value("--out")?,
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--group" => args.group = value("--group")?,
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            "--bless" => args.bless = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let raw = match std::fs::read_to_string(&args.results) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read results {}: {e}", args.results);
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = parse(&raw);
+    if results.is_empty() {
+        eprintln!("bench_gate: no measurements found in {}", args.results);
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, render(&results)) {
+        eprintln!("bench_gate: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: wrote {} measurements to {}", results.len(), args.out);
+
+    // The gate compares calibration-normalized ratios; a run without the calibration
+    // benchmark would silently fall back to raw nanoseconds and make every comparison
+    // a cross-unit absurdity, so its absence is a hard error on both paths.
+    if !results.contains_key(CALIBRATION_ID) {
+        eprintln!(
+            "bench_gate: results are missing the calibration benchmark {CALIBRATION_ID}; \
+             run the sim bench group (cargo bench -p rechisel-bench --bench sim)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if args.bless {
+        if let Err(e) = std::fs::write(&args.baseline, render(&results)) {
+            eprintln!("bench_gate: cannot write baseline {}: {e}", args.baseline);
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: blessed baseline {}", args.baseline);
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => parse(&text),
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {} ({e}); run with --bless to record one",
+                args.baseline
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if !baseline.contains_key(CALIBRATION_ID) {
+        eprintln!(
+            "bench_gate: baseline {} is missing the calibration benchmark {CALIBRATION_ID}; \
+             re-record it with --bless",
+            args.baseline
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for id in baseline.keys().filter(|id| id.starts_with(&args.group)) {
+        if *id == CALIBRATION_ID {
+            continue;
+        }
+        if !results.contains_key(id) {
+            eprintln!("REGRESSION {id}: benchmark missing from the current run");
+            failed = true;
+            continue;
+        }
+        let base = normalized(&baseline, id);
+        let now = normalized(&results, id);
+        if base <= 0.0 {
+            continue;
+        }
+        let change = now / base - 1.0;
+        let verdict = if change > args.max_regression {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>10} {id}: normalized median {now:.4} vs baseline {base:.4} ({:+.1}%)",
+            change * 100.0
+        );
+    }
+    for id in results.keys().filter(|id| id.starts_with(&args.group)) {
+        if !baseline.contains_key(id) {
+            println!("       new {id}: not in baseline (not gated; re-bless to pin it)");
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench_gate: at least one {}* benchmark regressed by more than {:.0}%",
+            args.group,
+            args.max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: no regression beyond {:.0}%", args.max_regression * 100.0);
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_round_trip() {
+        let jsonl = "{\"id\":\"sim/a\",\"median_ns\":100,\"samples\":30}\n\
+                     {\"id\":\"sim/b\",\"median_ns\":250,\"samples\":30}\n\
+                     not json\n\
+                     {\"id\":\"sim/a\",\"median_ns\":120,\"samples\":30}\n";
+        let entries = parse(jsonl);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries["sim/a"].median_ns, 120, "later duplicates win");
+        let doc = render(&entries);
+        assert_eq!(parse(&doc).len(), 2);
+        assert_eq!(parse(&doc)["sim/b"].median_ns, 250);
+    }
+
+    #[test]
+    fn normalization_uses_the_calibration_spin() {
+        let mut entries = BTreeMap::new();
+        entries.insert("sim/x".to_string(), Entry { median_ns: 500, samples: 30 });
+        assert_eq!(normalized(&entries, "sim/x"), 500.0, "no calibration: raw ns");
+        entries.insert(CALIBRATION_ID.to_string(), Entry { median_ns: 250, samples: 30 });
+        assert_eq!(normalized(&entries, "sim/x"), 2.0, "calibrated: ratio");
+    }
+
+    #[test]
+    fn escaped_ids_survive_the_round_trip() {
+        let mut entries = BTreeMap::new();
+        entries.insert("sim/we\"ird\\id".to_string(), Entry { median_ns: 7, samples: 2 });
+        let doc = render(&entries);
+        let back = parse(&doc);
+        assert_eq!(back["sim/we\"ird\\id"].median_ns, 7);
+    }
+}

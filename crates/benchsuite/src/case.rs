@@ -48,6 +48,8 @@ pub enum Category {
     Sequential,
     /// Finite state machines.
     Fsm,
+    /// RAM-backed designs (register files, FIFOs, caches, delay lines).
+    Memory,
 }
 
 impl std::fmt::Display for Category {
@@ -58,6 +60,7 @@ impl std::fmt::Display for Category {
             Category::BitManipulation => write!(f, "bit-manipulation"),
             Category::Sequential => write!(f, "sequential"),
             Category::Fsm => write!(f, "fsm"),
+            Category::Memory => write!(f, "memory"),
         }
     }
 }

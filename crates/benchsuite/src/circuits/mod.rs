@@ -7,4 +7,5 @@
 pub mod arithmetic;
 pub mod combinational;
 pub mod fsm;
+pub mod memory;
 pub mod sequential;

@@ -24,6 +24,12 @@ pub struct RandomCircuitConfig {
     pub max_ops: usize,
     /// Maximum number of registers (possibly zero, for purely combinational designs).
     pub max_regs: usize,
+    /// Maximum number of memories (possibly zero). Each memory gets a random depth
+    /// (1–8 words, deliberately including non-powers-of-two so out-of-range addresses
+    /// occur), one or two read ports feeding the expression pool, and one or two write
+    /// ports — some conditional, with addresses shared between read and write sides so
+    /// read-under-write collisions are frequent.
+    pub max_mems: usize,
     /// Maximum port/register width in bits (clamped to at least 1; kept ≤ 16 so
     /// intermediate products stay well inside `u128`).
     pub max_width: u32,
@@ -31,7 +37,7 @@ pub struct RandomCircuitConfig {
 
 impl Default for RandomCircuitConfig {
     fn default() -> Self {
-        Self { max_inputs: 4, max_ops: 14, max_regs: 3, max_width: 12 }
+        Self { max_inputs: 4, max_ops: 14, max_regs: 3, max_mems: 2, max_width: 12 }
     }
 }
 
@@ -176,6 +182,35 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
         pool.push(m.node(&format!("n{i}"), &result));
     }
 
+    // Memories: declared up front, read ports joining the pool (so register
+    // next-states and outputs can consume them), then write ports — the address is
+    // sometimes wider than the depth needs, so out-of-range reads (→ 0) and dropped
+    // out-of-range writes are generated, and the same pool feeds read and write
+    // addresses, so same-cycle read-under-write collisions are frequent.
+    let n_mems = rng.below(config.max_mems + 1);
+    for i in 0..n_mems {
+        let depth = 1 + rng.below(8);
+        let word_w = 1 + rng.below(max_width as usize) as u32;
+        let mem = m.mem(&format!("mem{i}"), Type::uint(word_w), depth);
+        // Address width: exact half the time, one bit wider otherwise (out-of-range).
+        let aw = mem.addr_width() + if rng.below(2) == 0 { 0 } else { 1 };
+        for r in 0..1 + rng.below(2) {
+            let addr = to_width(&pool[rng.below(pool.len())], aw);
+            let read = m.node(&format!("mem{i}_rd{r}"), &mem.read(&addr));
+            pool.push(read);
+        }
+        for _ in 0..1 + rng.below(2) {
+            let addr = to_width(&pool[rng.below(pool.len())], aw);
+            let value = to_width(&pool[rng.below(pool.len())], word_w);
+            if rng.below(2) == 0 {
+                let cond = to_bool(&pool[rng.below(pool.len())]);
+                m.when(&cond, |m| m.mem_write(&mem, &addr, &value));
+            } else {
+                m.mem_write(&mem, &addr, &value);
+            }
+        }
+    }
+
     // Register next-states: plain or conditional (`when`) updates. When another pool
     // signal of exactly the register's width exists, sometimes connect it bare (no
     // coercion wrapper) — for register sources this produces the `next = Ref(reg)`
@@ -272,7 +307,13 @@ mod tests {
 
     #[test]
     fn config_bounds_are_respected() {
-        let config = RandomCircuitConfig { max_inputs: 2, max_ops: 3, max_regs: 0, max_width: 4 };
+        let config = RandomCircuitConfig {
+            max_inputs: 2,
+            max_ops: 3,
+            max_regs: 0,
+            max_mems: 0,
+            max_width: 4,
+        };
         for seed in 0..50u64 {
             let circuit = random_circuit(seed, &config);
             let top = circuit.top_module().unwrap();
@@ -281,6 +322,28 @@ mod tests {
             assert!((1..=2).contains(&data_inputs));
             let netlist = lower_circuit(&circuit).unwrap();
             assert_eq!(netlist.regs.len(), 0);
+            assert_eq!(netlist.mems.len(), 0);
         }
+    }
+
+    #[test]
+    fn default_config_generates_memories() {
+        // Over a seed window, the default configuration must actually produce mems
+        // (with write ports) — otherwise the differential fuzz silently stops covering
+        // the memory path.
+        let config = RandomCircuitConfig::default();
+        let mut with_mems = 0usize;
+        let mut with_writes = 0usize;
+        for seed in 0..100u64 {
+            let netlist = lower_circuit(&random_circuit(seed, &config)).unwrap();
+            if !netlist.mems.is_empty() {
+                with_mems += 1;
+            }
+            if netlist.mems.iter().any(|m| !m.writes.is_empty()) {
+                with_writes += 1;
+            }
+        }
+        assert!(with_mems >= 30, "only {with_mems}/100 seeds produced memories");
+        assert!(with_writes >= 30, "only {with_writes}/100 seeds produced write ports");
     }
 }

@@ -7,7 +7,7 @@
 //! FSMs) and tagging each case with the benchmark family it is modelled after.
 
 use crate::case::{BenchmarkCase, SourceFamily};
-use crate::circuits::{arithmetic, combinational, fsm, sequential};
+use crate::circuits::{arithmetic, combinational, fsm, memory, sequential};
 
 /// The number of cases in the full suite (matching the paper).
 pub const SUITE_SIZE: usize = 216;
@@ -123,6 +123,23 @@ fn all_generated_cases() -> Vec<BenchmarkCase> {
         cases.push(fsm::blinker(half, HdlBits));
     }
 
+    // --- memories (RAM-backed designs) ---------------------------------------------------
+    for (w, entries) in [(4u32, 4usize), (8, 8), (16, 8)] {
+        cases.push(memory::register_file_dp(w, entries, Rtllm));
+    }
+    for (w, depth) in [(4u32, 4usize), (8, 4), (8, 8)] {
+        cases.push(memory::fifo(w, depth, VerilogEval));
+    }
+    for (tag, sets) in [(4u32, 4usize), (6, 8), (8, 16)] {
+        cases.push(memory::cache_tag_store(tag, sets, Rtllm));
+    }
+    for (w, depth) in [(4u32, 4usize), (8, 8), (8, 16)] {
+        cases.push(memory::delay_line_mem(w, depth, HdlBits));
+    }
+    for (w, depth) in [(8u32, 8usize), (16, 16)] {
+        cases.push(memory::scratchpad(w, depth, HdlBits));
+    }
+
     // --- combinational / bit manipulation ------------------------------------------------
     for w in [1u32, 2, 4, 8, 16, 32] {
         cases.push(combinational::mux2(w, VerilogEval));
@@ -197,7 +214,7 @@ mod tests {
         let families: BTreeSet<_> = suite.iter().map(|c| c.family).collect();
         assert_eq!(families.len(), 3);
         let categories: BTreeSet<_> = suite.iter().map(|c| c.category).collect();
-        assert_eq!(categories.len(), 5);
+        assert_eq!(categories.len(), 6);
     }
 
     #[test]

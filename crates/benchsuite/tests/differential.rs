@@ -21,11 +21,13 @@ fn fuzz_cases() -> u32 {
         .max(1)
 }
 
-/// Asserts that both engines agree on every named signal of the netlist.
+/// Asserts that both engines agree on every named signal of the netlist — and on the
+/// full contents of every memory.
 fn assert_all_peeks_agree(
     interp: &Simulator,
     compiled: &CompiledSimulator,
     names: &[String],
+    mems: &[(String, usize)],
     seed: u64,
     at: &str,
 ) {
@@ -33,6 +35,17 @@ fn assert_all_peeks_agree(
         let a = interp.peek(name).unwrap();
         let b = compiled.peek(name).unwrap();
         assert_eq!(a, b, "seed {seed}: signal {name} diverges {at} (interp {a} vs compiled {b})");
+    }
+    for (mem, depth) in mems {
+        for addr in 0..*depth as u128 {
+            let a = interp.peek_mem(mem, addr).unwrap();
+            let b = compiled.peek_mem(mem, addr).unwrap();
+            assert_eq!(
+                a, b,
+                "seed {seed}: memory word {mem}[{addr}] diverges {at} \
+                 (interp {a} vs compiled {b})"
+            );
+        }
     }
 }
 
@@ -43,15 +56,17 @@ fn differential_run(seed: u64) {
     let netlist = lower_circuit(&circuit)
         .unwrap_or_else(|e| panic!("seed {seed}: generated circuit fails to lower: {e}"));
     let names: Vec<String> = netlist.slot_assignment().iter().map(|(_, n)| n.to_string()).collect();
+    let mems: Vec<(String, usize)> =
+        netlist.mems.iter().map(|m| (m.name.clone(), m.depth)).collect();
 
     let mut interp = Simulator::new(netlist.clone());
     let mut compiled = CompiledSimulator::new(&netlist)
         .unwrap_or_else(|e| panic!("seed {seed}: tape compilation failed: {e}"));
 
-    assert_all_peeks_agree(&interp, &compiled, &names, seed, "at construction");
+    assert_all_peeks_agree(&interp, &compiled, &names, &mems, seed, "at construction");
     interp.reset(2).unwrap();
     compiled.reset(2).unwrap();
-    assert_all_peeks_agree(&interp, &compiled, &names, seed, "after reset");
+    assert_all_peeks_agree(&interp, &compiled, &names, &mems, seed, "after reset");
 
     for (cycle, assignment) in random_stimulus(&netlist, 10, seed).iter().enumerate() {
         for (name, value) in assignment {
@@ -60,10 +75,10 @@ fn differential_run(seed: u64) {
         }
         interp.eval().unwrap();
         compiled.eval();
-        assert_all_peeks_agree(&interp, &compiled, &names, seed, &format!("eval {cycle}"));
+        assert_all_peeks_agree(&interp, &compiled, &names, &mems, seed, &format!("eval {cycle}"));
         interp.step().unwrap();
         compiled.step();
-        assert_all_peeks_agree(&interp, &compiled, &names, seed, &format!("step {cycle}"));
+        assert_all_peeks_agree(&interp, &compiled, &names, &mems, seed, &format!("step {cycle}"));
         assert_eq!(interp.outputs(), compiled.outputs(), "seed {seed} cycle {cycle}");
         assert_eq!(interp.cycles(), compiled.cycles(), "seed {seed} cycle {cycle}");
     }

@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use rechisel_benchsuite::circuits::{arithmetic, combinational, fsm, sequential};
+use rechisel_benchsuite::circuits::{arithmetic, combinational, fsm, memory, sequential};
 use rechisel_benchsuite::{BenchmarkCase, SourceFamily};
 use rechisel_sim::{EngineKind, SimEngine, Testbench};
 
@@ -97,5 +97,23 @@ fn golden_sequential_counter_up4() {
         &sequential::counter_up(4, SourceFamily::HdlBits),
         "sequential_counter_up4.txt",
         include_str!("golden/sequential_counter_up4.txt"),
+    );
+}
+
+#[test]
+fn golden_memory_fifo8x4() {
+    check_golden(
+        &memory::fifo(8, 4, SourceFamily::VerilogEval),
+        "memory_fifo8x4.txt",
+        include_str!("golden/memory_fifo8x4.txt"),
+    );
+}
+
+#[test]
+fn golden_memory_regfile_dp8x8() {
+    check_golden(
+        &memory::register_file_dp(8, 8, SourceFamily::Rtllm),
+        "memory_regfile_dp8x8.txt",
+        include_str!("golden/memory_regfile_dp8x8.txt"),
     );
 }

@@ -454,6 +454,17 @@ pub enum Expression {
         /// Static integer parameters (shift amounts, bit ranges, pad widths).
         params: Vec<i64>,
     },
+    /// Combinational read port of a memory declared with [`Statement::Mem`].
+    ///
+    /// The read returns the *current* contents of the addressed word (read-under-write
+    /// is "old data": a write committed in the same cycle becomes visible one cycle
+    /// later, exactly like a register update). Out-of-range addresses read as zero.
+    MemRead {
+        /// Name of the memory being read.
+        mem: String,
+        /// Word address (unsigned).
+        addr: Box<Expression>,
+    },
     /// Defect carrier: a Scala-level `asInstanceOf` cast (Table II row A2). Rejected by
     /// type checking with the corresponding Chisel front-end message.
     ScalaCast {
@@ -525,6 +536,7 @@ impl Expression {
                 inner.visit(f);
                 idx.visit(f);
             }
+            Expression::MemRead { addr, .. } => addr.visit(f),
             Expression::Mux { cond, tval, fval } => {
                 cond.visit(f);
                 tval.visit(f);
@@ -570,6 +582,12 @@ impl Expression {
                 inner.rename_refs(f);
                 idx.rename_refs(f);
             }
+            Expression::MemRead { mem, addr } => {
+                if let Some(new) = f(mem) {
+                    *mem = new;
+                }
+                addr.rename_refs(f);
+            }
             Expression::Mux { cond, tval, fval } => {
                 cond.rename_refs(f);
                 tval.rename_refs(f);
@@ -604,6 +622,7 @@ impl fmt::Display for Expression {
             Expression::SIntLiteral { value, width: Some(w) } => write!(f, "SInt<{w}>({value})"),
             Expression::SIntLiteral { value, width: None } => write!(f, "SInt({value})"),
             Expression::Mux { cond, tval, fval } => write!(f, "mux({cond}, {tval}, {fval})"),
+            Expression::MemRead { mem, addr } => write!(f, "read({mem}, {addr})"),
             Expression::Prim { op, args, params } => {
                 write!(f, "{op}(")?;
                 for (i, a) in args.iter().enumerate() {
@@ -711,6 +730,39 @@ pub enum Statement {
         /// Site.
         info: SourceInfo,
     },
+    /// Memory (RAM) declaration: `depth` words of the ground element type `ty`.
+    ///
+    /// Reads are combinational ([`Expression::MemRead`]); writes are synchronous
+    /// ([`Statement::MemWrite`]) and commit together with register updates at the end
+    /// of the cycle (read-under-write returns the old data).
+    Mem {
+        /// Name.
+        name: String,
+        /// Element (word) type; must be ground with a known width.
+        ty: Type,
+        /// Number of words; must be at least 1.
+        depth: usize,
+        /// Declaration site.
+        info: SourceInfo,
+    },
+    /// Synchronous write port of a memory declared with [`Statement::Mem`].
+    ///
+    /// A write inside `when` blocks is enabled only on the paths that reach it; the
+    /// lowering pipeline folds the surrounding conditions into the port's enable.
+    /// When several enabled ports target the same address in one cycle, the
+    /// textually last write wins (ports commit in declaration order).
+    MemWrite {
+        /// Name of the memory being written.
+        mem: String,
+        /// Word address (unsigned).
+        addr: Expression,
+        /// Value stored at the next clock edge.
+        value: Expression,
+        /// Clock source of the write port.
+        clock: ClockSpec,
+        /// Site.
+        info: SourceInfo,
+    },
     /// Child module instantiation.
     Instance {
         /// Instance name.
@@ -745,6 +797,8 @@ impl Statement {
             | Statement::Connect { info, .. }
             | Statement::Invalidate { info, .. }
             | Statement::When { info, .. }
+            | Statement::Mem { info, .. }
+            | Statement::MemWrite { info, .. }
             | Statement::Instance { info, .. }
             | Statement::BareIoDecl { info, .. } => info,
         }
@@ -756,6 +810,7 @@ impl Statement {
             Statement::Wire { name, .. }
             | Statement::Reg { name, .. }
             | Statement::Node { name, .. }
+            | Statement::Mem { name, .. }
             | Statement::Instance { name, .. }
             | Statement::BareIoDecl { name, .. } => Some(name),
             _ => None,

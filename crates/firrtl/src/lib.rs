@@ -63,7 +63,9 @@ pub mod typeenv;
 pub use check::{check_circuit, check_circuit_with, CheckOptions};
 pub use diagnostics::{Diagnostic, DiagnosticReport, ErrorCode, Severity};
 pub use ir::{Circuit, Expression, Module, ModuleKind, Port, PrimOp, SourceInfo, Statement, Type};
-pub use lower::{lower_circuit, NetDef, NetPort, NetReg, Netlist, SignalInfo};
+pub use lower::{
+    lower_circuit, MemSlot, NetDef, NetMem, NetMemWrite, NetPort, NetReg, Netlist, SignalInfo,
+};
 pub use pipeline::{
     CheckedCircuit, EmitBackend, FirrtlBackend, Pass, PassManager, PassStats, PassTiming, Pipeline,
     PipelineOutput,

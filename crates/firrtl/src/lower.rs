@@ -92,6 +92,42 @@ pub struct NetReg {
     pub reset: Option<(Expression, Expression)>,
 }
 
+/// One synchronous write port of a [`NetMem`].
+///
+/// All three expressions are evaluated combinationally against the pre-edge state;
+/// when `enable`'s low bit is set and `addr` is in range, `value` (masked to the word
+/// width) is stored at the clock edge, simultaneously with register commits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetMemWrite {
+    /// Word address expression.
+    pub addr: Expression,
+    /// Data expression.
+    pub value: Expression,
+    /// Enable expression (surrounding `when` conditions folded in; literal 1 for an
+    /// unconditional write).
+    pub enable: Expression,
+}
+
+/// A memory (RAM) with combinational reads and synchronous writes.
+///
+/// Reads appear inside [`NetDef`]/[`NetReg`] expressions as
+/// [`Expression::MemRead`]; writes are listed here and commit in declaration order
+/// (same-cycle, same-address collisions: last port wins). Read-under-write returns the
+/// old data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetMem {
+    /// Memory name.
+    pub name: String,
+    /// Physical properties of one word.
+    pub info: SignalInfo,
+    /// Number of words.
+    pub depth: usize,
+    /// Mangled name of the clock signal driving the write ports.
+    pub clock: String,
+    /// Write ports, in declaration order.
+    pub writes: Vec<NetMemWrite>,
+}
+
 /// A flat, ground-typed netlist.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Netlist {
@@ -103,8 +139,23 @@ pub struct Netlist {
     pub defs: Vec<NetDef>,
     /// Registers.
     pub regs: Vec<NetReg>,
-    /// Physical properties of every signal (ports, defs and regs).
+    /// Memories.
+    pub mems: Vec<NetMem>,
+    /// Physical properties of every signal (ports, defs and regs; memories are not
+    /// signals and live in [`Netlist::mems`]).
     pub signals: BTreeMap<String, SignalInfo>,
+}
+
+/// The backing-store layout of one memory within a [`SlotAssignment`]: memories share
+/// one contiguous word array, each occupying `depth` words starting at `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSlot {
+    /// Dense memory index (declaration order).
+    pub index: u32,
+    /// First word offset in the shared backing store.
+    pub base: u32,
+    /// Number of words.
+    pub depth: u32,
 }
 
 /// A dense, deterministic slot numbering of every signal of a [`Netlist`].
@@ -112,14 +163,37 @@ pub struct Netlist {
 /// Compiled execution engines index signal state by integer slot instead of hashing
 /// names: ports come first (in port order), then registers (in register order), then
 /// the remaining combinational definitions (in evaluation order). Output ports — which
-/// appear both as ports and as defs — keep their port slot.
+/// appear both as ports and as defs — keep their port slot. Memories get a separate
+/// word-store layout (see [`MemSlot`]): declaration order, packed contiguously.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotAssignment {
     names: Vec<String>,
     index: BTreeMap<String, u32>,
+    mems: Vec<(String, MemSlot)>,
+    mem_index: BTreeMap<String, usize>,
+    mem_words: u32,
 }
 
 impl SlotAssignment {
+    /// Number of memories.
+    pub fn mem_count(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// Total number of backing-store words across all memories.
+    pub fn mem_words(&self) -> u32 {
+        self.mem_words
+    }
+
+    /// The backing-store layout of memory `name`, if it exists.
+    pub fn mem_slot_of(&self, name: &str) -> Option<MemSlot> {
+        self.mem_index.get(name).map(|i| self.mems[*i].1)
+    }
+
+    /// Iterates `(name, layout)` pairs in memory-declaration order.
+    pub fn iter_mems(&self) -> impl Iterator<Item = (&str, MemSlot)> {
+        self.mems.iter().map(|(n, s)| (n.as_str(), *s))
+    }
     /// Number of slots (named signals).
     pub fn len(&self) -> usize {
         self.names.len()
@@ -188,7 +262,21 @@ impl Netlist {
         for d in &self.defs {
             push(&d.name, &mut names, &mut index);
         }
-        SlotAssignment { names, index }
+        let mut mems = Vec::with_capacity(self.mems.len());
+        let mut mem_index = BTreeMap::new();
+        let mut mem_words: u32 = 0;
+        for (i, m) in self.mems.iter().enumerate() {
+            let slot = MemSlot { index: i as u32, base: mem_words, depth: m.depth as u32 };
+            mem_index.insert(m.name.clone(), i);
+            mems.push((m.name.clone(), slot));
+            mem_words = mem_words.saturating_add(m.depth as u32);
+        }
+        SlotAssignment { names, index, mems, mem_index, mem_words }
+    }
+
+    /// Total number of state bits held in memories.
+    pub fn mem_state_bits(&self) -> u64 {
+        self.mems.iter().map(|m| m.info.width as u64 * m.depth as u64).sum()
     }
 }
 
@@ -269,6 +357,13 @@ fn rewrite_instance_refs_in_statements(stmts: &mut [Statement], instances: &BTre
                     rewrite_instance_refs(init, instances);
                 }
             }
+            Statement::MemWrite { addr, value, clock, .. } => {
+                rewrite_instance_refs(addr, instances);
+                rewrite_instance_refs(value, instances);
+                if let ClockSpec::Explicit(e) = clock {
+                    rewrite_instance_refs(e, instances);
+                }
+            }
             Statement::When { cond, then_body, else_body, .. } => {
                 rewrite_instance_refs(cond, instances);
                 rewrite_instance_refs_in_statements(then_body, instances);
@@ -299,6 +394,7 @@ fn rewrite_instance_refs(expr: &mut Expression, instances: &BTreeSet<String>) {
                 rewrite_instance_refs(a, instances);
             }
         }
+        Expression::MemRead { addr, .. } => rewrite_instance_refs(addr, instances),
         Expression::ScalaCast { arg, .. } => rewrite_instance_refs(arg, instances),
         Expression::BadApply { target, args } => {
             rewrite_instance_refs(target, instances);
@@ -415,6 +511,7 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
         Statement::Wire { name, .. }
         | Statement::Reg { name, .. }
         | Statement::Node { name, .. }
+        | Statement::Mem { name, .. }
         | Statement::Instance { name, .. }
         | Statement::BareIoDecl { name, .. } => {
             if let Some(new) = rename(name) {
@@ -424,6 +521,16 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
         _ => {}
     }
     match &mut cloned {
+        Statement::MemWrite { mem, addr, value, clock, .. } => {
+            if let Some(new) = rename(mem) {
+                *mem = new;
+            }
+            addr.rename_refs(&rename);
+            value.rename_refs(&rename);
+            if let ClockSpec::Explicit(e) = clock {
+                e.rename_refs(&rename);
+            }
+        }
         Statement::Reg { clock, reset, .. } => {
             if let ClockSpec::Explicit(e) = clock {
                 e.rename_refs(&rename);
@@ -461,6 +568,9 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
 /// optional `(reset signal, init value)` pair.
 pub type GroundReg = (String, SignalInfo, String, Option<(Expression, Expression)>);
 
+/// A ground memory as `(name, word info, depth)`.
+pub type GroundMem = (String, SignalInfo, usize);
+
 /// A module in which every port, wire and register is ground-typed and every reference
 /// is a plain mangled [`Expression::Ref`].
 #[derive(Debug, Clone)]
@@ -473,6 +583,8 @@ pub struct GroundModule {
     pub wires: Vec<(String, SignalInfo)>,
     /// Ground registers: (name, info, clock net, reset).
     pub regs: Vec<GroundReg>,
+    /// Ground memories: (name, word info, depth).
+    pub mems: Vec<GroundMem>,
     /// Ground statements: nodes become defs, and all connects reference ground names.
     pub body: Vec<GroundStatement>,
 }
@@ -484,6 +596,9 @@ pub enum GroundStatement {
     Node(String, SignalInfo, Expression),
     /// `sink := expr`.
     Connect(String, Expression),
+    /// Memory write port: `(mem, addr, value, clock net)`. The effective enable is the
+    /// conjunction of the surrounding [`GroundStatement::When`] conditions.
+    MemWrite(String, Expression, Expression, String),
     /// Conditional block.
     When(Expression, Vec<GroundStatement>, Vec<GroundStatement>),
 }
@@ -507,6 +622,7 @@ impl<'a> Expander<'a> {
             ports: Vec::new(),
             wires: Vec::new(),
             regs: Vec::new(),
+            mems: Vec::new(),
             body: Vec::new(),
         };
         for port in &self.module.ports {
@@ -564,6 +680,16 @@ impl<'a> Expander<'a> {
                         ));
                     }
                 }
+                Statement::Mem { name, ty, depth, info } => {
+                    if !ty.is_ground() {
+                        return Err(Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            info.clone(),
+                            format!("memory {name} must hold a ground data type"),
+                        ));
+                    }
+                    out.mems.push((mangle(name), SignalInfo::from_type(ty), *depth));
+                }
                 Statement::When { then_body, else_body, .. } => {
                     self.expand_decls(then_body, out)?;
                     self.expand_decls(else_body, out)?;
@@ -608,7 +734,31 @@ impl<'a> Expander<'a> {
         let mut out = Vec::new();
         for stmt in stmts {
             match stmt {
-                Statement::Wire { .. } | Statement::Reg { .. } | Statement::Instance { .. } => {}
+                Statement::Wire { .. }
+                | Statement::Reg { .. }
+                | Statement::Mem { .. }
+                | Statement::Instance { .. } => {}
+                Statement::MemWrite { mem, addr, value, clock, info } => {
+                    let clock_net = match clock {
+                        ClockSpec::Implicit => "clock".to_string(),
+                        ClockSpec::Explicit(e) => {
+                            let path = static_path(e).ok_or_else(|| {
+                                Diagnostic::error(
+                                    ErrorCode::NoImplicitClock,
+                                    info.clone(),
+                                    "withClock requires a named clock signal",
+                                )
+                            })?;
+                            mangle(&path)
+                        }
+                    };
+                    out.push(GroundStatement::MemWrite(
+                        mangle(mem),
+                        self.expand_expr(addr)?,
+                        self.expand_expr(value)?,
+                        clock_net,
+                    ));
+                }
                 Statement::BareIoDecl { name, info, .. } => {
                     return Err(Diagnostic::error(
                         ErrorCode::BareChiselType,
@@ -819,6 +969,10 @@ impl<'a> Expander<'a> {
                 }
             }
             Expression::UIntLiteral { .. } | Expression::SIntLiteral { .. } => Ok(expr.clone()),
+            Expression::MemRead { mem, addr } => Ok(Expression::MemRead {
+                mem: mangle(mem),
+                addr: Box::new(self.expand_expr(addr)?),
+            }),
             Expression::Mux { cond, tval, fval } => Ok(Expression::mux(
                 self.expand_expr(cond)?,
                 self.expand_expr(tval)?,
@@ -885,10 +1039,12 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
 
     let reg_names: BTreeSet<String> = ground.regs.iter().map(|(n, _, _, _)| n.clone()).collect();
 
-    // Expand when blocks: last-connect-wins, per ground sink.
+    // Expand when blocks: last-connect-wins, per ground sink. Memory writes collect
+    // their surrounding conditions into per-port enables instead.
     let mut values: BTreeMap<String, Expression> = BTreeMap::new();
     let mut nodes: Vec<(String, SignalInfo, Expression)> = Vec::new();
-    expand_when(&ground.body, &None, &reg_names, &mut values, &mut nodes);
+    let mut mem_writes: Vec<(String, NetMemWrite, String)> = Vec::new();
+    expand_when(&ground.body, &None, &reg_names, &mut values, &mut nodes, &mut mem_writes);
 
     // Combinational definitions: wires, outputs and nodes.
     let mut defs: Vec<NetDef> = Vec::new();
@@ -918,8 +1074,53 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
         });
     }
 
+    // Memories: attach the collected write ports (declaration order preserved) and
+    // resolve the write clock (a port-less memory defaults to the implicit clock).
+    // All ports of one memory must share a clock — dual-clock memories are a
+    // ROADMAP follow-on, and silently collapsing a second clock domain onto the
+    // first would miscompile the design.
+    let mut mems: Vec<NetMem> = Vec::new();
+    for (name, info, depth) in &ground.mems {
+        let ports: Vec<&(String, NetMemWrite, String)> =
+            mem_writes.iter().filter(|(m, _, _)| m == name).collect();
+        let clock = ports.first().map(|(_, _, c)| c.clone()).unwrap_or_else(|| "clock".to_string());
+        if let Some((_, _, other)) = ports.iter().find(|(_, _, c)| *c != clock) {
+            return Err(Diagnostic::error(
+                ErrorCode::NoImplicitClock,
+                SourceInfo::unknown(),
+                format!(
+                    "memory {name} has write ports on different clocks ({clock} and {other}); \
+                     dual-clock memories are not supported"
+                ),
+            ));
+        }
+        mems.push(NetMem {
+            name: name.clone(),
+            info: *info,
+            depth: *depth,
+            clock,
+            writes: ports.into_iter().map(|(_, w, _)| w.clone()).collect(),
+        });
+    }
+    for (name, _, _) in &mem_writes {
+        if !ground.mems.iter().any(|(m, _, _)| m == name) {
+            return Err(Diagnostic::error(
+                ErrorCode::UnknownReference,
+                SourceInfo::unknown(),
+                format!("write port targets undeclared memory {name}"),
+            ));
+        }
+    }
+
     let defs = topo_sort_defs(defs, &reg_names, &signals)?;
-    Ok(Netlist { name: ground.name.clone(), ports: ground.ports.clone(), defs, regs, signals })
+    Ok(Netlist {
+        name: ground.name.clone(),
+        ports: ground.ports.clone(),
+        defs,
+        regs,
+        mems,
+        signals,
+    })
 }
 
 fn collect_node_infos(body: &[GroundStatement], signals: &mut BTreeMap<String, SignalInfo>) {
@@ -932,7 +1133,7 @@ fn collect_node_infos(body: &[GroundStatement], signals: &mut BTreeMap<String, S
                 collect_node_infos(t, signals);
                 collect_node_infos(e, signals);
             }
-            GroundStatement::Connect(..) => {}
+            GroundStatement::Connect(..) | GroundStatement::MemWrite(..) => {}
         }
     }
 }
@@ -949,11 +1150,22 @@ fn expand_when(
     regs: &BTreeSet<String>,
     values: &mut BTreeMap<String, Expression>,
     nodes: &mut Vec<(String, SignalInfo, Expression)>,
+    mem_writes: &mut Vec<(String, NetMemWrite, String)>,
 ) {
     for stmt in body {
         match stmt {
             GroundStatement::Node(name, info, expr) => {
                 nodes.push((name.clone(), *info, expr.clone()));
+            }
+            GroundStatement::MemWrite(mem, addr, value, clock) => {
+                // The port's enable is the conjunction of the surrounding conditions;
+                // an unconditional write is always enabled.
+                let enable = condition.clone().unwrap_or_else(|| Expression::uint_lit(1));
+                mem_writes.push((
+                    mem.clone(),
+                    NetMemWrite { addr: addr.clone(), value: value.clone(), enable },
+                    clock.clone(),
+                ));
             }
             GroundStatement::Connect(sink, expr) => {
                 let new_value = match condition {
@@ -977,8 +1189,8 @@ fn expand_when(
                     condition,
                     &Expression::prim(PrimOp::Not, vec![cond.clone()], vec![]),
                 );
-                expand_when(then_body, &Some(nested_then), regs, values, nodes);
-                expand_when(else_body, &Some(nested_else), regs, values, nodes);
+                expand_when(then_body, &Some(nested_then), regs, values, nodes, mem_writes);
+                expand_when(else_body, &Some(nested_else), regs, values, nodes, mem_writes);
             }
         }
     }

@@ -15,22 +15,35 @@ pub fn check_clocking(module: &Module, circuit: &Circuit) -> DiagnosticReport {
     let symbols = SymbolTable::build(module, circuit);
     let mut report = DiagnosticReport::new();
 
-    // --- C1: registers need a clock -------------------------------------------------
+    // --- C1: registers and memory write ports need a clock ----------------------------
     module.visit_statements(&mut |stmt| {
-        if let Statement::Reg { name, clock, info, .. } = stmt {
+        let (name, clock, info, is_mem_write) = match stmt {
+            Statement::Reg { name, clock, info, .. } => (name, clock, info, false),
+            Statement::MemWrite { mem: name, clock, info, .. } => (name, clock, info, true),
+            _ => return,
+        };
+        {
             match clock {
                 ClockSpec::Implicit => {
                     if module.kind == ModuleKind::RawModule {
+                        let suggestion = if is_mem_write {
+                            format!(
+                                "wrap the write in withClock(<clock>) {{ {name}.write(...) }} \
+                                 or declare the memory inside a Module with an implicit clock"
+                            )
+                        } else {
+                            format!(
+                                "wrap the register in withClock(<clock>) {{ RegNext(...) }} or \
+                                 declare {name} inside a Module with an implicit clock"
+                            )
+                        };
                         report.push(
                             Diagnostic::error(
                                 ErrorCode::NoImplicitClock,
                                 info.clone(),
                                 "no implicit clock".to_string(),
                             )
-                            .with_suggestion(format!(
-                                "wrap the register in withClock(<clock>) {{ RegNext(...) }} or \
-                                 declare {name} inside a Module with an implicit clock"
-                            ))
+                            .with_suggestion(suggestion)
                             .with_subject(name.clone()),
                         );
                     } else if module.port("clock").is_none() {

@@ -200,6 +200,11 @@ impl<'a> GraphBuilder<'a> {
                 }
                 self.collect_reads(index, out);
             }
+            Expression::MemRead { addr, .. } => {
+                // Memory contents are sequential (like a register) and cannot carry a
+                // combinational loop; the address is read combinationally.
+                self.collect_reads(addr, out);
+            }
             Expression::Mux { cond, tval, fval } => {
                 self.collect_reads(cond, out);
                 self.collect_reads(tval, out);
@@ -237,6 +242,7 @@ impl<'a> GraphBuilder<'a> {
             | Some(SymbolKind::OutputPort)
             | Some(SymbolKind::Instance(_)) => true,
             Some(SymbolKind::Reg)
+            | Some(SymbolKind::Mem(_))
             | Some(SymbolKind::InputPort)
             | Some(SymbolKind::BareIo)
             | None => false,

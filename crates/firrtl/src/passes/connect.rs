@@ -130,6 +130,34 @@ impl<'a> ConnectChecker<'a> {
                     }
                 }
             }
+            Statement::Mem { name, ty, depth, info } => {
+                if !ty.is_ground() || ty.is_clock() {
+                    self.report.push(
+                        Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            info.clone(),
+                            format!(
+                                "memory {name} must hold a ground data type, found {}",
+                                ty.chisel_name()
+                            ),
+                        )
+                        .with_subject(name.clone()),
+                    );
+                }
+                if *depth == 0 {
+                    self.report.push(
+                        Diagnostic::error(
+                            ErrorCode::IndexOutOfBounds,
+                            info.clone(),
+                            format!("memory {name} must have a depth of at least 1"),
+                        )
+                        .with_subject(name.clone()),
+                    );
+                }
+            }
+            Statement::MemWrite { mem, addr, value, info, .. } => {
+                self.check_mem_write(mem, addr, value, info);
+            }
             Statement::Instance { name, module, info } => {
                 if self.circuit.module(module).is_none() {
                     self.report.push(
@@ -154,6 +182,98 @@ impl<'a> ConnectChecker<'a> {
                 );
             }
             Statement::Wire { .. } => {}
+        }
+    }
+
+    /// Validates one memory write port: the target must be a memory, the address an
+    /// in-range unsigned value, and the data port no wider than the memory's word.
+    fn check_mem_write(
+        &mut self,
+        mem: &str,
+        addr: &Expression,
+        value: &Expression,
+        info: &SourceInfo,
+    ) {
+        let Some(symbol) = self.symbols.get(mem) else {
+            self.report.push(
+                Diagnostic::error(
+                    ErrorCode::UnknownReference,
+                    info.clone(),
+                    format!("memory {mem} is not a member of this module"),
+                )
+                .with_subject(mem.to_string()),
+            );
+            return;
+        };
+        let SymbolKind::Mem(depth) = symbol.kind else {
+            self.report.push(
+                Diagnostic::error(
+                    ErrorCode::InvalidSink,
+                    info.clone(),
+                    format!("{mem} is not a memory and cannot take a write port"),
+                )
+                .with_subject(mem.to_string()),
+            );
+            return;
+        };
+        if let Some(addr_ty) = self.type_of(addr, info) {
+            if !matches!(addr_ty, Type::UInt(_) | Type::Bool) {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::InvalidIndexType,
+                        info.clone(),
+                        format!(
+                            "memory address must be an unsigned integer, found {}",
+                            addr_ty.chisel_name()
+                        ),
+                    )
+                    .with_subject(mem.to_string()),
+                );
+            }
+        }
+        if let Expression::UIntLiteral { value: a, .. } = addr {
+            if *a >= depth as u128 {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::IndexOutOfBounds,
+                        info.clone(),
+                        format!(
+                            "{a} is out of bounds for memory {mem} (min 0, max {})",
+                            depth.saturating_sub(1)
+                        ),
+                    )
+                    .with_subject(mem.to_string()),
+                );
+            }
+        }
+        let elem_ty = symbol.ty.clone();
+        if let Some(value_ty) = self.type_of(value, info) {
+            if let Some(problem) = connection_problem(&elem_ty, &value_ty) {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::TypeMismatch,
+                        info.clone(),
+                        format!("memory write to {mem} failed: {problem}"),
+                    )
+                    .with_suggestion("insert an explicit conversion such as .asUInt or .asSInt")
+                    .with_subject(mem.to_string()),
+                );
+            } else if let (Some(ew), Some(vw)) = (elem_ty.width(), value_ty.width()) {
+                if vw > ew {
+                    self.report.push(
+                        Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            info.clone(),
+                            format!(
+                                "memory write data is {vw} bits wide but {mem} holds {ew}-bit \
+                                 words"
+                            ),
+                        )
+                        .with_suggestion(format!("truncate explicitly, e.g. .bits({}, 0)", ew - 1))
+                        .with_subject(mem.to_string()),
+                    );
+                }
+            }
         }
     }
 
@@ -216,6 +336,17 @@ impl<'a> ConnectChecker<'a> {
             SymbolKind::BareIo => {
                 // Reported once at the declaration site (B2); connecting to it is not
                 // separately diagnosed.
+            }
+            SymbolKind::Mem(_) => {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::InvalidSink,
+                        info.clone(),
+                        format!("memory {root} cannot be connected directly"),
+                    )
+                    .with_suggestion("drive the memory through a write port, e.g. m.mem_write(...)")
+                    .with_subject(root.to_string()),
+                );
             }
             SymbolKind::Instance(_) => {
                 // Driving a child *output* is illegal; driving a child input is the

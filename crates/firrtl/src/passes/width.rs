@@ -34,6 +34,19 @@ pub fn check_widths(module: &Module, circuit: &Circuit) -> DiagnosticReport {
     }
     let inferred = infer_declaration_widths(module, circuit);
     module.visit_statements(&mut |stmt| match stmt {
+        // Memory words are storage: their width is never inferrable from a driver, so
+        // the declaration must be explicit.
+        Statement::Mem { name, ty, info, .. } if !type_has_known_width(ty) => {
+            report.push(
+                Diagnostic::error(
+                    ErrorCode::WidthInferenceFailure,
+                    info.clone(),
+                    format!("memory {name} must declare an explicit word width"),
+                )
+                .with_suggestion("declare an explicit width, e.g. UInt(8.W)")
+                .with_subject(name.clone()),
+            );
+        }
         Statement::Wire { name, ty, info } | Statement::Reg { name, ty, info, .. }
             if !type_has_known_width(ty) && !inferred.contains_key(name) =>
         {

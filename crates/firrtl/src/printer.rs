@@ -71,6 +71,16 @@ fn print_firrtl_statements(stmts: &[Statement], indent: usize, out: &mut String)
                     print_firrtl_statements(else_body, indent + 1, out);
                 }
             }
+            Statement::Mem { name, ty, depth, .. } => {
+                let _ = writeln!(out, "{pad}mem {name} : {ty}[{depth}]");
+            }
+            Statement::MemWrite { mem, addr, value, clock, .. } => {
+                let clk = match clock {
+                    ClockSpec::Implicit => "clock".to_string(),
+                    ClockSpec::Explicit(e) => e.to_string(),
+                };
+                let _ = writeln!(out, "{pad}write {mem}[{addr}] <= {value}, {clk}");
+            }
             Statement::Instance { name, module, .. } => {
                 let _ = writeln!(out, "{pad}inst {name} of {module}");
             }
@@ -156,6 +166,7 @@ fn chisel_expr(expr: &Expression) -> String {
         Expression::Mux { cond, tval, fval } => {
             format!("Mux({}, {}, {})", chisel_expr(cond), chisel_expr(tval), chisel_expr(fval))
         }
+        Expression::MemRead { mem, addr } => format!("{mem}.read({})", chisel_expr(addr)),
         Expression::Prim { op, args, params } => chisel_prim(*op, args, params),
         Expression::ScalaCast { arg, target } => {
             format!("{}.asInstanceOf[{target}]", chisel_expr(arg))
@@ -250,6 +261,17 @@ fn print_chisel_statements(stmts: &[Statement], indent: usize, out: &mut String)
                     print_chisel_statements(else_body, indent + 1, out);
                     let _ = writeln!(out, "{pad}}}");
                 }
+            }
+            Statement::Mem { name, ty, depth, .. } => {
+                let _ = writeln!(out, "{pad}val {name} = Mem({depth}, {})", chisel_type(ty));
+            }
+            Statement::MemWrite { mem, addr, value, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{mem}.write({}, {})",
+                    chisel_expr(addr),
+                    chisel_expr(value)
+                );
             }
             Statement::Instance { name, module, .. } => {
                 let _ = writeln!(out, "{pad}val {name} = Module(new {module})");

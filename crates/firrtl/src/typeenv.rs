@@ -27,6 +27,9 @@ pub enum SymbolKind {
     Reg,
     /// Named intermediate value.
     Node,
+    /// Memory (RAM); the payload is the word depth. The symbol's type is the element
+    /// type.
+    Mem(usize),
     /// Child module instance; the payload is the instantiated module name.
     Instance(String),
     /// A bare (non-IO-wrapped) interface declaration — a defect carrier.
@@ -107,6 +110,12 @@ impl SymbolTable {
                 // width placeholder here and let `ExprTyper` resolve it lazily.
                 ty: Type::UInt(None),
                 kind: SymbolKind::Node,
+                info: info.clone(),
+            }),
+            Statement::Mem { name, ty, depth, info } => table.insert(Symbol {
+                name: name.clone(),
+                ty: ty.clone(),
+                kind: SymbolKind::Mem(*depth),
                 info: info.clone(),
             }),
             Statement::Instance { name, module: child, info } => {
@@ -265,6 +274,15 @@ impl<'a> ExprTyper<'a> {
                             return self.infer_depth(value, depth + 1);
                         }
                     }
+                    if let SymbolKind::Mem(_) = sym.kind {
+                        return Err(Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            self.context.clone(),
+                            format!("memory {name} cannot be used as a value"),
+                        )
+                        .with_suggestion("read the memory through an address, e.g. mem.read(addr)")
+                        .with_subject(name.clone()));
+                    }
                     Ok(sym.ty.clone())
                 }
                 None => {
@@ -417,6 +435,53 @@ impl<'a> ExprTyper<'a> {
                         ),
                     )
                 })
+            }
+            Expression::MemRead { mem, addr } => {
+                let Some(sym) = self.symbols.get(mem) else {
+                    let mut d = Diagnostic::error(
+                        ErrorCode::UnknownReference,
+                        self.context.clone(),
+                        format!("memory {mem} is not a member of this module"),
+                    )
+                    .with_subject(mem.clone());
+                    if let Some(best) = closest_name(mem, self.symbols.names()) {
+                        d = d.with_suggestion(format!("Did you mean {best}?"));
+                    }
+                    return Err(d);
+                };
+                let SymbolKind::Mem(mem_depth) = sym.kind else {
+                    return Err(Diagnostic::error(
+                        ErrorCode::TypeMismatch,
+                        self.context.clone(),
+                        format!("{mem} is not a memory and has no read ports"),
+                    )
+                    .with_subject(mem.clone()));
+                };
+                let addr_ty = self.infer_depth(addr, depth + 1)?;
+                if !matches!(addr_ty, Type::UInt(_) | Type::Bool) {
+                    return Err(Diagnostic::error(
+                        ErrorCode::InvalidIndexType,
+                        self.context.clone(),
+                        format!(
+                            "memory address must be an unsigned integer, found {}",
+                            addr_ty.chisel_name()
+                        ),
+                    ));
+                }
+                if let Expression::UIntLiteral { value, .. } = addr.as_ref() {
+                    if *value >= mem_depth as u128 {
+                        return Err(Diagnostic::error(
+                            ErrorCode::IndexOutOfBounds,
+                            self.context.clone(),
+                            format!(
+                                "{value} is out of bounds for memory {mem} (min 0, max {})",
+                                mem_depth.saturating_sub(1)
+                            ),
+                        )
+                        .with_subject(mem.clone()));
+                    }
+                }
+                Ok(sym.ty.clone())
             }
             Expression::Prim { op, args, params } => self.infer_prim(*op, args, params, depth),
             Expression::ScalaCast { arg, target } => {

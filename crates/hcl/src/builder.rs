@@ -174,6 +174,33 @@ impl ModuleBuilder {
         reg
     }
 
+    /// Declares a memory (`Mem(depth, ty)`) and returns its handle.
+    ///
+    /// Reads ([`Mem::read`]) are combinational; writes ([`ModuleBuilder::mem_write`])
+    /// are synchronous and commit together with register updates, so a read in the
+    /// same cycle as a write to the same address returns the **old** data.
+    pub fn mem(&mut self, name: &str, elem_ty: Type, depth: usize) -> Mem {
+        let info = self.next_info();
+        self.push(Statement::Mem { name: name.to_string(), ty: elem_ty.clone(), depth, info });
+        Mem { name: name.to_string(), elem_ty, depth }
+    }
+
+    /// Adds a synchronous write port to a memory (`mem.write(addr, data)`).
+    ///
+    /// A write inside a [`ModuleBuilder::when`] scope is enabled only on the paths
+    /// that reach it, exactly like a conditional register update.
+    pub fn mem_write(&mut self, mem: &Mem, addr: &Signal, value: &Signal) {
+        let info = self.next_info();
+        let clock = self.current_clock();
+        self.push(Statement::MemWrite {
+            mem: mem.name.clone(),
+            addr: addr.expr().clone(),
+            value: value.expr().clone(),
+            clock,
+            info,
+        });
+    }
+
     /// Declares a named intermediate value (`val x = <expr>`).
     pub fn node(&mut self, name: &str, value: &Signal) -> Signal {
         let info = self.next_info();
@@ -279,6 +306,49 @@ impl ModuleBuilder {
     /// Finishes the module and wraps it in a single-module circuit.
     pub fn into_circuit(self) -> Circuit {
         Circuit::single(self.finish())
+    }
+}
+
+/// Handle to a memory declared with [`ModuleBuilder::mem`].
+///
+/// The handle is a pure description (name, element type, depth); reads build
+/// expressions and writes are recorded through the builder, mirroring how Chisel's
+/// `Mem` is used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mem {
+    name: String,
+    elem_ty: Type,
+    depth: usize,
+}
+
+impl Mem {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element (word) type.
+    pub fn elem_ty(&self) -> &Type {
+        &self.elem_ty
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Minimum address width in bits for this depth.
+    pub fn addr_width(&self) -> u32 {
+        (usize::BITS - self.depth.saturating_sub(1).leading_zeros()).max(1)
+    }
+
+    /// A combinational read port at `addr` (`mem.read(addr)`): returns the current
+    /// contents of the addressed word; out-of-range addresses read as zero.
+    pub fn read(&self, addr: &Signal) -> Signal {
+        Signal::new(
+            Expression::MemRead { mem: self.name.clone(), addr: Box::new(addr.expr().clone()) },
+            self.elem_ty.clone(),
+        )
     }
 }
 
@@ -427,6 +497,134 @@ mod tests {
         let c = Circuit::new("Top", vec![top, child]);
         assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
         assert!(lower_circuit(&c).is_ok());
+    }
+
+    #[test]
+    fn memory_module_checks_clean_and_lowers() {
+        let mut m = ModuleBuilder::new("Ram");
+        let we = m.input("we", Type::bool());
+        let addr = m.input("addr", Type::uint(3));
+        let din = m.input("din", Type::uint(8));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        assert_eq!(mem.name(), "store");
+        assert_eq!(mem.depth(), 8);
+        assert_eq!(mem.elem_ty(), &Type::uint(8));
+        assert_eq!(mem.addr_width(), 3);
+        m.when(&we, |m| m.mem_write(&mem, &addr, &din));
+        m.connect(&dout, &mem.read(&addr));
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.mems.len(), 1);
+        assert_eq!(netlist.mems[0].depth, 8);
+        assert_eq!(netlist.mems[0].writes.len(), 1);
+    }
+
+    #[test]
+    fn memory_read_out_of_range_literal_rejected() {
+        let mut m = ModuleBuilder::new("BadRead");
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        m.connect(&dout, &mem.read(&Signal::lit_w(8, 4)));
+        let report = check_circuit(&m.into_circuit());
+        assert!(
+            report.errors().any(|d| d.code == rechisel_firrtl::ErrorCode::IndexOutOfBounds),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn memory_write_out_of_range_literal_rejected() {
+        let mut m = ModuleBuilder::new("BadWrite");
+        let din = m.input("din", Type::uint(8));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        m.mem_write(&mem, &Signal::lit_w(9, 4), &din);
+        m.connect(&dout, &mem.read(&Signal::lit_w(0, 3)));
+        let report = check_circuit(&m.into_circuit());
+        assert!(
+            report.errors().any(|d| d.code == rechisel_firrtl::ErrorCode::IndexOutOfBounds),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn memory_write_with_mismatched_width_rejected() {
+        let mut m = ModuleBuilder::new("WideWrite");
+        let addr = m.input("addr", Type::uint(3));
+        let din = m.input("din", Type::uint(12));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        // 12-bit data into an 8-bit word: rejected, not silently truncated.
+        m.mem_write(&mem, &addr, &din);
+        m.connect(&dout, &mem.read(&addr));
+        let report = check_circuit(&m.into_circuit());
+        assert!(
+            report.errors().any(|d| d.code == rechisel_firrtl::ErrorCode::TypeMismatch),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn memory_zero_depth_rejected() {
+        let mut m = ModuleBuilder::new("Empty");
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 0);
+        m.connect(&dout, &mem.read(&Signal::lit_w(0, 1)));
+        let report = check_circuit(&m.into_circuit());
+        assert!(report.has_errors(), "zero-depth memory must be rejected");
+    }
+
+    #[test]
+    fn memory_cannot_be_connected_directly() {
+        let mut m = ModuleBuilder::new("DirectDrive");
+        let din = m.input("din", Type::uint(8));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        // Bypass the write port and drive the memory like a wire.
+        let bogus = Signal::new(Expression::reference("store"), Type::uint(8));
+        m.connect(&bogus, &din);
+        m.connect(&dout, &mem.read(&Signal::lit_w(0, 3)));
+        let report = check_circuit(&m.into_circuit());
+        assert!(
+            report.errors().any(|d| d.code == rechisel_firrtl::ErrorCode::InvalidSink),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn memory_write_ports_on_different_clocks_rejected() {
+        let mut m = ModuleBuilder::raw("DualClock");
+        let clk_a = m.input("clk_a", Type::Clock);
+        let clk_b = m.input("clk_b", Type::Clock);
+        let addr = m.input("addr", Type::uint(2));
+        let din = m.input("din", Type::uint(4));
+        let dout = m.output("dout", Type::uint(4));
+        let mem = m.mem("store", Type::uint(4), 4);
+        m.with_clock(&clk_a, |m| m.mem_write(&mem, &addr, &din));
+        m.with_clock(&clk_b, |m| m.mem_write(&mem, &addr, &din));
+        m.connect(&dout, &mem.read(&addr));
+        let c = m.into_circuit();
+        // Lowering must reject the second clock domain rather than silently collapse
+        // it onto the first port's clock.
+        let err = lower_circuit(&c).unwrap_err();
+        assert!(err.message.contains("different clocks"), "{err:?}");
+        // The same two ports on one clock lower fine.
+        let mut m = ModuleBuilder::raw("OneClock");
+        let clk_a = m.input("clk_a", Type::Clock);
+        let addr = m.input("addr", Type::uint(2));
+        let din = m.input("din", Type::uint(4));
+        let dout = m.output("dout", Type::uint(4));
+        let mem = m.mem("store", Type::uint(4), 4);
+        m.with_clock(&clk_a, |m| {
+            m.mem_write(&mem, &addr, &din);
+            m.mem_write(&mem, &addr, &din);
+        });
+        m.connect(&dout, &mem.read(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        assert_eq!(netlist.mems[0].writes.len(), 2);
+        assert_eq!(netlist.mems[0].clock, "clk_a");
     }
 
     #[test]

@@ -38,12 +38,12 @@
 pub mod builder;
 pub mod signal;
 
-pub use builder::{ModuleBuilder, SwitchBuilder};
+pub use builder::{Mem, ModuleBuilder, SwitchBuilder};
 pub use signal::{cat_all, mux, mux_case, pop_count, reduce, Signal};
 
 /// Convenience re-exports for building circuits.
 pub mod prelude {
-    pub use crate::builder::{ModuleBuilder, SwitchBuilder};
+    pub use crate::builder::{Mem, ModuleBuilder, SwitchBuilder};
     pub use crate::signal::{cat_all, mux, mux_case, pop_count, reduce, Signal};
     pub use rechisel_firrtl::ir::{Circuit, Field, Module, Type};
 }

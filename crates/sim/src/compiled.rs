@@ -106,6 +106,10 @@ enum Instr {
     Prim2 { op: PrimOp, dst: u32, a: u32, b: u32 },
     /// Generic select: `state[dst] = if state[c].bits & 1 != 0 { state[t] } else { state[f] }`
     Mux { dst: u32, c: u32, t: u32, f: u32 },
+    /// Combinational memory read: `bits[dst] = mem[base + bits[addr]]` when the address
+    /// is below `depth`, 0 otherwise. Backing-store words are pre-masked at commit, so
+    /// the destination (whose metadata is pinned to the word shape) takes bits only.
+    MemRead { dst: u32, addr: u32, base: u32, depth: u32 },
 }
 
 /// Sign-extends `bits` (pre-masked to its width) through bit 127.
@@ -121,6 +125,28 @@ struct Commit {
     reg: u32,
     staged: u32,
     mask: u128,
+}
+
+/// A staged memory write: when `bits[en] & 1` is set and `bits[addr] < depth`, store
+/// `bits[val] & mask` at `mem[base + bits[addr]]`. Applied before register commits
+/// (all operand slots still hold pre-edge values), in port-declaration order.
+#[derive(Debug, Clone, Copy)]
+struct MemCommit {
+    base: u32,
+    depth: u32,
+    addr: u32,
+    en: u32,
+    val: u32,
+    mask: u128,
+}
+
+/// Backing-store layout and word metadata of one memory in a [`Tape`].
+#[derive(Debug, Clone)]
+struct TapeMem {
+    name: String,
+    base: u32,
+    depth: u32,
+    width: u32,
 }
 
 /// An input port's pre-resolved poke target.
@@ -151,6 +177,12 @@ pub struct Tape {
     reg_program: Vec<Instr>,
     /// Register commit list, applied after the whole `reg_program` ran.
     commits: Vec<Commit>,
+    /// Memory write commits, applied (before register commits) after `reg_program`.
+    mem_commits: Vec<MemCommit>,
+    /// Backing-store layout, one entry per memory in declaration order.
+    mems: Vec<TapeMem>,
+    /// Total backing-store words across all memories.
+    mem_words: usize,
     inputs: BTreeMap<String, InPort>,
     outputs: Vec<(String, u32)>,
     has_reset: bool,
@@ -175,12 +207,17 @@ impl Tape {
     /// Total instructions executed per [`CompiledSimulator::step`] (the combinational
     /// program runs twice: once before and once after the register commit).
     pub fn instructions_per_cycle(&self) -> usize {
-        2 * self.comb.len() + self.reg_program.len() + self.commits.len()
+        2 * self.comb.len() + self.reg_program.len() + self.commits.len() + self.mem_commits.len()
     }
 
     /// Number of state slots (named signals + constants + temporaries).
     pub fn slot_count(&self) -> usize {
         self.init.len()
+    }
+
+    /// Total backing-store words across all memories.
+    pub fn mem_word_count(&self) -> usize {
+        self.mem_words
     }
 }
 
@@ -193,6 +230,10 @@ struct Builder<'n> {
     /// run time (mux arms of different shapes, `dshl` results, and their descendants).
     metas: Vec<Option<Meta>>,
     consts: BTreeMap<(u128, u32, bool), u32>,
+    /// Backing-store layout, one entry per memory (declaration order, packed).
+    mems: Vec<TapeMem>,
+    /// Memory name -> index into `mems`, pre-resolved for read-port compilation.
+    mem_index: BTreeMap<String, u32>,
 }
 
 impl<'n> Builder<'n> {
@@ -216,7 +257,19 @@ impl<'n> Builder<'n> {
             // their metadata is pinned to the signal's physical properties.
             metas.push(Some(Meta::of(zero)));
         }
-        Self { netlist, index, init, metas, consts: BTreeMap::new() }
+        let mut mems = Vec::with_capacity(netlist.mems.len());
+        let mut mem_index = BTreeMap::new();
+        for m in &netlist.mems {
+            let layout = slots.mem_slot_of(&m.name).expect("memory is in the slot assignment");
+            mem_index.insert(m.name.clone(), mems.len() as u32);
+            mems.push(TapeMem {
+                name: m.name.clone(),
+                base: layout.base,
+                depth: layout.depth,
+                width: m.info.width,
+            });
+        }
+        Self { netlist, index, init, metas, consts: BTreeMap::new(), mems, mem_index }
     }
 
     /// Allocates a temporary slot. Slots holding statically-shaped results carry their
@@ -365,6 +418,21 @@ impl<'n> Builder<'n> {
                 };
                 Ok(dst)
             }
+            Expression::MemRead { mem, addr } => {
+                let a = self.compile_expr(addr, out)?;
+                let index = *self
+                    .mem_index
+                    .get(mem)
+                    .ok_or_else(|| SimError::Eval(EvalError::UnknownSignal(mem.clone())))?;
+                let info = self.netlist.mems[index as usize].info;
+                let (base, depth) =
+                    (self.mems[index as usize].base, self.mems[index as usize].depth);
+                // Word metadata is static; stored words are pre-masked at commit, so
+                // the read writes bits only.
+                let dst = self.temp(Some(Meta { width: info.width, signed: info.signed }));
+                out.push(Instr::MemRead { dst, addr: a, base, depth });
+                Ok(dst)
+            }
             Expression::Prim { op, args, params } => {
                 if args.is_empty()
                     || (op.arity() == 2 && args.len() < 2)
@@ -431,6 +499,23 @@ impl<'n> Builder<'n> {
             });
         }
 
+        // Memory write ports: addr/enable/value are staged alongside register
+        // next-states; the commits run before the register commits, so every operand
+        // slot still holds its pre-edge value (simultaneous-update semantics, like the
+        // interpreter's two-phase step).
+        let mut mem_commits = Vec::new();
+        for (i, mem) in self.netlist.mems.iter().enumerate() {
+            let (base, depth) = (self.mems[i].base, self.mems[i].depth);
+            let word_mask = mask(u128::MAX, self.mems[i].width);
+            for port in &mem.writes {
+                let addr = self.compile_expr(&port.addr, &mut reg_program)?;
+                let en = self.compile_expr(&port.enable, &mut reg_program)?;
+                let val = self.compile_expr(&port.value, &mut reg_program)?;
+                mem_commits.push(MemCommit { base, depth, addr, en, val, mask: word_mask });
+            }
+        }
+        let mem_words = self.mems.iter().map(|m| m.depth as usize).sum();
+
         let inputs = self
             .netlist
             .ports
@@ -465,6 +550,9 @@ impl<'n> Builder<'n> {
             comb,
             reg_program,
             commits,
+            mem_commits,
+            mems: self.mems,
+            mem_words,
             inputs,
             outputs,
             has_reset,
@@ -473,9 +561,14 @@ impl<'n> Builder<'n> {
 }
 
 #[inline]
-fn exec(instrs: &[Instr], state: &mut [EvalValue]) {
+fn exec(instrs: &[Instr], state: &mut [EvalValue], mem: &[u128]) {
     for instr in instrs {
         match *instr {
+            Instr::MemRead { dst, addr, base, depth } => {
+                let a = state[addr as usize].bits;
+                state[dst as usize].bits =
+                    if a < u128::from(depth) { mem[(base + a as u32) as usize] } else { 0 };
+            }
             Instr::CopyMask { dst, src, mask } => {
                 state[dst as usize].bits = state[src as usize].bits & mask;
             }
@@ -577,6 +670,8 @@ fn exec(instrs: &[Instr], state: &mut [EvalValue]) {
 pub struct CompiledSimulator {
     tape: Arc<Tape>,
     state: Vec<EvalValue>,
+    /// Shared backing store of all memories (layout fixed by the tape's `mems`).
+    mem: Vec<u128>,
     cycles: u64,
 }
 
@@ -594,7 +689,8 @@ impl CompiledSimulator {
     /// Creates a simulator over an already-compiled (possibly shared) tape.
     pub fn from_tape(tape: Arc<Tape>) -> Self {
         let state = tape.init.clone();
-        Self { tape, state, cycles: 0 }
+        let mem = vec![0; tape.mem_words];
+        Self { tape, state, mem, cycles: 0 }
     }
 
     /// The compiled program this simulator executes.
@@ -642,14 +738,25 @@ impl CompiledSimulator {
 
     /// Re-evaluates all combinational logic (runs the combinational program).
     pub fn eval(&mut self) {
-        exec(&self.tape.comb, &mut self.state);
+        exec(&self.tape.comb, &mut self.state, &self.mem);
     }
 
     /// Advances one clock cycle: combinational program, register staging, simultaneous
-    /// commit, combinational program again.
+    /// commit (memory writes first, while every operand slot still holds its pre-edge
+    /// value, then registers), combinational program again.
     pub fn step(&mut self) {
         self.eval();
-        exec(&self.tape.reg_program, &mut self.state);
+        exec(&self.tape.reg_program, &mut self.state, &self.mem);
+        for commit in &self.tape.mem_commits {
+            if self.state[commit.en as usize].bits & 1 == 0 {
+                continue;
+            }
+            let addr = self.state[commit.addr as usize].bits;
+            if addr < u128::from(commit.depth) {
+                self.mem[(commit.base + addr as u32) as usize] =
+                    self.state[commit.val as usize].bits & commit.mask;
+            }
+        }
         for commit in &self.tape.commits {
             self.state[commit.reg as usize].bits =
                 self.state[commit.staged as usize].bits & commit.mask;
@@ -689,6 +796,58 @@ impl CompiledSimulator {
             .map(|(name, slot)| (name.clone(), self.state[*slot as usize].bits))
             .collect()
     }
+
+    fn tape_mem(&self, mem: &str) -> Result<&TapeMem, SimError> {
+        self.tape
+            .mems
+            .iter()
+            .find(|m| m.name == mem)
+            .ok_or_else(|| SimError::NoSuchMem(mem.to_string()))
+    }
+
+    /// Reads the current contents of one memory word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories and
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`.
+    pub fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        let m = self.tape_mem(mem)?;
+        if addr >= u128::from(m.depth) {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: m.depth as usize,
+                addr,
+            });
+        }
+        Ok(self.mem[(m.base + addr as u32) as usize])
+    }
+
+    /// Overwrites one memory word, validating the address and value first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories,
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`, and
+    /// [`SimError::MemValueTooWide`] when `value` has bits above the word width
+    /// (out-of-range data is rejected rather than silently masked, mirroring
+    /// [`CompiledSimulator::poke`]).
+    pub fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        let m = self.tape_mem(mem)?;
+        if addr >= u128::from(m.depth) {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: m.depth as usize,
+                addr,
+            });
+        }
+        if value != mask(value, m.width) {
+            return Err(SimError::MemValueTooWide { mem: mem.to_string(), width: m.width, value });
+        }
+        let word = (m.base + addr as u32) as usize;
+        self.mem[word] = value;
+        Ok(())
+    }
 }
 
 impl crate::engine::SimEngine for CompiledSimulator {
@@ -720,6 +879,22 @@ impl crate::engine::SimEngine for CompiledSimulator {
 
     fn has_reset(&self) -> bool {
         self.tape.has_reset
+    }
+
+    fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        CompiledSimulator::peek_mem(self, mem, addr)
+    }
+
+    fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        CompiledSimulator::poke_mem(self, mem, addr, value)
+    }
+
+    fn mem_names(&self) -> Vec<String> {
+        self.tape.mems.iter().map(|m| m.name.clone()).collect()
+    }
+
+    fn mem_depth(&self, mem: &str) -> Option<usize> {
+        self.tape.mems.iter().find(|m| m.name == mem).map(|m| m.depth as usize)
     }
 }
 
@@ -829,6 +1004,111 @@ mod tests {
         assert!(
             matches!(&err, SimError::ValueTooWide { port, width: 1, value: 2 } if port == "en")
         );
+    }
+
+    fn ram_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Ram");
+        let we = m.input("we", Type::bool());
+        let waddr = m.input("waddr", Type::uint(3));
+        let wdata = m.input("wdata", Type::uint(8));
+        let raddr = m.input("raddr", Type::uint(3));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        m.when(&we, |m| {
+            m.mem_write(&mem, &waddr, &wdata);
+        });
+        m.connect(&rdata, &mem.read(&raddr));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn compiled_memory_matches_interpreter() {
+        let netlist = ram_netlist();
+        let mut interp = Simulator::new(netlist.clone());
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        assert_eq!(compiled.tape().mem_word_count(), 8);
+        // Mixed write/read schedule, including a read-under-write collision at cycle 3.
+        let schedule: &[(u128, u128, u128, u128)] = &[
+            (1, 0, 0x11, 0),
+            (1, 1, 0x22, 0),
+            (0, 0, 0xFF, 1),
+            (1, 1, 0x33, 1), // read addr 1 while writing addr 1 (old data expected)
+            (0, 0, 0, 1),
+        ];
+        for (cycle, &(we, waddr, wdata, raddr)) in schedule.iter().enumerate() {
+            for (name, v) in [("we", we), ("waddr", waddr), ("wdata", wdata), ("raddr", raddr)] {
+                interp.poke(name, v).unwrap();
+                compiled.poke(name, v).unwrap();
+            }
+            interp.eval().unwrap();
+            compiled.eval();
+            assert_eq!(
+                interp.peek("rdata").unwrap(),
+                compiled.peek("rdata").unwrap(),
+                "pre-edge rdata, cycle {cycle}"
+            );
+            interp.step().unwrap();
+            compiled.step();
+            assert_eq!(
+                interp.peek("rdata").unwrap(),
+                compiled.peek("rdata").unwrap(),
+                "post-edge rdata, cycle {cycle}"
+            );
+        }
+        for addr in 0..8 {
+            assert_eq!(
+                interp.peek_mem("store", addr).unwrap(),
+                compiled.peek_mem("store", addr).unwrap(),
+                "word {addr}"
+            );
+        }
+        assert_eq!(compiled.peek_mem("store", 1).unwrap(), 0x33);
+    }
+
+    #[test]
+    fn compiled_mem_poke_peek_validation() {
+        let mut sim = CompiledSimulator::new(&ram_netlist()).unwrap();
+        assert!(matches!(sim.poke_mem("ghost", 0, 0), Err(SimError::NoSuchMem(_))));
+        assert!(matches!(
+            sim.poke_mem("store", 8, 0),
+            Err(SimError::MemAddrOutOfRange { depth: 8, addr: 8, .. })
+        ));
+        assert!(matches!(
+            sim.poke_mem("store", 0, 0x100),
+            Err(SimError::MemValueTooWide { width: 8, value: 0x100, .. })
+        ));
+        assert!(matches!(sim.peek_mem("store", 8), Err(SimError::MemAddrOutOfRange { .. })));
+        // A valid poke is visible through a combinational read.
+        sim.poke_mem("store", 6, 0x5A).unwrap();
+        sim.poke("raddr", 6).unwrap();
+        sim.eval();
+        assert_eq!(sim.peek("rdata").unwrap(), 0x5A);
+    }
+
+    #[test]
+    fn multiple_write_ports_last_wins() {
+        // Two unconditional writes to the same address in one cycle: the textually
+        // last port must win on both engines.
+        let mut m = ModuleBuilder::new("DualWrite");
+        let addr = m.input("addr", Type::uint(2));
+        let a = m.input("a", Type::uint(4));
+        let b = m.input("b", Type::uint(4));
+        let out = m.output("out", Type::uint(4));
+        let mem = m.mem("store", Type::uint(4), 4);
+        m.mem_write(&mem, &addr, &a);
+        m.mem_write(&mem, &addr, &b);
+        m.connect(&out, &mem.read(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let mut interp = Simulator::new(netlist.clone());
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        for sim in [&mut interp as &mut dyn crate::engine::SimEngine, &mut compiled] {
+            sim.poke("addr", 2).unwrap();
+            sim.poke("a", 0x3).unwrap();
+            sim.poke("b", 0x9).unwrap();
+            sim.step().unwrap();
+            assert_eq!(sim.peek_mem("store", 2).unwrap(), 0x9);
+            assert_eq!(sim.peek("out").unwrap(), 0x9);
+        }
     }
 
     #[test]

@@ -92,6 +92,39 @@ pub trait SimEngine {
     /// True when the design has a `reset` input port.
     fn has_reset(&self) -> bool;
 
+    /// Reads the current contents of one memory word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories (the default for designs
+    /// without memories) and [`SimError::MemAddrOutOfRange`] for addresses outside
+    /// `0..depth`.
+    fn peek_mem(&self, mem: &str, _addr: u128) -> Result<u128, SimError> {
+        Err(SimError::NoSuchMem(mem.to_string()))
+    }
+
+    /// Overwrites one memory word, validating the address and value first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories,
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`, and
+    /// [`SimError::MemValueTooWide`] when the value has bits above the word width —
+    /// out-of-range pokes are rejected on both engines, never silently masked.
+    fn poke_mem(&mut self, mem: &str, _addr: u128, _value: u128) -> Result<(), SimError> {
+        Err(SimError::NoSuchMem(mem.to_string()))
+    }
+
+    /// Names of the design's memories, in declaration order.
+    fn mem_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Word depth of one memory, if it exists.
+    fn mem_depth(&self, _mem: &str) -> Option<usize> {
+        None
+    }
+
     /// Advances `n` clock cycles.
     ///
     /// # Errors

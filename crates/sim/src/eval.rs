@@ -59,6 +59,25 @@ pub fn mask(bits: u128, width: u32) -> u128 {
     }
 }
 
+/// Contents and physical properties of one memory during interpretation.
+///
+/// Words are stored as bit patterns masked to the word width; an out-of-range read
+/// returns zero (both engines agree on this by differential fuzzing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemState {
+    /// Physical properties of one word.
+    pub info: SignalInfo,
+    /// The backing store, one entry per word.
+    pub words: Vec<u128>,
+}
+
+impl MemState {
+    /// A zero-initialised memory of `depth` words.
+    pub fn new(info: SignalInfo, depth: usize) -> Self {
+        Self { info, words: vec![0; depth] }
+    }
+}
+
 /// Errors produced by evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
@@ -95,6 +114,25 @@ pub fn eval_expr(
     env: &BTreeMap<String, u128>,
     infos: &BTreeMap<String, SignalInfo>,
 ) -> Result<EvalValue, EvalError> {
+    eval_expr_with_mems(expr, env, infos, &BTreeMap::new())
+}
+
+/// Evaluates a ground expression with memory read ports in scope.
+///
+/// Identical to [`eval_expr`], plus support for [`Expression::MemRead`]: the addressed
+/// word of `mems[name]` is returned with the memory's word metadata; out-of-range
+/// addresses read as zero.
+///
+/// # Errors
+///
+/// Same conditions as [`eval_expr`]; a read of an unknown memory reports
+/// [`EvalError::UnknownSignal`].
+pub fn eval_expr_with_mems(
+    expr: &Expression,
+    env: &BTreeMap<String, u128>,
+    infos: &BTreeMap<String, SignalInfo>,
+    mems: &BTreeMap<String, MemState>,
+) -> Result<EvalValue, EvalError> {
     match expr {
         Expression::Ref(name) => {
             let bits = *env.get(name).ok_or_else(|| EvalError::UnknownSignal(name.clone()))?;
@@ -114,14 +152,20 @@ pub fn eval_expr(
             Ok(EvalValue::new(*value as u128, w, true))
         }
         Expression::Mux { cond, tval, fval } => {
-            let c = eval_expr(cond, env, infos)?;
+            let c = eval_expr_with_mems(cond, env, infos, mems)?;
             if c.bits & 1 != 0 {
-                eval_expr(tval, env, infos)
+                eval_expr_with_mems(tval, env, infos, mems)
             } else {
-                eval_expr(fval, env, infos)
+                eval_expr_with_mems(fval, env, infos, mems)
             }
         }
-        Expression::Prim { op, args, params } => eval_prim(*op, args, params, env, infos),
+        Expression::MemRead { mem, addr } => {
+            let state = mems.get(mem).ok_or_else(|| EvalError::UnknownSignal(mem.clone()))?;
+            let a = eval_expr_with_mems(addr, env, infos, mems)?.as_u128();
+            let word = if a < state.words.len() as u128 { state.words[a as usize] } else { 0 };
+            Ok(EvalValue::new(word, state.info.width, state.info.signed))
+        }
+        Expression::Prim { op, args, params } => eval_prim(*op, args, params, env, infos, mems),
         other => Err(EvalError::UnsupportedExpression(other.to_string())),
     }
 }
@@ -140,9 +184,11 @@ fn eval_prim(
     params: &[i64],
     env: &BTreeMap<String, u128>,
     infos: &BTreeMap<String, SignalInfo>,
+    mems: &BTreeMap<String, MemState>,
 ) -> Result<EvalValue, EvalError> {
-    let a = eval_expr(&args[0], env, infos)?;
-    let b = if args.len() > 1 { Some(eval_expr(&args[1], env, infos)?) } else { None };
+    let a = eval_expr_with_mems(&args[0], env, infos, mems)?;
+    let b =
+        if args.len() > 1 { Some(eval_expr_with_mems(&args[1], env, infos, mems)?) } else { None };
     Ok(apply_prim(op, a, b, params))
 }
 

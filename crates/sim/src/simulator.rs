@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use rechisel_firrtl::ir::Direction;
 use rechisel_firrtl::lower::Netlist;
 
-use crate::eval::{eval_expr, mask, EvalError};
+use crate::eval::{eval_expr_with_mems, mask, EvalError, MemState};
 
 /// Errors produced by simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +27,26 @@ pub enum SimError {
         /// The rejected value.
         value: u128,
     },
+    /// A memory name passed to poke_mem/peek_mem does not exist.
+    NoSuchMem(String),
+    /// A memory address outside `0..depth` was passed to poke_mem/peek_mem.
+    MemAddrOutOfRange {
+        /// The memory being accessed.
+        mem: String,
+        /// The memory's depth in words.
+        depth: usize,
+        /// The rejected address.
+        addr: u128,
+    },
+    /// A poked memory word does not fit the word width (rejected rather than masked).
+    MemValueTooWide {
+        /// The memory being written.
+        mem: String,
+        /// The word width in bits.
+        width: u32,
+        /// The rejected value.
+        value: u128,
+    },
     /// Expression evaluation failed (lowering bug or corrupted netlist).
     Eval(EvalError),
 }
@@ -37,6 +57,13 @@ impl std::fmt::Display for SimError {
             SimError::NoSuchPort(name) => write!(f, "no such port: {name}"),
             SimError::ValueTooWide { port, width, value } => {
                 write!(f, "value {value} does not fit input port {port} ({width} bits)")
+            }
+            SimError::NoSuchMem(name) => write!(f, "no such memory: {name}"),
+            SimError::MemAddrOutOfRange { mem, depth, addr } => {
+                write!(f, "address {addr} is out of range for memory {mem} ({depth} words)")
+            }
+            SimError::MemValueTooWide { mem, width, value } => {
+                write!(f, "value {value} does not fit a word of memory {mem} ({width} bits)")
             }
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
         }
@@ -78,11 +105,13 @@ pub struct Simulator {
     netlist: Netlist,
     /// Current value of every signal (ports, combinational defs, registers).
     values: BTreeMap<String, u128>,
+    /// Current contents of every memory.
+    mems: BTreeMap<String, MemState>,
     cycles: u64,
 }
 
 impl Simulator {
-    /// Creates a simulator with all inputs and registers initialised to zero.
+    /// Creates a simulator with all inputs, registers and memories initialised to zero.
     pub fn new(netlist: Netlist) -> Self {
         let mut values = BTreeMap::new();
         for port in &netlist.ports {
@@ -94,7 +123,9 @@ impl Simulator {
         for def in &netlist.defs {
             values.insert(def.name.clone(), 0);
         }
-        Self { netlist, values, cycles: 0 }
+        let mems =
+            netlist.mems.iter().map(|m| (m.name.clone(), MemState::new(m.info, m.depth))).collect();
+        Self { netlist, values, mems, cycles: 0 }
     }
 
     /// The underlying netlist.
@@ -139,29 +170,92 @@ impl Simulator {
         self.values.get(name).copied().ok_or_else(|| SimError::NoSuchPort(name.to_string()))
     }
 
+    /// Reads the current contents of one memory word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories and
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`.
+    pub fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        let state = self.mems.get(mem).ok_or_else(|| SimError::NoSuchMem(mem.to_string()))?;
+        if addr >= state.words.len() as u128 {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: state.words.len(),
+                addr,
+            });
+        }
+        Ok(state.words[addr as usize])
+    }
+
+    /// Overwrites one memory word, validating the address and value first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories,
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`, and
+    /// [`SimError::MemValueTooWide`] when `value` has bits above the word width
+    /// (out-of-range data is rejected rather than silently masked, mirroring
+    /// [`Simulator::poke`]).
+    pub fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        let state = self.mems.get_mut(mem).ok_or_else(|| SimError::NoSuchMem(mem.to_string()))?;
+        if addr >= state.words.len() as u128 {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: state.words.len(),
+                addr,
+            });
+        }
+        if value != mask(value, state.info.width) {
+            return Err(SimError::MemValueTooWide {
+                mem: mem.to_string(),
+                width: state.info.width,
+                value,
+            });
+        }
+        state.words[addr as usize] = value;
+        Ok(())
+    }
+
     /// Re-evaluates all combinational logic with the current inputs and register state.
     pub fn eval(&mut self) -> Result<(), SimError> {
         // Definitions are already in topological order.
         for def in &self.netlist.defs {
-            let value = eval_expr(&def.expr, &self.values, &self.netlist.signals)?;
+            let value =
+                eval_expr_with_mems(&def.expr, &self.values, &self.netlist.signals, &self.mems)?;
             self.values.insert(def.name.clone(), mask(value.bits, def.info.width));
         }
         Ok(())
     }
 
     /// Advances one clock cycle: evaluates combinational logic, computes every
-    /// register's next value (applying synchronous reset), commits them simultaneously,
-    /// and re-evaluates.
+    /// register's next value (applying synchronous reset) and every enabled memory
+    /// write, commits them simultaneously, and re-evaluates.
+    ///
+    /// Memory writes observe read-under-write "old data" semantics: all next-states
+    /// and write ports are staged against the pre-edge state before anything commits.
     pub fn step(&mut self) -> Result<(), SimError> {
         self.eval()?;
         let mut next_values: Vec<(String, u128)> = Vec::with_capacity(self.netlist.regs.len());
         for reg in &self.netlist.regs {
-            let next = eval_expr(&reg.next, &self.values, &self.netlist.signals)?;
+            let next =
+                eval_expr_with_mems(&reg.next, &self.values, &self.netlist.signals, &self.mems)?;
             let value = match &reg.reset {
                 Some((reset_expr, init_expr)) => {
-                    let r = eval_expr(reset_expr, &self.values, &self.netlist.signals)?;
+                    let r = eval_expr_with_mems(
+                        reset_expr,
+                        &self.values,
+                        &self.netlist.signals,
+                        &self.mems,
+                    )?;
                     if r.bits & 1 != 0 {
-                        eval_expr(init_expr, &self.values, &self.netlist.signals)?.bits
+                        eval_expr_with_mems(
+                            init_expr,
+                            &self.values,
+                            &self.netlist.signals,
+                            &self.mems,
+                        )?
+                        .bits
                     } else {
                         next.bits
                     }
@@ -170,8 +264,47 @@ impl Simulator {
             };
             next_values.push((reg.name.clone(), mask(value, reg.info.width)));
         }
+        // Stage memory writes against the same pre-edge state (simultaneous update):
+        // (memory index, word index, masked value), ports in declaration order so a
+        // same-cycle same-address collision resolves to the last port.
+        let mut mem_commits: Vec<(usize, usize, u128)> = Vec::new();
+        for (mem_index, mem) in self.netlist.mems.iter().enumerate() {
+            for port in &mem.writes {
+                let en = eval_expr_with_mems(
+                    &port.enable,
+                    &self.values,
+                    &self.netlist.signals,
+                    &self.mems,
+                )?;
+                if en.bits & 1 == 0 {
+                    continue;
+                }
+                let addr = eval_expr_with_mems(
+                    &port.addr,
+                    &self.values,
+                    &self.netlist.signals,
+                    &self.mems,
+                )?
+                .as_u128();
+                let value = eval_expr_with_mems(
+                    &port.value,
+                    &self.values,
+                    &self.netlist.signals,
+                    &self.mems,
+                )?;
+                if addr < mem.depth as u128 {
+                    mem_commits.push((mem_index, addr as usize, mask(value.bits, mem.info.width)));
+                }
+            }
+        }
         for (name, value) in next_values {
             self.values.insert(name, value);
+        }
+        for (mem_index, addr, value) in mem_commits {
+            let name = &self.netlist.mems[mem_index].name;
+            if let Some(state) = self.mems.get_mut(name) {
+                state.words[addr] = value;
+            }
         }
         self.cycles += 1;
         self.eval()
@@ -241,6 +374,22 @@ impl crate::engine::SimEngine for Simulator {
 
     fn has_reset(&self) -> bool {
         self.netlist.ports.iter().any(|p| p.name == "reset" && p.direction == Direction::Input)
+    }
+
+    fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        Simulator::peek_mem(self, mem, addr)
+    }
+
+    fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        Simulator::poke_mem(self, mem, addr, value)
+    }
+
+    fn mem_names(&self) -> Vec<String> {
+        self.netlist.mems.iter().map(|m| m.name.clone()).collect()
+    }
+
+    fn mem_depth(&self, mem: &str) -> Option<usize> {
+        self.netlist.mems.iter().find(|m| m.name == mem).map(|m| m.depth)
     }
 }
 
@@ -381,5 +530,110 @@ mod tests {
         sim.poke("d", 3).unwrap();
         sim.step_n(4).unwrap();
         assert_eq!(sim.peek("q").unwrap(), 9);
+    }
+
+    fn ram_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Ram");
+        let we = m.input("we", Type::bool());
+        let waddr = m.input("waddr", Type::uint(3));
+        let wdata = m.input("wdata", Type::uint(8));
+        let raddr = m.input("raddr", Type::uint(3));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        m.when(&we, |m| {
+            m.mem_write(&mem, &waddr, &wdata);
+        });
+        m.connect(&rdata, &mem.read(&raddr));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut sim = Simulator::new(ram_netlist());
+        sim.poke("we", 1).unwrap();
+        sim.poke("waddr", 3).unwrap();
+        sim.poke("wdata", 0xAB).unwrap();
+        sim.step().unwrap();
+        sim.poke("we", 0).unwrap();
+        sim.poke("raddr", 3).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("rdata").unwrap(), 0xAB);
+        // Unwritten words read as zero.
+        sim.poke("raddr", 4).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("rdata").unwrap(), 0);
+        assert_eq!(sim.peek_mem("store", 3).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn memory_read_under_write_returns_old_data() {
+        let mut sim = Simulator::new(ram_netlist());
+        sim.poke_mem("store", 5, 0x11).unwrap();
+        sim.poke("we", 1).unwrap();
+        sim.poke("waddr", 5).unwrap();
+        sim.poke("wdata", 0x22).unwrap();
+        sim.poke("raddr", 5).unwrap();
+        sim.eval().unwrap();
+        // Before the edge the old word is visible.
+        assert_eq!(sim.peek("rdata").unwrap(), 0x11);
+        sim.step().unwrap();
+        // After the edge the write has committed.
+        assert_eq!(sim.peek("rdata").unwrap(), 0x22);
+    }
+
+    #[test]
+    fn memory_write_disabled_leaves_contents() {
+        let mut sim = Simulator::new(ram_netlist());
+        sim.poke_mem("store", 2, 0x7F).unwrap();
+        sim.poke("we", 0).unwrap();
+        sim.poke("waddr", 2).unwrap();
+        sim.poke("wdata", 0x01).unwrap();
+        sim.step_n(3).unwrap();
+        assert_eq!(sim.peek_mem("store", 2).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn poke_mem_validates_address_and_value() {
+        let mut sim = Simulator::new(ram_netlist());
+        assert!(matches!(
+            sim.poke_mem("ghost", 0, 0),
+            Err(SimError::NoSuchMem(name)) if name == "ghost"
+        ));
+        assert!(matches!(
+            sim.poke_mem("store", 8, 0),
+            Err(SimError::MemAddrOutOfRange { depth: 8, addr: 8, .. })
+        ));
+        assert!(matches!(
+            sim.poke_mem("store", 0, 0x100),
+            Err(SimError::MemValueTooWide { width: 8, value: 0x100, .. })
+        ));
+        // The rejected pokes must not have touched the store.
+        assert_eq!(sim.peek_mem("store", 0).unwrap(), 0);
+        assert!(matches!(
+            sim.peek_mem("store", 9),
+            Err(SimError::MemAddrOutOfRange { depth: 8, addr: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn mem_error_display_formats() {
+        assert_eq!(SimError::NoSuchMem("m".into()).to_string(), "no such memory: m");
+        assert_eq!(
+            SimError::MemAddrOutOfRange { mem: "m".into(), depth: 8, addr: 9 }.to_string(),
+            "address 9 is out of range for memory m (8 words)"
+        );
+        assert_eq!(
+            SimError::MemValueTooWide { mem: "m".into(), width: 8, value: 256 }.to_string(),
+            "value 256 does not fit a word of memory m (8 bits)"
+        );
+    }
+
+    #[test]
+    fn mem_names_and_depth_via_engine_trait() {
+        use crate::engine::SimEngine;
+        let sim = Simulator::new(ram_netlist());
+        assert_eq!(SimEngine::mem_names(&sim), vec!["store".to_string()]);
+        assert_eq!(SimEngine::mem_depth(&sim, "store"), Some(8));
+        assert_eq!(SimEngine::mem_depth(&sim, "ghost"), None);
     }
 }

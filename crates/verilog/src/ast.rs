@@ -57,6 +57,13 @@ pub enum VExpr {
     Concat(Vec<VExpr>),
     /// Signed reinterpretation `$signed(expr)`.
     Signed(Box<VExpr>),
+    /// Word select into a memory array, `mem[addr]`.
+    Index {
+        /// Memory (array) name.
+        base: String,
+        /// Word address.
+        index: Box<VExpr>,
+    },
 }
 
 impl VExpr {
@@ -99,6 +106,7 @@ impl fmt::Display for VExpr {
                 write!(f, "}}")
             }
             VExpr::Signed(inner) => write!(f, "$signed({inner})"),
+            VExpr::Index { base, index } => write!(f, "{base}[{index}]"),
         }
     }
 }
@@ -143,6 +151,30 @@ pub struct VAssign {
     pub expr: VExpr,
 }
 
+/// A memory (RAM) array declaration, `reg [W-1:0] name [0:depth-1];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VMemDecl {
+    /// Memory name.
+    pub name: String,
+    /// Word width in bits.
+    pub width: u32,
+    /// Number of words.
+    pub depth: usize,
+}
+
+/// A synchronous memory write inside an always block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VMemWrite {
+    /// Memory name.
+    pub mem: String,
+    /// Word address.
+    pub addr: VExpr,
+    /// Stored value.
+    pub value: VExpr,
+    /// Write-enable guard; `None` for an unconditional write.
+    pub enable: Option<VExpr>,
+}
+
 /// A register update inside an always block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VRegUpdate {
@@ -161,6 +193,8 @@ pub struct VAlways {
     pub clock: String,
     /// Register updates performed on the clock edge.
     pub updates: Vec<VRegUpdate>,
+    /// Memory writes performed on the clock edge, in port-declaration order.
+    pub mem_writes: Vec<VMemWrite>,
 }
 
 /// A Verilog module.
@@ -172,6 +206,8 @@ pub struct VModule {
     pub ports: Vec<VPort>,
     /// Internal declarations.
     pub decls: Vec<VDecl>,
+    /// Memory (RAM) array declarations.
+    pub mems: Vec<VMemDecl>,
     /// Continuous assignments.
     pub assigns: Vec<VAssign>,
     /// Sequential blocks, one per clock.
@@ -198,7 +234,15 @@ impl VModule {
             let range = width_range(decl.width);
             out.push_str(&format!("  {kind} {range}{};\n", decl.name));
         }
-        if !self.decls.is_empty() {
+        for mem in &self.mems {
+            let range = width_range(mem.width);
+            out.push_str(&format!(
+                "  reg {range}{} [0:{}];\n",
+                mem.name,
+                mem.depth.saturating_sub(1)
+            ));
+        }
+        if !self.decls.is_empty() || !self.mems.is_empty() {
             out.push('\n');
         }
         for assign in &self.assigns {
@@ -221,6 +265,24 @@ impl VModule {
                     }
                 }
             }
+            for write in &block.mem_writes {
+                match &write.enable {
+                    Some(en) => {
+                        out.push_str(&format!("    if ({en}) begin\n"));
+                        out.push_str(&format!(
+                            "      {}[{}] <= {};\n",
+                            write.mem, write.addr, write.value
+                        ));
+                        out.push_str("    end\n");
+                    }
+                    None => {
+                        out.push_str(&format!(
+                            "    {}[{}] <= {};\n",
+                            write.mem, write.addr, write.value
+                        ));
+                    }
+                }
+            }
             out.push_str("  end\n");
         }
         out.push_str("endmodule\n");
@@ -231,8 +293,9 @@ impl VModule {
     pub fn size(&self) -> usize {
         self.ports.len()
             + self.decls.len()
+            + self.mems.len()
             + self.assigns.len()
-            + self.always.iter().map(|a| a.updates.len()).sum::<usize>()
+            + self.always.iter().map(|a| a.updates.len() + a.mem_writes.len()).sum::<usize>()
     }
 }
 
@@ -274,6 +337,7 @@ mod tests {
                 VPort { name: "q".into(), dir: VPortDir::Output, width: 8 },
             ],
             decls: vec![VDecl { name: "r".into(), width: 8, is_reg: true }],
+            mems: vec![VMemDecl { name: "store".into(), width: 8, depth: 16 }],
             assigns: vec![VAssign { target: "q".into(), expr: VExpr::ident("r") }],
             always: vec![VAlways {
                 clock: "clock".into(),
@@ -282,16 +346,31 @@ mod tests {
                     next: VExpr::ident("a"),
                     reset: Some((VExpr::ident("reset"), VExpr::lit(0, 8))),
                 }],
+                mem_writes: vec![VMemWrite {
+                    mem: "store".into(),
+                    addr: VExpr::ident("a"),
+                    value: VExpr::ident("r"),
+                    enable: Some(VExpr::ident("we")),
+                }],
             }],
         };
         let text = module.to_verilog();
         assert!(text.contains("module Test("));
         assert!(text.contains("input wire [7:0] a"));
         assert!(text.contains("reg [7:0] r;"));
+        assert!(text.contains("reg [7:0] store [0:15];"));
         assert!(text.contains("assign q = r;"));
         assert!(text.contains("always @(posedge clock)"));
         assert!(text.contains("r <= a;"));
+        assert!(text.contains("if (we) begin"));
+        assert!(text.contains("store[a] <= r;"));
         assert!(text.contains("endmodule"));
-        assert_eq!(module.size(), 6);
+        assert_eq!(module.size(), 8);
+    }
+
+    #[test]
+    fn index_expression_rendering() {
+        let e = VExpr::Index { base: "mem".into(), index: Box::new(VExpr::ident("addr")) };
+        assert_eq!(e.to_string(), "mem[addr]");
     }
 }

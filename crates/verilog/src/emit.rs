@@ -8,7 +8,9 @@
 use rechisel_firrtl::ir::{Direction, Expression, PrimOp};
 use rechisel_firrtl::lower::{Netlist, SignalInfo};
 
-use crate::ast::{VAlways, VAssign, VDecl, VExpr, VModule, VPort, VPortDir, VRegUpdate};
+use crate::ast::{
+    VAlways, VAssign, VDecl, VExpr, VMemDecl, VMemWrite, VModule, VPort, VPortDir, VRegUpdate,
+};
 
 /// Errors produced during emission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +73,53 @@ pub fn emit_netlist(netlist: &Netlist) -> Result<VModule, EmitError> {
         };
         match module.always.iter_mut().find(|a| a.clock == reg.clock) {
             Some(block) => block.updates.push(update),
-            None => module.always.push(VAlways { clock: reg.clock.clone(), updates: vec![update] }),
+            None => module.always.push(VAlways {
+                clock: reg.clock.clone(),
+                updates: vec![update],
+                mem_writes: Vec::new(),
+            }),
+        }
+    }
+    // Memories: a reg array per memory, with each write port folded into the always
+    // block of its clock. Reads appear inline in `assigns`/register next-state
+    // expressions as array indexing (combinational read).
+    for mem in &netlist.mems {
+        module.mems.push(VMemDecl {
+            name: mem.name.clone(),
+            width: mem.info.width,
+            depth: mem.depth,
+        });
+        for port in &mem.writes {
+            let enable = match &port.enable {
+                Expression::UIntLiteral { value: 1, .. } => None,
+                e => Some(emit_expr(e, netlist)?),
+            };
+            // The engines drop out-of-range writes; IEEE Verilog leaves an
+            // out-of-bounds array store implementation-defined, so fold the range
+            // check into the enable whenever the address can exceed the depth.
+            let enable = if addr_can_overrun(&port.addr, mem.depth, netlist) {
+                let guard = in_range(emit_expr(&port.addr, netlist)?, mem.depth);
+                Some(match enable {
+                    Some(en) => VExpr::Binary { op: "&&", lhs: Box::new(en), rhs: Box::new(guard) },
+                    None => guard,
+                })
+            } else {
+                enable
+            };
+            let write = VMemWrite {
+                mem: mem.name.clone(),
+                addr: emit_expr(&port.addr, netlist)?,
+                value: emit_expr(&port.value, netlist)?,
+                enable,
+            };
+            match module.always.iter_mut().find(|a| a.clock == mem.clock) {
+                Some(block) => block.mem_writes.push(write),
+                None => module.always.push(VAlways {
+                    clock: mem.clock.clone(),
+                    updates: Vec::new(),
+                    mem_writes: vec![write],
+                }),
+            }
         }
     }
     Ok(module)
@@ -88,6 +136,27 @@ pub fn emit_verilog(netlist: &Netlist) -> Result<String, EmitError> {
 
 fn signal_info(netlist: &Netlist, name: &str) -> SignalInfo {
     netlist.signal(name).unwrap_or(SignalInfo { width: 1, signed: false, is_clock: false })
+}
+
+/// True when `addr` can evaluate to a value at or beyond `depth` — i.e. the address
+/// expression's width covers more words than the memory holds. Literal addresses are
+/// checked exactly (elaboration already rejects out-of-range literals).
+fn addr_can_overrun(addr: &Expression, depth: usize, netlist: &Netlist) -> bool {
+    if let Expression::UIntLiteral { value, .. } = addr {
+        return *value >= depth as u128;
+    }
+    let width = expr_width(addr, netlist).min(127);
+    (1u128 << width) > depth as u128
+}
+
+/// `addr < depth` as a Verilog comparison against an unsized-friendly literal.
+fn in_range(addr: VExpr, depth: usize) -> VExpr {
+    let bound_width = min_width(depth as u128);
+    VExpr::Binary {
+        op: "<",
+        lhs: Box::new(addr),
+        rhs: Box::new(VExpr::lit(depth as u128, bound_width)),
+    }
 }
 
 fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
@@ -107,6 +176,20 @@ fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
             then: Box::new(emit_expr(tval, netlist)?),
             otherwise: Box::new(emit_expr(fval, netlist)?),
         }),
+        Expression::MemRead { mem, addr } => {
+            let indexed =
+                VExpr::Index { base: mem.clone(), index: Box::new(emit_expr(addr, netlist)?) };
+            // The engines define out-of-range reads as zero; plain `mem[addr]` would
+            // read X in Verilog, so guard whenever the address can exceed the depth.
+            match netlist.mems.iter().find(|m| &m.name == mem) {
+                Some(m) if addr_can_overrun(addr, m.depth, netlist) => Ok(VExpr::Conditional {
+                    cond: Box::new(in_range(emit_expr(addr, netlist)?, m.depth)),
+                    then: Box::new(indexed),
+                    otherwise: Box::new(VExpr::lit(0, m.info.width)),
+                }),
+                _ => Ok(indexed),
+            }
+        }
         Expression::Prim { op, args, params } => emit_prim(*op, args, params, netlist),
         other => Err(EmitError::Unsupported(other.to_string())),
     }
@@ -133,6 +216,9 @@ fn is_signed(expr: &Expression, netlist: &Netlist) -> bool {
             _ => false,
         },
         Expression::Mux { tval, .. } => is_signed(tval, netlist),
+        Expression::MemRead { mem, .. } => {
+            netlist.mems.iter().find(|m| &m.name == mem).map(|m| m.info.signed).unwrap_or(false)
+        }
         _ => false,
     }
 }
@@ -235,6 +321,9 @@ fn expr_width(expr: &Expression, netlist: &Netlist) -> u32 {
         Expression::Ref(name) => signal_info(netlist, name).width,
         Expression::UIntLiteral { value, width } => width.unwrap_or_else(|| min_width(*value)),
         Expression::SIntLiteral { width, .. } => width.unwrap_or(32),
+        Expression::MemRead { mem, .. } => {
+            netlist.mems.iter().find(|m| &m.name == mem).map(|m| m.info.width).unwrap_or(32)
+        }
         _ => 32,
     }
 }
@@ -302,6 +391,62 @@ mod tests {
         assert!(text.contains("v_0"));
         assert!(text.contains("v_1"));
         assert!(text.contains("{v_1, v_0}"));
+    }
+
+    #[test]
+    fn emit_memory_module() {
+        let mut m = ModuleBuilder::new("Ram");
+        let we = m.input("we", Type::bool());
+        let waddr = m.input("waddr", Type::uint(3));
+        let wdata = m.input("wdata", Type::uint(8));
+        let raddr = m.input("raddr", Type::uint(3));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        m.when(&we, |m| {
+            m.mem_write(&mem, &waddr, &wdata);
+        });
+        m.connect(&rdata, &mem.read(&raddr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let module = emit_netlist(&netlist).unwrap();
+        assert_eq!(module.mems.len(), 1);
+        assert_eq!(module.mems[0].depth, 8);
+        let text = module.to_verilog();
+        assert!(text.contains("reg [7:0] store [0:7];"));
+        assert!(text.contains("assign rdata = store[raddr];"));
+        assert!(text.contains("always @(posedge clock)"));
+        assert!(text.contains("if (we) begin"));
+        assert!(text.contains("store[waddr] <= wdata;"));
+    }
+
+    #[test]
+    fn emit_non_power_of_two_memory_guards_out_of_range_accesses() {
+        // Depth 5 with a 3-bit address: addresses 5..8 exist in the wire domain, so
+        // the emitted RTL must read 0 (not X) and drop writes for them, matching the
+        // engines' semantics.
+        let mut m = ModuleBuilder::new("OddRam");
+        let we = m.input("we", Type::bool());
+        let addr = m.input("addr", Type::uint(3));
+        let wdata = m.input("wdata", Type::uint(8));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 5);
+        m.when(&we, |m| {
+            m.mem_write(&mem, &addr, &wdata);
+        });
+        m.connect(&rdata, &mem.read(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        assert!(text.contains("reg [7:0] store [0:4];"), "{text}");
+        assert!(text.contains("assign rdata = ((addr < 3'd5) ? store[addr] : 8'd0);"), "{text}");
+        assert!(text.contains("if ((we && (addr < 3'd5))) begin"), "{text}");
+        // Full-range power-of-two memories stay unguarded (idiomatic indexing).
+        let mut m = ModuleBuilder::new("Pow2Ram");
+        let addr = m.input("addr", Type::uint(3));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 8);
+        m.connect(&rdata, &mem.read(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        assert!(text.contains("assign rdata = store[addr];"), "{text}");
     }
 
     #[test]

@@ -1,13 +1,32 @@
-//! Golden-file test for the Verilog emitter.
+//! Golden-file tests for the Verilog emitter.
 //!
-//! The emitted text of a representative module — ports of several widths, named
+//! The emitted text of representative modules — ports of several widths, named
 //! intermediate wires, a reset+enable register, a mux tree, arithmetic with bit
-//! truncation and a reduction — is pinned in `tests/golden/accum_alu.v`. Emitter
-//! refactors that change the output, even in whitespace, must update the golden
-//! file deliberately rather than drifting silently.
+//! truncation and a reduction (`accum_alu.v`); a RAM with a conditional synchronous
+//! write port and two combinational read ports (`dual_port_ram.v`) — is pinned in
+//! `tests/golden/`. Emitter refactors that change the output, even in whitespace,
+//! must update the golden files deliberately rather than drifting silently: run with
+//! `RECHISEL_BLESS=1` to re-record after an intentional change, and commit the
+//! rewritten files.
 
 use rechisel_hcl::prelude::*;
 use rechisel_verilog::emit_verilog;
+
+/// Compares emitted text against a stored golden file, or rewrites the file when
+/// `RECHISEL_BLESS=1` is set.
+fn check_golden(emitted: &str, golden_name: &str, golden: &str) {
+    if std::env::var("RECHISEL_BLESS").is_ok() {
+        let path = format!("{}/tests/golden/{golden_name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, emitted).unwrap();
+        return;
+    }
+    assert_eq!(
+        emitted.trim_end(),
+        golden.trim_end(),
+        "emitted Verilog diverged from tests/golden/{golden_name}; if the change is \
+         intentional, re-record with RECHISEL_BLESS=1 and commit the rewritten file"
+    );
+}
 
 /// The representative design: an accumulating ALU with enable and op-select.
 fn accum_alu() -> Circuit {
@@ -28,17 +47,40 @@ fn accum_alu() -> Circuit {
     m.into_circuit()
 }
 
+/// The memory representative: a RAM with one conditional write port and two
+/// combinational read ports (one literal-addressed), plus a registered read address.
+fn dual_port_ram() -> Circuit {
+    let mut m = ModuleBuilder::new("DualPortRam");
+    let we = m.input("we", Type::bool());
+    let waddr = m.input("waddr", Type::uint(4));
+    let wdata = m.input("wdata", Type::uint(8));
+    let raddr = m.input("raddr", Type::uint(4));
+    let rdata = m.output("rdata", Type::uint(8));
+    let first = m.output("first", Type::uint(8));
+    let mem = m.mem("store", Type::uint(8), 16);
+    m.when(&we, |m| {
+        m.mem_write(&mem, &waddr, &wdata);
+    });
+    // A registered read address: the MemRead lands inside a register next-state.
+    let raddr_q = m.reg_init("raddr_q", Type::uint(4), &Signal::lit_w(0, 4));
+    m.connect(&raddr_q, &raddr);
+    m.connect(&rdata, &mem.read(&raddr_q));
+    m.connect(&first, &mem.read(&Signal::lit_w(0, 4)));
+    m.into_circuit()
+}
+
 #[test]
 fn emitted_verilog_matches_golden_file() {
     let netlist = rechisel_firrtl::lower_circuit(&accum_alu()).expect("AccumAlu lowers");
     let emitted = emit_verilog(&netlist).expect("AccumAlu emits");
-    let golden = include_str!("golden/accum_alu.v");
-    assert_eq!(
-        emitted.trim_end(),
-        golden.trim_end(),
-        "emitted Verilog diverged from tests/golden/accum_alu.v; \
-         if the change is intentional, regenerate the golden file"
-    );
+    check_golden(&emitted, "accum_alu.v", include_str!("golden/accum_alu.v"));
+}
+
+#[test]
+fn emitted_memory_verilog_matches_golden_file() {
+    let netlist = rechisel_firrtl::lower_circuit(&dual_port_ram()).expect("DualPortRam lowers");
+    let emitted = emit_verilog(&netlist).expect("DualPortRam emits");
+    check_golden(&emitted, "dual_port_ram.v", include_str!("golden/dual_port_ram.v"));
 }
 
 #[test]

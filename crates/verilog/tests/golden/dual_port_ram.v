@@ -1,0 +1,27 @@
+module DualPortRam(
+  input wire clock,
+  input wire reset,
+  input wire we,
+  input wire [3:0] waddr,
+  input wire [7:0] wdata,
+  input wire [3:0] raddr,
+  output wire [7:0] rdata,
+  output wire [7:0] first
+);
+  reg [3:0] raddr_q;
+  reg [7:0] store [0:15];
+
+  assign rdata = store[raddr_q];
+  assign first = store[4'd0];
+
+  always @(posedge clock) begin
+    if (reset) begin
+      raddr_q <= 4'd0;
+    end else begin
+      raddr_q <= raddr;
+    end
+    if (we) begin
+      store[waddr] <= wdata;
+    end
+  end
+endmodule

@@ -45,6 +45,25 @@ impl Criterion {
         samples.sort_unstable();
         let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
         println!("{id:<40} median {median:>12} ns/iter ({} samples)", samples.len());
+        // Machine-readable sidecar: when CRITERION_JSON names a file, append one JSON
+        // object per measurement (JSON Lines) so tooling does not have to scrape the
+        // human-oriented stdout line above.
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                use std::io::Write as _;
+                let line = format!(
+                    "{{\"id\":\"{}\",\"median_ns\":{},\"samples\":{}}}\n",
+                    id.replace('\\', "\\\\").replace('"', "\\\""),
+                    median,
+                    samples.len()
+                );
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| f.write_all(line.as_bytes()));
+            }
+        }
         self
     }
 
