@@ -70,6 +70,8 @@ fn bench_sim(c: &mut Criterion) {
         ("regfile8x8", sequential::register_file(8, 8, SourceFamily::Rtllm)),
         ("fsm_seq1101", fsm::sequence_detector(&[1, 1, 0, 1], SourceFamily::HdlBits)),
         ("fifo8x8", memory::fifo(8, 8, SourceFamily::VerilogEval)),
+        // The memory-v2 hot path: lane-masked merge commits every cycle.
+        ("masked_ram", memory::byte_enable_scratchpad(16, 8, SourceFamily::VerilogEval)),
     ];
     for (label, case) in &cases {
         let netlist = case.reference_netlist().clone();

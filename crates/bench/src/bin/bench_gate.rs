@@ -13,10 +13,17 @@
 //! ```text
 //! bench_gate --results target/criterion.jsonl --out BENCH_results.json \
 //!            --baseline BENCH_baseline.json [--bless] [--max-regression 0.25] \
-//!            [--group sim/]
+//!            [--group sim/] [--agg last|min]
 //! ```
 //!
 //! `--bless` rewrites the baseline from the current results instead of gating.
+//!
+//! `--agg min` is the per-benchmark noise band: run the bench binary N times into the
+//! same JSONL sidecar and the gate takes the **minimum** median per id (including the
+//! calibration spin) instead of the last one. The minimum of N runs estimates the
+//! noise-free cost of both the benchmark and the calibration, so a single descheduled
+//! run cannot trip the regression threshold spuriously. The default (`last`) keeps
+//! the old later-duplicates-win behaviour for single-run workflows.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -53,18 +60,49 @@ fn json_u128(line: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+/// How duplicate measurements of one benchmark id combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Agg {
+    /// Later duplicates win (single-run workflows).
+    Last,
+    /// The minimum median wins (min-of-N noise band: rerun the bench N times into
+    /// the same sidecar and gate on the quietest run of each benchmark).
+    Min,
+}
+
 /// Parses measurements out of a JSONL stream or a rendered results document (both use
-/// one `{"id":...,"median_ns":...,"samples":...}` object per line). Later duplicates
-/// win, so re-running a bench binary into the same sidecar file stays well-defined.
-fn parse(text: &str) -> BTreeMap<String, Entry> {
-    let mut entries = BTreeMap::new();
+/// one `{"id":...,"median_ns":...,"samples":...}` object per line), combining
+/// duplicate ids according to `agg`.
+fn parse_agg(text: &str, agg: Agg) -> BTreeMap<String, Entry> {
+    let mut entries: BTreeMap<String, Entry> = BTreeMap::new();
     for line in text.lines() {
         let Some(id) = json_str(line, "id") else { continue };
         let Some(median_ns) = json_u128(line, "median_ns") else { continue };
         let samples = json_u128(line, "samples").unwrap_or(0) as u64;
-        entries.insert(id, Entry { median_ns, samples });
+        let entry = Entry { median_ns, samples };
+        match entries.entry(id) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(entry);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => match agg {
+                Agg::Last => {
+                    o.insert(entry);
+                }
+                Agg::Min => {
+                    if entry.median_ns < o.get().median_ns {
+                        o.insert(entry);
+                    }
+                }
+            },
+        }
     }
     entries
+}
+
+/// Parses with the default later-duplicates-win behaviour (baselines and rendered
+/// documents have unique ids, so aggregation never matters for them).
+fn parse(text: &str) -> BTreeMap<String, Entry> {
+    parse_agg(text, Agg::Last)
 }
 
 /// Renders the committed/artifact JSON document: a stable, sorted, line-per-entry
@@ -102,6 +140,7 @@ struct Args {
     group: String,
     max_regression: f64,
     bless: bool,
+    agg: Agg,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -112,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
         group: "sim/".into(),
         max_regression: 0.25,
         bless: false,
+        agg: Agg::Last,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -127,6 +167,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-regression: {e}"))?;
             }
             "--bless" => args.bless = true,
+            "--agg" => {
+                args.agg = match value("--agg")?.as_str() {
+                    "last" => Agg::Last,
+                    "min" => Agg::Min,
+                    other => return Err(format!("--agg must be last or min, got {other}")),
+                };
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -149,7 +196,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let results = parse(&raw);
+    let results = parse_agg(&raw, args.agg);
     if results.is_empty() {
         eprintln!("bench_gate: no measurements found in {}", args.results);
         return ExitCode::FAILURE;
@@ -260,6 +307,26 @@ mod tests {
         let doc = render(&entries);
         assert_eq!(parse(&doc).len(), 2);
         assert_eq!(parse(&doc)["sim/b"].median_ns, 250);
+    }
+
+    #[test]
+    fn min_aggregation_takes_the_quietest_run_per_id() {
+        // Three runs of the same bench appended to one sidecar: the noise band keeps
+        // the minimum median per id (the calibration spin included), while the
+        // default still keeps the last.
+        let jsonl = "{\"id\":\"sim/a\",\"median_ns\":120,\"samples\":30}\n\
+                     {\"id\":\"sim/_calibration/spin\",\"median_ns\":55,\"samples\":30}\n\
+                     {\"id\":\"sim/a\",\"median_ns\":100,\"samples\":30}\n\
+                     {\"id\":\"sim/_calibration/spin\",\"median_ns\":50,\"samples\":30}\n\
+                     {\"id\":\"sim/a\",\"median_ns\":140,\"samples\":30}\n\
+                     {\"id\":\"sim/_calibration/spin\",\"median_ns\":70,\"samples\":30}\n";
+        let min = parse_agg(jsonl, Agg::Min);
+        assert_eq!(min["sim/a"].median_ns, 100);
+        assert_eq!(min[CALIBRATION_ID].median_ns, 50);
+        assert_eq!(normalized(&min, "sim/a"), 2.0);
+        let last = parse_agg(jsonl, Agg::Last);
+        assert_eq!(last["sim/a"].median_ns, 140);
+        assert_eq!(last[CALIBRATION_ID].median_ns, 70);
     }
 
     #[test]

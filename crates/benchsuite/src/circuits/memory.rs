@@ -1,10 +1,11 @@
-//! Memory (RAM-backed) reference designs: register files, FIFOs, cache tag stores
-//! and delay lines.
+//! Memory (RAM-backed) reference designs: register files, FIFOs, cache tag stores,
+//! delay lines, masked scratchpads, sync-read SRAMs and ROMs.
 //!
-//! These are the suite's fifth family: every design instantiates at least one `Mem`
-//! with combinational reads and synchronous writes, so they exercise the full
-//! HCL → FIRRTL → netlist → simulation memory path (read-under-write returns old
-//! data; same-cycle write collisions resolve to the last port).
+//! These are the suite's fifth family: every design instantiates at least one `Mem`,
+//! and together they exercise the full HCL → FIRRTL → netlist → simulation memory
+//! path — combinational and sequential (registered) reads, plain and lane-masked
+//! synchronous writes, and initialized backing stores (read-under-write returns old
+//! data; same-cycle write collisions merge lane-wise in port order).
 
 use rechisel_hcl::prelude::*;
 
@@ -203,6 +204,133 @@ pub fn scratchpad(width: u32, depth: usize, family: SourceFamily) -> BenchmarkCa
     )
 }
 
+/// Byte-enable scratchpad: each bit of `ben` gates one 8-bit lane of the write.
+///
+/// `width` must be a multiple of 8 and `depth` a power of two. The per-byte enables
+/// fan out to a full lane mask (one bit per data bit), the granularity real SRAM
+/// macros expose as byte write enables.
+pub fn byte_enable_scratchpad(width: u32, depth: usize, family: SourceFamily) -> BenchmarkCase {
+    assert!(width.is_multiple_of(8), "byte-enable scratchpad needs whole byte lanes");
+    let lanes = width / 8;
+    let mut m = ModuleBuilder::new(format!("ByteScratchpad{width}x{depth}"));
+    let mem = m.mem("pad", Type::uint(width), depth);
+    let aw = mem.addr_width();
+    let wr = m.input("wr", Type::bool());
+    let addr = m.input("addr", Type::uint(aw));
+    let wdata = m.input("wdata", Type::uint(width));
+    let ben = m.input("ben", Type::uint(lanes));
+    let rdata = m.output("rdata", Type::uint(width));
+    // Fan each byte enable across its 8 data bits, most-significant lane first.
+    let lane_masks: Vec<Signal> = (0..lanes)
+        .rev()
+        .map(|lane| ben.bit(i64::from(lane)).mux(&Signal::lit_w(0xFF, 8), &Signal::lit_w(0, 8)))
+        .collect();
+    let mask = m.node("lane_mask", &cat_all(&lane_masks));
+    m.when(&wr, |m| {
+        m.mem_write_masked(&mem, &addr, &wdata, &mask);
+    });
+    m.connect(&rdata, &mem.read(&addr));
+    mem_case(
+        format!("verilogeval/byte_scratchpad_{width}x{depth}"),
+        family,
+        format!(
+            "A {depth}x{width} scratchpad RAM with per-byte write enables: when wr is high, \
+             byte lane i of the addressed word takes wdata's byte i only if ben bit i is set; \
+             disabled lanes keep their old contents. rdata always shows the current (pre-edge) \
+             word at addr."
+        ),
+        m.into_circuit(),
+    )
+}
+
+/// Sync-read SRAM: the read port is registered, modelling a real SRAM macro whose
+/// read data appears one cycle after the address is presented.
+///
+/// `depth` must be a power of two.
+pub fn sync_sram(width: u32, depth: usize, family: SourceFamily) -> BenchmarkCase {
+    let mut m = ModuleBuilder::new(format!("SyncSram{width}x{depth}"));
+    let mem = m.mem("sram", Type::uint(width), depth);
+    let aw = mem.addr_width();
+    let we = m.input("we", Type::bool());
+    let waddr = m.input("waddr", Type::uint(aw));
+    let wdata = m.input("wdata", Type::uint(width));
+    let raddr = m.input("raddr", Type::uint(aw));
+    let rdata = m.output("rdata", Type::uint(width));
+    m.when(&we, |m| {
+        m.mem_write(&mem, &waddr, &wdata);
+    });
+    m.connect(&rdata, &mem.read_sync(&raddr));
+    mem_case(
+        format!("rtllm/sync_sram_{width}x{depth}"),
+        family,
+        format!(
+            "A {depth}x{width} SRAM with a registered (sequential) read port: rdata shows the \
+             word addressed by raddr one cycle earlier. A read of the address being written \
+             captures the old word (read-under-write returns old data). Writes are synchronous \
+             through we/waddr/wdata."
+        ),
+        m.into_circuit(),
+    )
+}
+
+/// ROM lookup table: an initialized memory with no write ports, read both
+/// combinationally and through a registered port.
+///
+/// `depth` must be a power of two. Entry `i` holds `(i * i + i) mod 2^width`.
+pub fn rom_lookup(width: u32, depth: usize, family: SourceFamily) -> BenchmarkCase {
+    let mut m = ModuleBuilder::new(format!("RomLookup{width}x{depth}"));
+    let mem = m.mem("rom", Type::uint(width), depth);
+    let table: Vec<u64> = (0..depth as u64)
+        .map(|i| (i.wrapping_mul(i).wrapping_add(i)) & ((1u64 << width.min(63)) - 1))
+        .collect();
+    m.mem_init(&mem, &table);
+    let aw = mem.addr_width();
+    let addr = m.input("addr", Type::uint(aw));
+    let data = m.output("data", Type::uint(width));
+    let data_q = m.output("data_q", Type::uint(width));
+    m.connect(&data, &mem.read(&addr));
+    m.connect(&data_q, &mem.read_sync(&addr));
+    mem_case(
+        format!("hdlbits/rom_lookup_{width}x{depth}"),
+        family,
+        format!(
+            "A {depth}-entry ROM of {width}-bit words preloaded with f(i) = i*i + i \
+             (mod 2^{width}). data combinationally shows the entry at addr; data_q shows the \
+             same entry one cycle later through a registered read port. The contents never \
+             change."
+        ),
+        m.into_circuit(),
+    )
+}
+
+/// Bit-masked RAM: the write mask is exposed directly, one enable bit per data bit.
+///
+/// `depth` must be a power of two.
+pub fn bitmask_ram(width: u32, depth: usize, family: SourceFamily) -> BenchmarkCase {
+    let mut m = ModuleBuilder::new(format!("BitmaskRam{width}x{depth}"));
+    let mem = m.mem("cells", Type::uint(width), depth);
+    let aw = mem.addr_width();
+    let we = m.input("we", Type::bool());
+    let addr = m.input("addr", Type::uint(aw));
+    let wdata = m.input("wdata", Type::uint(width));
+    let wmask = m.input("wmask", Type::uint(width));
+    let rdata = m.output("rdata", Type::uint(width));
+    m.when(&we, |m| {
+        m.mem_write_masked(&mem, &addr, &wdata, &wmask);
+    });
+    m.connect(&rdata, &mem.read(&addr));
+    mem_case(
+        format!("rtllm/bitmask_ram_{width}x{depth}"),
+        family,
+        format!(
+            "A {depth}x{width} RAM with bit-granular write masking: when we is high, data bit \
+             i of the addressed word takes wdata bit i only if wmask bit i is set; unmasked \
+             bits hold. rdata combinationally shows the current word at addr."
+        ),
+        m.into_circuit(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +344,10 @@ mod tests {
             cache_tag_store(6, 8, SourceFamily::Rtllm),
             delay_line_mem(8, 4, SourceFamily::HdlBits),
             scratchpad(8, 8, SourceFamily::HdlBits),
+            byte_enable_scratchpad(16, 8, SourceFamily::VerilogEval),
+            sync_sram(8, 8, SourceFamily::Rtllm),
+            rom_lookup(8, 16, SourceFamily::HdlBits),
+            bitmask_ram(8, 8, SourceFamily::Rtllm),
         ] {
             let report = check_circuit(case.reference());
             assert!(!report.has_errors(), "{} fails checking: {report:?}", case.id);
@@ -274,6 +406,62 @@ mod tests {
             sim.step().unwrap();
         }
         assert_eq!(sim.peek("empty").unwrap(), 1);
+    }
+
+    #[test]
+    fn byte_enable_scratchpad_writes_only_enabled_lanes() {
+        let case = byte_enable_scratchpad(16, 8, SourceFamily::VerilogEval);
+        let netlist = lower_circuit(case.reference()).unwrap();
+        let mut sim = rechisel_sim::Simulator::new(netlist);
+        sim.reset(2).unwrap();
+        sim.poke("wr", 1).unwrap();
+        sim.poke("addr", 5).unwrap();
+        sim.poke("wdata", 0xBEEF).unwrap();
+        sim.poke("ben", 0b01).unwrap(); // low byte only
+        sim.step().unwrap();
+        assert_eq!(sim.peek_mem("pad", 5).unwrap(), 0x00EF);
+        sim.poke("ben", 0b10).unwrap(); // high byte only
+        sim.poke("wdata", 0x1200).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_mem("pad", 5).unwrap(), 0x12EF);
+        sim.poke("wr", 0).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("rdata").unwrap(), 0x12EF);
+    }
+
+    #[test]
+    fn sync_sram_read_lags_one_cycle() {
+        let case = sync_sram(8, 8, SourceFamily::Rtllm);
+        let netlist = lower_circuit(case.reference()).unwrap();
+        let mut sim = rechisel_sim::Simulator::new(netlist);
+        sim.reset(2).unwrap();
+        sim.poke("we", 1).unwrap();
+        sim.poke("waddr", 3).unwrap();
+        sim.poke("wdata", 0x5A).unwrap();
+        sim.poke("raddr", 3).unwrap();
+        sim.step().unwrap();
+        // The edge that performed the write captured the OLD (zero) word.
+        assert_eq!(sim.peek("rdata").unwrap(), 0);
+        sim.poke("we", 0).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek("rdata").unwrap(), 0x5A);
+    }
+
+    #[test]
+    fn rom_lookup_matches_its_table() {
+        let case = rom_lookup(8, 16, SourceFamily::HdlBits);
+        let netlist = lower_circuit(case.reference()).unwrap();
+        assert!(netlist.mems[0].writes.is_empty(), "a ROM has no write ports");
+        assert_eq!(netlist.mems[0].init.len(), 16);
+        let mut sim = rechisel_sim::Simulator::new(netlist);
+        sim.reset(2).unwrap();
+        for i in 0..16u128 {
+            sim.poke("addr", i).unwrap();
+            sim.eval().unwrap();
+            assert_eq!(sim.peek("data").unwrap(), (i * i + i) & 0xFF, "entry {i}");
+            sim.step().unwrap();
+            assert_eq!(sim.peek("data_q").unwrap(), (i * i + i) & 0xFF, "entry {i} (sync)");
+        }
     }
 
     #[test]

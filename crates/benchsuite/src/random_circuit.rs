@@ -186,27 +186,46 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
     // next-states and outputs can consume them), then write ports — the address is
     // sometimes wider than the depth needs, so out-of-range reads (→ 0) and dropped
     // out-of-range writes are generated, and the same pool feeds read and write
-    // addresses, so same-cycle read-under-write collisions are frequent.
+    // addresses, so same-cycle read-under-write collisions are frequent. A third of
+    // the memories start from a random init image, read ports are combinational or
+    // sequential (registered), and write ports are plain or lane-masked — covering
+    // the full memory-v2 shape space.
     let n_mems = rng.below(config.max_mems + 1);
     for i in 0..n_mems {
         let depth = 1 + rng.below(8);
         let word_w = 1 + rng.below(max_width as usize) as u32;
         let mem = m.mem(&format!("mem{i}"), Type::uint(word_w), depth);
+        if rng.below(3) == 0 {
+            let image: Vec<u64> = (0..1 + rng.below(depth))
+                .map(|_| rng.next() & ((1u64 << word_w.min(63)) - 1))
+                .collect();
+            m.mem_init(&mem, &image);
+        }
         // Address width: exact half the time, one bit wider otherwise (out-of-range).
         let aw = mem.addr_width() + if rng.below(2) == 0 { 0 } else { 1 };
         for r in 0..1 + rng.below(2) {
             let addr = to_width(&pool[rng.below(pool.len())], aw);
-            let read = m.node(&format!("mem{i}_rd{r}"), &mem.read(&addr));
+            let port = if rng.below(2) == 0 { mem.read(&addr) } else { mem.read_sync(&addr) };
+            let read = m.node(&format!("mem{i}_rd{r}"), &port);
             pool.push(read);
         }
         for _ in 0..1 + rng.below(2) {
             let addr = to_width(&pool[rng.below(pool.len())], aw);
             let value = to_width(&pool[rng.below(pool.len())], word_w);
+            let mask = if rng.below(2) == 0 {
+                Some(to_width(&pool[rng.below(pool.len())], word_w))
+            } else {
+                None
+            };
+            let write = |m: &mut ModuleBuilder| match &mask {
+                Some(mask) => m.mem_write_masked(&mem, &addr, &value, mask),
+                None => m.mem_write(&mem, &addr, &value),
+            };
             if rng.below(2) == 0 {
                 let cond = to_bool(&pool[rng.below(pool.len())]);
-                m.when(&cond, |m| m.mem_write(&mem, &addr, &value));
+                m.when(&cond, write);
             } else {
-                m.mem_write(&mem, &addr, &value);
+                write(&mut m);
             }
         }
     }
@@ -329,11 +348,15 @@ mod tests {
     #[test]
     fn default_config_generates_memories() {
         // Over a seed window, the default configuration must actually produce mems
-        // (with write ports) — otherwise the differential fuzz silently stops covering
-        // the memory path.
+        // with write ports — and each of the memory-v2 shapes (lane-masked ports,
+        // sequential read ports, initial images) — otherwise the differential fuzz
+        // silently stops covering those paths.
         let config = RandomCircuitConfig::default();
         let mut with_mems = 0usize;
         let mut with_writes = 0usize;
+        let mut with_masks = 0usize;
+        let mut with_sync_reads = 0usize;
+        let mut with_init = 0usize;
         for seed in 0..100u64 {
             let netlist = lower_circuit(&random_circuit(seed, &config)).unwrap();
             if !netlist.mems.is_empty() {
@@ -342,8 +365,20 @@ mod tests {
             if netlist.mems.iter().any(|m| !m.writes.is_empty()) {
                 with_writes += 1;
             }
+            if netlist.mems.iter().any(|m| m.writes.iter().any(|w| w.mask.is_some())) {
+                with_masks += 1;
+            }
+            if netlist.mems.iter().any(|m| !m.sync_reads.is_empty()) {
+                with_sync_reads += 1;
+            }
+            if netlist.mems.iter().any(|m| !m.init.is_empty()) {
+                with_init += 1;
+            }
         }
         assert!(with_mems >= 30, "only {with_mems}/100 seeds produced memories");
         assert!(with_writes >= 30, "only {with_writes}/100 seeds produced write ports");
+        assert!(with_masks >= 15, "only {with_masks}/100 seeds produced masked ports");
+        assert!(with_sync_reads >= 15, "only {with_sync_reads}/100 seeds produced sync reads");
+        assert!(with_init >= 10, "only {with_init}/100 seeds produced initialized mems");
     }
 }

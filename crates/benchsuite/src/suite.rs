@@ -139,6 +139,18 @@ fn all_generated_cases() -> Vec<BenchmarkCase> {
     for (w, depth) in [(8u32, 8usize), (16, 16)] {
         cases.push(memory::scratchpad(w, depth, HdlBits));
     }
+    for (w, depth) in [(16u32, 8usize), (32, 16)] {
+        cases.push(memory::byte_enable_scratchpad(w, depth, VerilogEval));
+    }
+    for (w, depth) in [(8u32, 8usize), (8, 16), (16, 8)] {
+        cases.push(memory::sync_sram(w, depth, Rtllm));
+    }
+    for (w, depth) in [(8u32, 16usize), (16, 32)] {
+        cases.push(memory::rom_lookup(w, depth, HdlBits));
+    }
+    for (w, depth) in [(8u32, 8usize), (12, 16)] {
+        cases.push(memory::bitmask_ram(w, depth, Rtllm));
+    }
 
     // --- combinational / bit manipulation ------------------------------------------------
     for w in [1u32, 2, 4, 8, 16, 32] {

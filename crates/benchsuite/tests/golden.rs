@@ -117,3 +117,24 @@ fn golden_memory_regfile_dp8x8() {
         include_str!("golden/memory_regfile_dp8x8.txt"),
     );
 }
+
+#[test]
+fn golden_memory_byte_scratchpad16x8() {
+    // Pins the lane-masked write path: per-byte enables merging into stored words.
+    check_golden(
+        &memory::byte_enable_scratchpad(16, 8, SourceFamily::VerilogEval),
+        "memory_byte_scratchpad16x8.txt",
+        include_str!("golden/memory_byte_scratchpad16x8.txt"),
+    );
+}
+
+#[test]
+fn golden_memory_sync_sram8x8() {
+    // Pins the sequential-read path: the registered port's one-cycle lag and its
+    // read-under-write old-data capture.
+    check_golden(
+        &memory::sync_sram(8, 8, SourceFamily::Rtllm),
+        "memory_sync_sram8x8.txt",
+        include_str!("golden/memory_sync_sram8x8.txt"),
+    );
+}

@@ -454,16 +454,22 @@ pub enum Expression {
         /// Static integer parameters (shift amounts, bit ranges, pad widths).
         params: Vec<i64>,
     },
-    /// Combinational read port of a memory declared with [`Statement::Mem`].
+    /// Read port of a memory declared with [`Statement::Mem`].
     ///
-    /// The read returns the *current* contents of the addressed word (read-under-write
-    /// is "old data": a write committed in the same cycle becomes visible one cycle
-    /// later, exactly like a register update). Out-of-range addresses read as zero.
+    /// A combinational read (`sync: false`) returns the *current* contents of the
+    /// addressed word (read-under-write is "old data": a write committed in the same
+    /// cycle becomes visible one cycle later, exactly like a register update). A
+    /// sequential read (`sync: true`, Chisel's `SyncReadMem` behaviour) is registered:
+    /// the addressed word is captured at the clock edge and visible one cycle later —
+    /// lowering hoists it into an implicit read register clocked by the module's
+    /// implicit clock. Out-of-range addresses read as zero in both flavours.
     MemRead {
         /// Name of the memory being read.
         mem: String,
         /// Word address (unsigned).
         addr: Box<Expression>,
+        /// True for a 1-cycle registered (sequential) read port.
+        sync: bool,
     },
     /// Defect carrier: a Scala-level `asInstanceOf` cast (Table II row A2). Rejected by
     /// type checking with the corresponding Chisel front-end message.
@@ -582,7 +588,7 @@ impl Expression {
                 inner.rename_refs(f);
                 idx.rename_refs(f);
             }
-            Expression::MemRead { mem, addr } => {
+            Expression::MemRead { mem, addr, .. } => {
                 if let Some(new) = f(mem) {
                     *mem = new;
                 }
@@ -622,7 +628,10 @@ impl fmt::Display for Expression {
             Expression::SIntLiteral { value, width: Some(w) } => write!(f, "SInt<{w}>({value})"),
             Expression::SIntLiteral { value, width: None } => write!(f, "SInt({value})"),
             Expression::Mux { cond, tval, fval } => write!(f, "mux({cond}, {tval}, {fval})"),
-            Expression::MemRead { mem, addr } => write!(f, "read({mem}, {addr})"),
+            Expression::MemRead { mem, addr, sync: false } => write!(f, "read({mem}, {addr})"),
+            Expression::MemRead { mem, addr, sync: true } => {
+                write!(f, "read_sync({mem}, {addr})")
+            }
             Expression::Prim { op, args, params } => {
                 write!(f, "{op}(")?;
                 for (i, a) in args.iter().enumerate() {
@@ -732,9 +741,11 @@ pub enum Statement {
     },
     /// Memory (RAM) declaration: `depth` words of the ground element type `ty`.
     ///
-    /// Reads are combinational ([`Expression::MemRead`]); writes are synchronous
-    /// ([`Statement::MemWrite`]) and commit together with register updates at the end
-    /// of the cycle (read-under-write returns the old data).
+    /// Reads are combinational or registered ([`Expression::MemRead`]); writes are
+    /// synchronous ([`Statement::MemWrite`]) and commit together with register updates
+    /// at the end of the cycle (read-under-write returns the old data). An optional
+    /// `init` image (the `loadMemoryFromFile` equivalent) preloads the backing store:
+    /// word `i` starts as `init[i]`, words beyond the image start as zero.
     Mem {
         /// Name.
         name: String,
@@ -742,6 +753,9 @@ pub enum Statement {
         ty: Type,
         /// Number of words; must be at least 1.
         depth: usize,
+        /// Optional initial contents; at most `depth` words, each within the word
+        /// width (validated by the connect pass).
+        init: Option<Vec<u128>>,
         /// Declaration site.
         info: SourceInfo,
     },
@@ -749,8 +763,8 @@ pub enum Statement {
     ///
     /// A write inside `when` blocks is enabled only on the paths that reach it; the
     /// lowering pipeline folds the surrounding conditions into the port's enable.
-    /// When several enabled ports target the same address in one cycle, the
-    /// textually last write wins (ports commit in declaration order).
+    /// When several enabled ports target the same address in one cycle, the ports
+    /// merge in declaration order (for unmasked ports the textually last write wins).
     MemWrite {
         /// Name of the memory being written.
         mem: String,
@@ -758,6 +772,9 @@ pub enum Statement {
         addr: Expression,
         /// Value stored at the next clock edge.
         value: Expression,
+        /// Optional lane mask, one bit per data bit (mask width = word width): only
+        /// the lanes whose mask bit is set are written, the others keep the old data.
+        mask: Option<Expression>,
         /// Clock source of the write port.
         clock: ClockSpec,
         /// Site.

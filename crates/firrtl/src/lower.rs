@@ -94,9 +94,15 @@ pub struct NetReg {
 
 /// One synchronous write port of a [`NetMem`].
 ///
-/// All three expressions are evaluated combinationally against the pre-edge state;
-/// when `enable`'s low bit is set and `addr` is in range, `value` (masked to the word
-/// width) is stored at the clock edge, simultaneously with register commits.
+/// All expressions are evaluated combinationally against the pre-edge state; when
+/// `enable`'s low bit is set and `addr` is in range, the port's word is stored at the
+/// clock edge, simultaneously with register commits. A lane `mask` (one bit per data
+/// bit) restricts the store to the set lanes: the port's word is
+/// `(old & !mask) | (value & mask)` where `old` is the **pre-edge** contents. Ports
+/// store whole words in declaration order, so a same-cycle same-address collision
+/// resolves to the textually last port — every port behaves exactly like the Verilog
+/// nonblocking assignment the emitter produces for it (reads see pre-edge state, the
+/// last scheduled assignment wins).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetMemWrite {
     /// Word address expression.
@@ -106,14 +112,29 @@ pub struct NetMemWrite {
     /// Enable expression (surrounding `when` conditions folded in; literal 1 for an
     /// unconditional write).
     pub enable: Expression,
+    /// Optional lane-mask expression (mask width = word width); `None` writes the
+    /// whole word.
+    pub mask: Option<Expression>,
+    /// Mangled name of the clock signal driving this port. Ports of one memory may
+    /// sit in different clock domains (Chisel's per-port `withClock`).
+    pub clock: String,
 }
 
-/// A memory (RAM) with combinational reads and synchronous writes.
+/// A memory (RAM) with combinational or registered reads and synchronous writes.
 ///
-/// Reads appear inside [`NetDef`]/[`NetReg`] expressions as
-/// [`Expression::MemRead`]; writes are listed here and commit in declaration order
-/// (same-cycle, same-address collisions: last port wins). Read-under-write returns the
-/// old data.
+/// Combinational reads appear inside [`NetDef`]/[`NetReg`] expressions as
+/// [`Expression::MemRead`]; sequential (registered) reads are hoisted into implicit
+/// registers listed in [`NetMem::sync_reads`] (the registers themselves live in
+/// [`Netlist::regs`] with a [`Expression::MemRead`] next-state). Writes are listed
+/// here and commit in declaration order with nonblocking-assignment semantics (each
+/// port's word is computed from pre-edge state; same-cycle, same-address collisions:
+/// last port wins). Read-under-write returns the old data for both read flavours.
+///
+/// Clocking note: the current simulators use a single-edge model — `step()` advances
+/// **every** clock domain together (exactly as it always has for registers with
+/// explicit `withClock` domains), while the emitted Verilog keeps each port in its
+/// own `always @(posedge <clock>)` block. Independent per-domain stepping is a
+/// ROADMAP follow-on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetMem {
     /// Memory name.
@@ -122,10 +143,15 @@ pub struct NetMem {
     pub info: SignalInfo,
     /// Number of words.
     pub depth: usize,
-    /// Mangled name of the clock signal driving the write ports.
-    pub clock: String,
-    /// Write ports, in declaration order.
+    /// Initial contents (empty = all zero): word `i` starts as `init[i]`, words
+    /// beyond the image start as zero.
+    pub init: Vec<u128>,
+    /// Write ports, in declaration order (each carries its own clock domain).
     pub writes: Vec<NetMemWrite>,
+    /// Names of the implicit read registers backing this memory's sequential read
+    /// ports, in hoisting order. Each name is also a register in [`Netlist::regs`]
+    /// and owns a slot in the slot assignment.
+    pub sync_reads: Vec<String>,
 }
 
 /// A flat, ground-typed netlist.
@@ -278,6 +304,28 @@ impl Netlist {
     pub fn mem_state_bits(&self) -> u64 {
         self.mems.iter().map(|m| m.info.width as u64 * m.depth as u64).sum()
     }
+
+    /// Names of every signal whose value depends on a sequential (registered) memory
+    /// read: the implicit read registers themselves plus every combinational
+    /// definition that (transitively) reads one.
+    ///
+    /// Before the first clock edge these signals have never captured a word, so both
+    /// simulation engines reject peeks of them with
+    /// `SimError::SyncReadBeforeClock` until the first `step`.
+    pub fn sync_read_tainted(&self) -> BTreeSet<String> {
+        let mut tainted: BTreeSet<String> =
+            self.mems.iter().flat_map(|m| m.sync_reads.iter().cloned()).collect();
+        if tainted.is_empty() {
+            return tainted;
+        }
+        // `defs` is topologically ordered, so one forward pass closes the set.
+        for def in &self.defs {
+            if def.expr.referenced_names().iter().any(|n| tainted.contains(n)) {
+                tainted.insert(def.name.clone());
+            }
+        }
+        tainted
+    }
 }
 
 /// Lowers a checked circuit to a netlist.
@@ -357,9 +405,12 @@ fn rewrite_instance_refs_in_statements(stmts: &mut [Statement], instances: &BTre
                     rewrite_instance_refs(init, instances);
                 }
             }
-            Statement::MemWrite { addr, value, clock, .. } => {
+            Statement::MemWrite { addr, value, mask, clock, .. } => {
                 rewrite_instance_refs(addr, instances);
                 rewrite_instance_refs(value, instances);
+                if let Some(m) = mask {
+                    rewrite_instance_refs(m, instances);
+                }
                 if let ClockSpec::Explicit(e) = clock {
                     rewrite_instance_refs(e, instances);
                 }
@@ -521,12 +572,15 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
         _ => {}
     }
     match &mut cloned {
-        Statement::MemWrite { mem, addr, value, clock, .. } => {
+        Statement::MemWrite { mem, addr, value, mask, clock, .. } => {
             if let Some(new) = rename(mem) {
                 *mem = new;
             }
             addr.rename_refs(&rename);
             value.rename_refs(&rename);
+            if let Some(m) = mask {
+                m.rename_refs(&rename);
+            }
             if let ClockSpec::Explicit(e) = clock {
                 e.rename_refs(&rename);
             }
@@ -568,8 +622,8 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
 /// optional `(reset signal, init value)` pair.
 pub type GroundReg = (String, SignalInfo, String, Option<(Expression, Expression)>);
 
-/// A ground memory as `(name, word info, depth)`.
-pub type GroundMem = (String, SignalInfo, usize);
+/// A ground memory as `(name, word info, depth, initial contents)`.
+pub type GroundMem = (String, SignalInfo, usize, Vec<u128>);
 
 /// A module in which every port, wire and register is ground-typed and every reference
 /// is a plain mangled [`Expression::Ref`].
@@ -596,9 +650,20 @@ pub enum GroundStatement {
     Node(String, SignalInfo, Expression),
     /// `sink := expr`.
     Connect(String, Expression),
-    /// Memory write port: `(mem, addr, value, clock net)`. The effective enable is the
-    /// conjunction of the surrounding [`GroundStatement::When`] conditions.
-    MemWrite(String, Expression, Expression, String),
+    /// Memory write port. The effective enable is the conjunction of the surrounding
+    /// [`GroundStatement::When`] conditions.
+    MemWrite {
+        /// Memory (mangled) name.
+        mem: String,
+        /// Word address.
+        addr: Expression,
+        /// Stored value.
+        value: Expression,
+        /// Optional lane mask (one bit per data bit).
+        mask: Option<Expression>,
+        /// Mangled clock net of this port.
+        clock: String,
+    },
     /// Conditional block.
     When(Expression, Vec<GroundStatement>, Vec<GroundStatement>),
 }
@@ -680,7 +745,7 @@ impl<'a> Expander<'a> {
                         ));
                     }
                 }
-                Statement::Mem { name, ty, depth, info } => {
+                Statement::Mem { name, ty, depth, init, info } => {
                     if !ty.is_ground() {
                         return Err(Diagnostic::error(
                             ErrorCode::TypeMismatch,
@@ -688,7 +753,12 @@ impl<'a> Expander<'a> {
                             format!("memory {name} must hold a ground data type"),
                         ));
                     }
-                    out.mems.push((mangle(name), SignalInfo::from_type(ty), *depth));
+                    out.mems.push((
+                        mangle(name),
+                        SignalInfo::from_type(ty),
+                        *depth,
+                        init.clone().unwrap_or_default(),
+                    ));
                 }
                 Statement::When { then_body, else_body, .. } => {
                     self.expand_decls(then_body, out)?;
@@ -738,7 +808,7 @@ impl<'a> Expander<'a> {
                 | Statement::Reg { .. }
                 | Statement::Mem { .. }
                 | Statement::Instance { .. } => {}
-                Statement::MemWrite { mem, addr, value, clock, info } => {
+                Statement::MemWrite { mem, addr, value, mask, clock, info } => {
                     let clock_net = match clock {
                         ClockSpec::Implicit => "clock".to_string(),
                         ClockSpec::Explicit(e) => {
@@ -752,12 +822,13 @@ impl<'a> Expander<'a> {
                             mangle(&path)
                         }
                     };
-                    out.push(GroundStatement::MemWrite(
-                        mangle(mem),
-                        self.expand_expr(addr)?,
-                        self.expand_expr(value)?,
-                        clock_net,
-                    ));
+                    out.push(GroundStatement::MemWrite {
+                        mem: mangle(mem),
+                        addr: self.expand_expr(addr)?,
+                        value: self.expand_expr(value)?,
+                        mask: mask.as_ref().map(|m| self.expand_expr(m)).transpose()?,
+                        clock: clock_net,
+                    });
                 }
                 Statement::BareIoDecl { name, info, .. } => {
                     return Err(Diagnostic::error(
@@ -969,9 +1040,10 @@ impl<'a> Expander<'a> {
                 }
             }
             Expression::UIntLiteral { .. } | Expression::SIntLiteral { .. } => Ok(expr.clone()),
-            Expression::MemRead { mem, addr } => Ok(Expression::MemRead {
+            Expression::MemRead { mem, addr, sync } => Ok(Expression::MemRead {
                 mem: mangle(mem),
                 addr: Box::new(self.expand_expr(addr)?),
+                sync: *sync,
             }),
             Expression::Mux { cond, tval, fval } => Ok(Expression::mux(
                 self.expand_expr(cond)?,
@@ -1043,7 +1115,7 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
     // their surrounding conditions into per-port enables instead.
     let mut values: BTreeMap<String, Expression> = BTreeMap::new();
     let mut nodes: Vec<(String, SignalInfo, Expression)> = Vec::new();
-    let mut mem_writes: Vec<(String, NetMemWrite, String)> = Vec::new();
+    let mut mem_writes: Vec<(String, NetMemWrite)> = Vec::new();
     expand_when(&ground.body, &None, &reg_names, &mut values, &mut nodes, &mut mem_writes);
 
     // Combinational definitions: wires, outputs and nodes.
@@ -1074,36 +1146,22 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
         });
     }
 
-    // Memories: attach the collected write ports (declaration order preserved) and
-    // resolve the write clock (a port-less memory defaults to the implicit clock).
-    // All ports of one memory must share a clock — dual-clock memories are a
-    // ROADMAP follow-on, and silently collapsing a second clock domain onto the
-    // first would miscompile the design.
+    // Memories: attach the collected write ports (declaration order preserved). Each
+    // port carries its own clock net, so several ports of one memory may sit in
+    // different clock domains (per-port `withClock`) without being collapsed.
     let mut mems: Vec<NetMem> = Vec::new();
-    for (name, info, depth) in &ground.mems {
-        let ports: Vec<&(String, NetMemWrite, String)> =
-            mem_writes.iter().filter(|(m, _, _)| m == name).collect();
-        let clock = ports.first().map(|(_, _, c)| c.clone()).unwrap_or_else(|| "clock".to_string());
-        if let Some((_, _, other)) = ports.iter().find(|(_, _, c)| *c != clock) {
-            return Err(Diagnostic::error(
-                ErrorCode::NoImplicitClock,
-                SourceInfo::unknown(),
-                format!(
-                    "memory {name} has write ports on different clocks ({clock} and {other}); \
-                     dual-clock memories are not supported"
-                ),
-            ));
-        }
+    for (name, info, depth, init) in &ground.mems {
         mems.push(NetMem {
             name: name.clone(),
             info: *info,
             depth: *depth,
-            clock,
-            writes: ports.into_iter().map(|(_, w, _)| w.clone()).collect(),
+            init: init.clone(),
+            writes: mem_writes.iter().filter(|(m, _)| m == name).map(|(_, w)| w.clone()).collect(),
+            sync_reads: Vec::new(),
         });
     }
-    for (name, _, _) in &mem_writes {
-        if !ground.mems.iter().any(|(m, _, _)| m == name) {
+    for (name, _) in &mem_writes {
+        if !ground.mems.iter().any(|(m, _, _, _)| m == name) {
             return Err(Diagnostic::error(
                 ErrorCode::UnknownReference,
                 SourceInfo::unknown(),
@@ -1112,6 +1170,7 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
         }
     }
 
+    hoist_sync_reads(&mut defs, &mut regs, &mut mems, &mut signals)?;
     let defs = topo_sort_defs(defs, &reg_names, &signals)?;
     Ok(Netlist {
         name: ground.name.clone(),
@@ -1133,7 +1192,7 @@ fn collect_node_infos(body: &[GroundStatement], signals: &mut BTreeMap<String, S
                 collect_node_infos(t, signals);
                 collect_node_infos(e, signals);
             }
-            GroundStatement::Connect(..) | GroundStatement::MemWrite(..) => {}
+            GroundStatement::Connect(..) | GroundStatement::MemWrite { .. } => {}
         }
     }
 }
@@ -1150,21 +1209,26 @@ fn expand_when(
     regs: &BTreeSet<String>,
     values: &mut BTreeMap<String, Expression>,
     nodes: &mut Vec<(String, SignalInfo, Expression)>,
-    mem_writes: &mut Vec<(String, NetMemWrite, String)>,
+    mem_writes: &mut Vec<(String, NetMemWrite)>,
 ) {
     for stmt in body {
         match stmt {
             GroundStatement::Node(name, info, expr) => {
                 nodes.push((name.clone(), *info, expr.clone()));
             }
-            GroundStatement::MemWrite(mem, addr, value, clock) => {
+            GroundStatement::MemWrite { mem, addr, value, mask, clock } => {
                 // The port's enable is the conjunction of the surrounding conditions;
                 // an unconditional write is always enabled.
                 let enable = condition.clone().unwrap_or_else(|| Expression::uint_lit(1));
                 mem_writes.push((
                     mem.clone(),
-                    NetMemWrite { addr: addr.clone(), value: value.clone(), enable },
-                    clock.clone(),
+                    NetMemWrite {
+                        addr: addr.clone(),
+                        value: value.clone(),
+                        enable,
+                        mask: mask.clone(),
+                        clock: clock.clone(),
+                    },
                 ));
             }
             GroundStatement::Connect(sink, expr) => {
@@ -1201,6 +1265,145 @@ fn and_conditions(outer: &Option<Expression>, inner: &Expression) -> Expression 
         None => inner.clone(),
         Some(o) => Expression::prim(PrimOp::And, vec![o.clone(), inner.clone()], vec![]),
     }
+}
+
+/// Bookkeeping shared by [`hoist_sync_reads`]' recursive rewriter.
+struct SyncReadHoist {
+    /// Word metadata per memory, for sizing the implicit registers.
+    mem_infos: BTreeMap<String, SignalInfo>,
+    /// `(memory, address, register name)` per distinct sequential read port.
+    ports: Vec<(String, Expression, String)>,
+    /// The implicit registers created so far, in hoisting order.
+    new_regs: Vec<NetReg>,
+}
+
+impl SyncReadHoist {
+    /// Replaces every `MemRead { sync: true }` in `expr` with a reference to its
+    /// implicit read register, creating the register on first sight. Identical
+    /// `(memory, address)` ports share one register.
+    fn rewrite(
+        &mut self,
+        expr: &mut Expression,
+        signals: &mut BTreeMap<String, SignalInfo>,
+    ) -> Result<(), Diagnostic> {
+        match expr {
+            Expression::MemRead { mem, addr, sync } => {
+                self.rewrite(addr, signals)?;
+                if !*sync {
+                    return Ok(());
+                }
+                let name = match self.ports.iter().find(|(m, a, _)| m == mem && a == addr.as_ref())
+                {
+                    Some((_, _, existing)) => existing.clone(),
+                    None => {
+                        let info = *self.mem_infos.get(mem.as_str()).ok_or_else(|| {
+                            Diagnostic::error(
+                                ErrorCode::UnknownReference,
+                                SourceInfo::unknown(),
+                                format!("sequential read targets undeclared memory {mem}"),
+                            )
+                        })?;
+                        let index = self.ports.iter().filter(|(m, _, _)| m == mem).count();
+                        let mut name = format!("{mem}_sr{index}");
+                        while signals.contains_key(&name) {
+                            name.push('_');
+                        }
+                        signals.insert(name.clone(), info);
+                        // The register's next-state is the combinational read of the
+                        // same address: staged against the pre-edge state (before the
+                        // memory write commits), it captures the OLD word at each
+                        // edge — read-under-write old-data semantics for free.
+                        self.new_regs.push(NetReg {
+                            name: name.clone(),
+                            info,
+                            clock: "clock".to_string(),
+                            next: Expression::MemRead {
+                                mem: mem.clone(),
+                                addr: addr.clone(),
+                                sync: false,
+                            },
+                            reset: None,
+                        });
+                        self.ports.push((mem.clone(), (**addr).clone(), name.clone()));
+                        name
+                    }
+                };
+                *expr = Expression::Ref(name);
+                Ok(())
+            }
+            Expression::SubField(inner, _) | Expression::SubIndex(inner, _) => {
+                self.rewrite(inner, signals)
+            }
+            Expression::SubAccess(inner, idx) => {
+                self.rewrite(inner, signals)?;
+                self.rewrite(idx, signals)
+            }
+            Expression::Mux { cond, tval, fval } => {
+                self.rewrite(cond, signals)?;
+                self.rewrite(tval, signals)?;
+                self.rewrite(fval, signals)
+            }
+            Expression::Prim { args, .. } => {
+                for a in args {
+                    self.rewrite(a, signals)?;
+                }
+                Ok(())
+            }
+            Expression::ScalaCast { arg, .. } => self.rewrite(arg, signals),
+            Expression::BadApply { target, args } => {
+                self.rewrite(target, signals)?;
+                for a in args {
+                    self.rewrite(a, signals)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Hoists every sequential read port (`MemRead { sync: true }`) into an implicit read
+/// register: the register joins [`Netlist::regs`] (and therefore the slot assignment
+/// and the engines' ordinary staged-commit machinery), its name is recorded in the
+/// owning [`NetMem::sync_reads`], and every use site becomes a plain reference.
+fn hoist_sync_reads(
+    defs: &mut [NetDef],
+    regs: &mut Vec<NetReg>,
+    mems: &mut [NetMem],
+    signals: &mut BTreeMap<String, SignalInfo>,
+) -> Result<(), Diagnostic> {
+    let mut hoist = SyncReadHoist {
+        mem_infos: mems.iter().map(|m| (m.name.clone(), m.info)).collect(),
+        ports: Vec::new(),
+        new_regs: Vec::new(),
+    };
+    for def in defs.iter_mut() {
+        hoist.rewrite(&mut def.expr, signals)?;
+    }
+    for reg in regs.iter_mut() {
+        hoist.rewrite(&mut reg.next, signals)?;
+        if let Some((reset, init)) = &mut reg.reset {
+            hoist.rewrite(reset, signals)?;
+            hoist.rewrite(init, signals)?;
+        }
+    }
+    for mem in mems.iter_mut() {
+        for port in &mut mem.writes {
+            hoist.rewrite(&mut port.addr, signals)?;
+            hoist.rewrite(&mut port.value, signals)?;
+            hoist.rewrite(&mut port.enable, signals)?;
+            if let Some(mask) = &mut port.mask {
+                hoist.rewrite(mask, signals)?;
+            }
+        }
+    }
+    for (mem_name, _, reg_name) in &hoist.ports {
+        if let Some(mem) = mems.iter_mut().find(|m| &m.name == mem_name) {
+            mem.sync_reads.push(reg_name.clone());
+        }
+    }
+    regs.extend(hoist.new_regs);
+    Ok(())
 }
 
 /// Orders combinational definitions so every definition only reads signals defined

@@ -7,7 +7,7 @@
 //!   In this dialect only the implicit `reset` port of a `Module` is inferrable.
 
 use crate::diagnostics::{Diagnostic, DiagnosticReport, ErrorCode};
-use crate::ir::{Circuit, ClockSpec, Module, ModuleKind, Statement, Type};
+use crate::ir::{Circuit, ClockSpec, Expression, Module, ModuleKind, RegReset, Statement, Type};
 use crate::typeenv::{ExprTyper, SymbolTable};
 
 /// Runs the clock/reset checks over `module`.
@@ -82,6 +82,31 @@ pub fn check_clocking(module: &Module, circuit: &Circuit) -> DiagnosticReport {
         }
     });
 
+    // --- C1 (sequential reads): `read_sync` registers on the implicit clock ----------
+    // The implicit read register created by lowering always uses the module's
+    // implicit clock, so a sequential read inside a RawModule (or a module without a
+    // clock port) has nothing to latch on.
+    if module.kind == ModuleKind::RawModule || module.port("clock").is_none() {
+        module.visit_statements(&mut |stmt| {
+            visit_statement_exprs(stmt, &mut |expr| {
+                if let Expression::MemRead { mem, sync: true, .. } = expr {
+                    report.push(
+                        Diagnostic::error(
+                            ErrorCode::NoImplicitClock,
+                            stmt.info().clone(),
+                            format!("sequential read of memory {mem} requires the implicit clock"),
+                        )
+                        .with_suggestion(
+                            "use a combinational read (mem.read) or declare the memory inside \
+                             a Module with an implicit clock",
+                        )
+                        .with_subject(mem.clone()),
+                    );
+                }
+            });
+        });
+    }
+
     // --- B1: abstract resets must be inferrable --------------------------------------
     for port in &module.ports {
         if contains_abstract_reset(&port.ty) {
@@ -123,6 +148,40 @@ pub fn check_clocking(module: &Module, circuit: &Circuit) -> DiagnosticReport {
     });
 
     report
+}
+
+/// Visits every expression held directly by `stmt` (pre-order, including
+/// sub-expressions). Nested `when` bodies are covered by the caller's statement walk.
+fn visit_statement_exprs<'a>(stmt: &'a Statement, f: &mut impl FnMut(&'a Expression)) {
+    match stmt {
+        Statement::Node { value, .. } => value.visit(f),
+        Statement::Connect { loc, expr, .. } => {
+            loc.visit(f);
+            expr.visit(f);
+        }
+        Statement::Invalidate { loc, .. } => loc.visit(f),
+        Statement::When { cond, .. } => cond.visit(f),
+        Statement::Reg { clock, reset, .. } => {
+            if let ClockSpec::Explicit(e) = clock {
+                e.visit(f);
+            }
+            if let Some(RegReset { reset, init }) = reset {
+                reset.visit(f);
+                init.visit(f);
+            }
+        }
+        Statement::MemWrite { addr, value, mask, clock, .. } => {
+            addr.visit(f);
+            value.visit(f);
+            if let Some(m) = mask {
+                m.visit(f);
+            }
+            if let ClockSpec::Explicit(e) = clock {
+                e.visit(f);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// True if the type contains the abstract `Reset` type anywhere.

@@ -130,7 +130,7 @@ impl<'a> ConnectChecker<'a> {
                     }
                 }
             }
-            Statement::Mem { name, ty, depth, info } => {
+            Statement::Mem { name, ty, depth, init, info } => {
                 if !ty.is_ground() || ty.is_clock() {
                     self.report.push(
                         Diagnostic::error(
@@ -154,9 +154,12 @@ impl<'a> ConnectChecker<'a> {
                         .with_subject(name.clone()),
                     );
                 }
+                if let Some(words) = init {
+                    self.check_mem_init(name, ty, *depth, words, info);
+                }
             }
-            Statement::MemWrite { mem, addr, value, info, .. } => {
-                self.check_mem_write(mem, addr, value, info);
+            Statement::MemWrite { mem, addr, value, mask, info, .. } => {
+                self.check_mem_write(mem, addr, value, mask.as_ref(), info);
             }
             Statement::Instance { name, module, info } => {
                 if self.circuit.module(module).is_none() {
@@ -185,13 +188,57 @@ impl<'a> ConnectChecker<'a> {
         }
     }
 
+    /// Validates a memory's initial contents: at most `depth` words, each within the
+    /// word width (out-of-range images are rejected, never silently truncated).
+    fn check_mem_init(
+        &mut self,
+        name: &str,
+        ty: &Type,
+        depth: usize,
+        words: &[u128],
+        info: &SourceInfo,
+    ) {
+        if words.len() > depth {
+            self.report.push(
+                Diagnostic::error(
+                    ErrorCode::IndexOutOfBounds,
+                    info.clone(),
+                    format!(
+                        "memory {name} initializes {} words but holds only {depth}",
+                        words.len()
+                    ),
+                )
+                .with_suggestion("shorten the init image or deepen the memory")
+                .with_subject(name.to_string()),
+            );
+        }
+        if let Some(width) = ty.width() {
+            let limit = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+            if let Some((index, word)) = words.iter().enumerate().find(|(_, w)| **w > limit) {
+                self.report.push(
+                    Diagnostic::error(
+                        ErrorCode::TypeMismatch,
+                        info.clone(),
+                        format!(
+                            "init word {index} ({word:#x}) does not fit the {width}-bit word of \
+                             memory {name}"
+                        ),
+                    )
+                    .with_subject(name.to_string()),
+                );
+            }
+        }
+    }
+
     /// Validates one memory write port: the target must be a memory, the address an
-    /// in-range unsigned value, and the data port no wider than the memory's word.
+    /// in-range unsigned value, the data port no wider than the memory's word, and
+    /// the lane mask (when present) exactly one bit per data bit.
     fn check_mem_write(
         &mut self,
         mem: &str,
         addr: &Expression,
         value: &Expression,
+        mask: Option<&Expression>,
         info: &SourceInfo,
     ) {
         let Some(symbol) = self.symbols.get(mem) else {
@@ -272,6 +319,39 @@ impl<'a> ConnectChecker<'a> {
                         .with_suggestion(format!("truncate explicitly, e.g. .bits({}, 0)", ew - 1))
                         .with_subject(mem.to_string()),
                     );
+                }
+            }
+        }
+        if let Some(mask) = mask {
+            if let Some(mask_ty) = self.type_of(mask, info) {
+                if !matches!(mask_ty, Type::UInt(_) | Type::Bool) {
+                    self.report.push(
+                        Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            info.clone(),
+                            format!(
+                                "write mask must be an unsigned integer, found {}",
+                                mask_ty.chisel_name()
+                            ),
+                        )
+                        .with_subject(mem.to_string()),
+                    );
+                } else if let (Some(ew), Some(mw)) = (elem_ty.width(), mask_ty.width()) {
+                    // Lane-granular contract: exactly one mask bit per data bit.
+                    if mw != ew {
+                        self.report.push(
+                            Diagnostic::error(
+                                ErrorCode::TypeMismatch,
+                                info.clone(),
+                                format!(
+                                    "write mask is {mw} bits wide but {mem} holds {ew}-bit \
+                                     words; the mask needs one lane bit per data bit"
+                                ),
+                            )
+                            .with_suggestion(format!("resize the mask, e.g. .pad({ew}) or .bits"))
+                            .with_subject(mem.to_string()),
+                        );
+                    }
                 }
             }
         }
@@ -686,6 +766,124 @@ mod tests {
             info: SourceInfo::unknown(),
         });
         assert!(!check(m).has_errors());
+    }
+
+    #[test]
+    fn mem_write_mask_width_must_match_word_width() {
+        let mut m = base_module();
+        m.body.push(Statement::Mem {
+            name: "store".into(),
+            ty: Type::uint(8),
+            depth: 4,
+            init: None,
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::MemWrite {
+            mem: "store".into(),
+            addr: Expression::uint_lit_w(0, 2),
+            value: Expression::reference("in"),
+            // 4-bit mask against 8-bit words: one lane bit per data bit is required.
+            mask: Some(Expression::uint_lit_w(0xF, 4)),
+            clock: ClockSpec::Implicit,
+            info: SourceInfo::new("T.scala", 9, 3),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::MemRead {
+                mem: "store".into(),
+                addr: Box::new(Expression::uint_lit_w(0, 2)),
+                sync: false,
+            },
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        let err = report.errors().find(|d| d.code == ErrorCode::TypeMismatch).unwrap();
+        assert!(err.message.contains("mask is 4 bits wide"), "{err}");
+        assert!(err.message.contains("8-bit words"), "{err}");
+        // The rendered diagnostic carries the location and the taxonomy label.
+        let shown = err.to_string();
+        assert!(shown.contains("T.scala:9:3"), "{shown}");
+        assert!(shown.contains("B5"), "{shown}");
+    }
+
+    #[test]
+    fn mem_write_mask_of_matching_width_is_clean() {
+        let mut m = base_module();
+        m.body.push(Statement::Mem {
+            name: "store".into(),
+            ty: Type::uint(8),
+            depth: 4,
+            init: None,
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::MemWrite {
+            mem: "store".into(),
+            addr: Expression::uint_lit_w(0, 2),
+            value: Expression::reference("in"),
+            mask: Some(Expression::uint_lit_w(0x0F, 8)),
+            clock: ClockSpec::Implicit,
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::MemRead {
+                mem: "store".into(),
+                addr: Box::new(Expression::uint_lit_w(0, 2)),
+                sync: false,
+            },
+            info: SourceInfo::unknown(),
+        });
+        assert!(!check(m).has_errors());
+    }
+
+    #[test]
+    fn mem_init_longer_than_depth_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::Mem {
+            name: "rom".into(),
+            ty: Type::uint(8),
+            depth: 2,
+            init: Some(vec![1, 2, 3]),
+            info: SourceInfo::new("T.scala", 4, 3),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::MemRead {
+                mem: "rom".into(),
+                addr: Box::new(Expression::uint_lit_w(0, 1)),
+                sync: false,
+            },
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        let err = report.errors().find(|d| d.code == ErrorCode::IndexOutOfBounds).unwrap();
+        assert!(err.message.contains("initializes 3 words but holds only 2"), "{err}");
+        assert!(err.to_string().contains("T.scala:4:3"), "{err}");
+    }
+
+    #[test]
+    fn mem_init_word_wider_than_the_word_rejected() {
+        let mut m = base_module();
+        m.body.push(Statement::Mem {
+            name: "rom".into(),
+            ty: Type::uint(4),
+            depth: 4,
+            init: Some(vec![0xF, 0x10]),
+            info: SourceInfo::unknown(),
+        });
+        m.body.push(Statement::Connect {
+            loc: Expression::reference("out"),
+            expr: Expression::MemRead {
+                mem: "rom".into(),
+                addr: Box::new(Expression::uint_lit_w(0, 2)),
+                sync: false,
+            },
+            info: SourceInfo::unknown(),
+        });
+        let report = check(m);
+        let err = report.errors().find(|d| d.code == ErrorCode::TypeMismatch).unwrap();
+        assert!(err.message.contains("init word 1 (0x10)"), "{err}");
+        assert!(err.message.contains("4-bit word"), "{err}");
     }
 
     #[test]

@@ -71,15 +71,32 @@ fn print_firrtl_statements(stmts: &[Statement], indent: usize, out: &mut String)
                     print_firrtl_statements(else_body, indent + 1, out);
                 }
             }
-            Statement::Mem { name, ty, depth, .. } => {
-                let _ = writeln!(out, "{pad}mem {name} : {ty}[{depth}]");
-            }
-            Statement::MemWrite { mem, addr, value, clock, .. } => {
+            Statement::Mem { name, ty, depth, init, .. } => match init {
+                Some(words) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}mem {name} : {ty}[{depth}] init({} words)",
+                        words.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}mem {name} : {ty}[{depth}]");
+                }
+            },
+            Statement::MemWrite { mem, addr, value, mask, clock, .. } => {
                 let clk = match clock {
                     ClockSpec::Implicit => "clock".to_string(),
                     ClockSpec::Explicit(e) => e.to_string(),
                 };
-                let _ = writeln!(out, "{pad}write {mem}[{addr}] <= {value}, {clk}");
+                match mask {
+                    Some(m) => {
+                        let _ =
+                            writeln!(out, "{pad}write {mem}[{addr}] <= {value} mask {m}, {clk}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}write {mem}[{addr}] <= {value}, {clk}");
+                    }
+                }
             }
             Statement::Instance { name, module, .. } => {
                 let _ = writeln!(out, "{pad}inst {name} of {module}");
@@ -166,7 +183,12 @@ fn chisel_expr(expr: &Expression) -> String {
         Expression::Mux { cond, tval, fval } => {
             format!("Mux({}, {}, {})", chisel_expr(cond), chisel_expr(tval), chisel_expr(fval))
         }
-        Expression::MemRead { mem, addr } => format!("{mem}.read({})", chisel_expr(addr)),
+        Expression::MemRead { mem, addr, sync: false } => {
+            format!("{mem}.read({})", chisel_expr(addr))
+        }
+        Expression::MemRead { mem, addr, sync: true } => {
+            format!("{mem}.readSync({})", chisel_expr(addr))
+        }
         Expression::Prim { op, args, params } => chisel_prim(*op, args, params),
         Expression::ScalaCast { arg, target } => {
             format!("{}.asInstanceOf[{target}]", chisel_expr(arg))

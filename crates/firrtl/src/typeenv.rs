@@ -112,7 +112,7 @@ impl SymbolTable {
                 kind: SymbolKind::Node,
                 info: info.clone(),
             }),
-            Statement::Mem { name, ty, depth, info } => table.insert(Symbol {
+            Statement::Mem { name, ty, depth, info, .. } => table.insert(Symbol {
                 name: name.clone(),
                 ty: ty.clone(),
                 kind: SymbolKind::Mem(*depth),
@@ -436,7 +436,7 @@ impl<'a> ExprTyper<'a> {
                     )
                 })
             }
-            Expression::MemRead { mem, addr } => {
+            Expression::MemRead { mem, addr, .. } => {
                 let Some(sym) = self.symbols.get(mem) else {
                     let mut d = Diagnostic::error(
                         ErrorCode::UnknownReference,

@@ -176,19 +176,33 @@ impl ModuleBuilder {
 
     /// Declares a memory (`Mem(depth, ty)`) and returns its handle.
     ///
-    /// Reads ([`Mem::read`]) are combinational; writes ([`ModuleBuilder::mem_write`])
-    /// are synchronous and commit together with register updates, so a read in the
-    /// same cycle as a write to the same address returns the **old** data.
+    /// Reads ([`Mem::read`]) are combinational and sequential reads
+    /// ([`Mem::read_sync`]) are registered; writes ([`ModuleBuilder::mem_write`],
+    /// [`ModuleBuilder::mem_write_masked`]) are synchronous and commit together with
+    /// register updates, so a read in the same cycle as a write to the same address
+    /// returns the **old** data. The backing store starts at zero unless initialized
+    /// with [`ModuleBuilder::mem_init`] / [`ModuleBuilder::mem_init_file`].
     pub fn mem(&mut self, name: &str, elem_ty: Type, depth: usize) -> Mem {
         let info = self.next_info();
-        self.push(Statement::Mem { name: name.to_string(), ty: elem_ty.clone(), depth, info });
+        self.push(Statement::Mem {
+            name: name.to_string(),
+            ty: elem_ty.clone(),
+            depth,
+            init: None,
+            info,
+        });
         Mem { name: name.to_string(), elem_ty, depth }
     }
 
     /// Adds a synchronous write port to a memory (`mem.write(addr, data)`).
     ///
     /// A write inside a [`ModuleBuilder::when`] scope is enabled only on the paths
-    /// that reach it, exactly like a conditional register update.
+    /// that reach it, exactly like a conditional register update. A write inside a
+    /// [`ModuleBuilder::with_clock`] scope belongs to that clock domain — ports of
+    /// one memory may sit in different domains (the emitted Verilog keeps one
+    /// `always` block per domain; the simulators use a single-edge model in which
+    /// `step()` advances every domain together, exactly as they always have for
+    /// `with_clock` registers).
     pub fn mem_write(&mut self, mem: &Mem, addr: &Signal, value: &Signal) {
         let info = self.next_info();
         let clock = self.current_clock();
@@ -196,9 +210,113 @@ impl ModuleBuilder {
             mem: mem.name.clone(),
             addr: addr.expr().clone(),
             value: value.expr().clone(),
+            mask: None,
             clock,
             info,
         });
+    }
+
+    /// Adds a lane-masked synchronous write port (`mem.write(addr, data, mask)`).
+    ///
+    /// The mask carries **one bit per data bit** (mask width = word width): at the
+    /// clock edge only the lanes whose mask bit is set take the new data, the other
+    /// lanes keep the old word. Byte enables are expressed by fanning each enable bit
+    /// across its 8 data bits.
+    ///
+    /// ```
+    /// use rechisel_hcl::prelude::*;
+    ///
+    /// let mut m = ModuleBuilder::new("MaskedRam");
+    /// let addr = m.input("addr", Type::uint(2));
+    /// let data = m.input("data", Type::uint(8));
+    /// let mask = m.input("mask", Type::uint(8)); // one enable bit per data bit
+    /// let q = m.output("q", Type::uint(8));
+    /// let mem = m.mem("store", Type::uint(8), 4);
+    /// m.mem_write_masked(&mem, &addr, &data, &mask);
+    /// m.connect(&q, &mem.read(&addr));
+    /// assert!(!rechisel_firrtl::check_circuit(&m.into_circuit()).has_errors());
+    /// ```
+    pub fn mem_write_masked(&mut self, mem: &Mem, addr: &Signal, value: &Signal, mask: &Signal) {
+        let info = self.next_info();
+        let clock = self.current_clock();
+        self.push(Statement::MemWrite {
+            mem: mem.name.clone(),
+            addr: addr.expr().clone(),
+            value: value.expr().clone(),
+            mask: Some(mask.expr().clone()),
+            clock,
+            info,
+        });
+    }
+
+    /// Sets a memory's initial contents (the `loadMemoryFromFile` equivalent with an
+    /// inline image): word `i` starts as `words[i]`, words beyond the image start as
+    /// zero. The elaboration passes reject images longer than the depth and words
+    /// wider than the memory word.
+    ///
+    /// Initialization applies at time zero only; asserting `reset` does **not**
+    /// restore the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mem` was not declared by **this** builder (e.g. a handle from
+    /// another module): silently dropping the image would elaborate a wrong, all-zero
+    /// memory.
+    pub fn mem_init(&mut self, mem: &Mem, words: &[u64]) {
+        fn set_init(stmts: &mut [Statement], target: &str, words: &[u64]) -> bool {
+            stmts.iter_mut().any(|stmt| match stmt {
+                Statement::Mem { name, init, .. } if name == target => {
+                    *init = Some(words.iter().map(|w| u128::from(*w)).collect());
+                    true
+                }
+                Statement::When { then_body, else_body, .. } => {
+                    set_init(then_body, target, words) || set_init(else_body, target, words)
+                }
+                _ => false,
+            })
+        }
+        let found = self.scopes.iter_mut().rev().any(|scope| set_init(scope, mem.name(), words));
+        assert!(
+            found,
+            "mem_init: memory {} is not declared in this builder (wrong Mem handle?)",
+            mem.name()
+        );
+    }
+
+    /// Loads a memory's initial contents from a `$readmemh`-style hex file: one word
+    /// per line, `//` comments and blank lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be read, and
+    /// [`std::io::ErrorKind::InvalidData`] when a line is not a hexadecimal word.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ModuleBuilder::mem_init`], panics when `mem` was not declared by this
+    /// builder.
+    pub fn mem_init_file(
+        &mut self,
+        mem: &Mem,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        let text = std::fs::read_to_string(path)?;
+        let mut words = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let word = line.split("//").next().unwrap_or("").trim();
+            if word.is_empty() {
+                continue;
+            }
+            let parsed = u64::from_str_radix(word, 16).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {word:?} is not a hex word: {e}", index + 1),
+                )
+            })?;
+            words.push(parsed);
+        }
+        self.mem_init(mem, &words);
+        Ok(())
     }
 
     /// Declares a named intermediate value (`val x = <expr>`).
@@ -346,7 +464,31 @@ impl Mem {
     /// contents of the addressed word; out-of-range addresses read as zero.
     pub fn read(&self, addr: &Signal) -> Signal {
         Signal::new(
-            Expression::MemRead { mem: self.name.clone(), addr: Box::new(addr.expr().clone()) },
+            Expression::MemRead {
+                mem: self.name.clone(),
+                addr: Box::new(addr.expr().clone()),
+                sync: false,
+            },
+            self.elem_ty.clone(),
+        )
+    }
+
+    /// A sequential (1-cycle registered) read port at `addr`, like reading a
+    /// `SyncReadMem`: the addressed word is captured at each clock edge and visible
+    /// one cycle later. Read-under-write returns the **old** data (the word as it was
+    /// before the same-edge write committed). The implicit read register uses the
+    /// module's implicit clock; out-of-range addresses capture zero.
+    ///
+    /// Peeking a signal fed by a sequential read before the first clock edge is a
+    /// simulation error (`SyncReadBeforeClock`) on both engines: the register has
+    /// never captured a word.
+    pub fn read_sync(&self, addr: &Signal) -> Signal {
+        Signal::new(
+            Expression::MemRead {
+                mem: self.name.clone(),
+                addr: Box::new(addr.expr().clone()),
+                sync: true,
+            },
             self.elem_ty.clone(),
         )
     }
@@ -594,23 +736,29 @@ mod tests {
     }
 
     #[test]
-    fn memory_write_ports_on_different_clocks_rejected() {
+    fn memory_write_ports_keep_their_own_clock_domains() {
+        // Regression test for the PR-4 known gap: the clocking pass accepted per-port
+        // `withClock` on mem writes, but lowering resolved only ONE clock per memory
+        // (first rejecting, and before that silently collapsing, the second domain).
+        // Each lowered port must now carry its own clock net.
         let mut m = ModuleBuilder::raw("DualClock");
         let clk_a = m.input("clk_a", Type::Clock);
         let clk_b = m.input("clk_b", Type::Clock);
-        let addr = m.input("addr", Type::uint(2));
+        let addr_a = m.input("addr_a", Type::uint(2));
+        let addr_b = m.input("addr_b", Type::uint(2));
         let din = m.input("din", Type::uint(4));
         let dout = m.output("dout", Type::uint(4));
         let mem = m.mem("store", Type::uint(4), 4);
-        m.with_clock(&clk_a, |m| m.mem_write(&mem, &addr, &din));
-        m.with_clock(&clk_b, |m| m.mem_write(&mem, &addr, &din));
-        m.connect(&dout, &mem.read(&addr));
+        m.with_clock(&clk_a, |m| m.mem_write(&mem, &addr_a, &din));
+        m.with_clock(&clk_b, |m| m.mem_write(&mem, &addr_b, &din));
+        m.connect(&dout, &mem.read(&addr_a));
         let c = m.into_circuit();
-        // Lowering must reject the second clock domain rather than silently collapse
-        // it onto the first port's clock.
-        let err = lower_circuit(&c).unwrap_err();
-        assert!(err.message.contains("different clocks"), "{err:?}");
-        // The same two ports on one clock lower fine.
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.mems[0].writes.len(), 2);
+        assert_eq!(netlist.mems[0].writes[0].clock, "clk_a");
+        assert_eq!(netlist.mems[0].writes[1].clock, "clk_b");
+        // Two ports on one explicit clock still lower (and share the domain).
         let mut m = ModuleBuilder::raw("OneClock");
         let clk_a = m.input("clk_a", Type::Clock);
         let addr = m.input("addr", Type::uint(2));
@@ -624,7 +772,90 @@ mod tests {
         m.connect(&dout, &mem.read(&addr));
         let netlist = lower_circuit(&m.into_circuit()).unwrap();
         assert_eq!(netlist.mems[0].writes.len(), 2);
-        assert_eq!(netlist.mems[0].clock, "clk_a");
+        assert!(netlist.mems[0].writes.iter().all(|w| w.clock == "clk_a"));
+    }
+
+    #[test]
+    fn masked_write_and_init_build_and_lower() {
+        let mut m = ModuleBuilder::new("MaskedInit");
+        let addr = m.input("addr", Type::uint(2));
+        let data = m.input("data", Type::uint(8));
+        let mask = m.input("mask", Type::uint(8));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.mem_init(&mem, &[0x11, 0x22]);
+        m.mem_write_masked(&mem, &addr, &data, &mask);
+        m.connect(&dout, &mem.read(&addr));
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.mems[0].init, vec![0x11, 0x22]);
+        assert!(netlist.mems[0].writes[0].mask.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared in this builder")]
+    fn mem_init_with_a_foreign_handle_panics() {
+        let mut other = ModuleBuilder::new("Other");
+        let foreign = other.mem("store", Type::uint(8), 4);
+        // A handle from a different builder must not silently drop the image.
+        let mut m = ModuleBuilder::new("This");
+        m.mem_init(&foreign, &[1, 2]);
+    }
+
+    #[test]
+    fn sync_read_lowers_to_an_implicit_register() {
+        let mut m = ModuleBuilder::new("SyncRead");
+        let addr = m.input("addr", Type::uint(2));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.connect(&dout, &mem.read_sync(&addr));
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let netlist = lower_circuit(&c).unwrap();
+        assert_eq!(netlist.mems[0].sync_reads, vec!["store_sr0".to_string()]);
+        assert!(netlist.regs.iter().any(|r| r.name == "store_sr0"));
+        // The implicit read register owns a slot like any other register.
+        assert!(netlist.slot_assignment().slot_of("store_sr0").is_some());
+    }
+
+    #[test]
+    fn sync_read_in_raw_module_requires_a_clock() {
+        let mut m = ModuleBuilder::raw("NoClockSync");
+        let addr = m.input("addr", Type::uint(2));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.connect(&dout, &mem.read_sync(&addr));
+        let report = check_circuit(&m.into_circuit());
+        assert!(
+            report.errors().any(|d| d.code == rechisel_firrtl::ErrorCode::NoImplicitClock),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn mem_init_file_parses_readmemh_style_images() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rechisel_mem_init_{}.hex", std::process::id()));
+        std::fs::write(&path, "// squares table\n00\n01\n04  // three squared is next\n09\n\n")
+            .unwrap();
+        let mut m = ModuleBuilder::new("Rom");
+        let addr = m.input("addr", Type::uint(2));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("rom", Type::uint(8), 4);
+        m.mem_init_file(&mem, &path).unwrap();
+        m.connect(&dout, &mem.read(&addr));
+        std::fs::remove_file(&path).ok();
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        assert_eq!(netlist.mems[0].init, vec![0x00, 0x01, 0x04, 0x09]);
+        // A malformed image is an InvalidData error, not a panic.
+        let bad = dir.join(format!("rechisel_mem_init_bad_{}.hex", std::process::id()));
+        std::fs::write(&bad, "zz\n").unwrap();
+        let mut m = ModuleBuilder::new("BadRom");
+        let mem = m.mem("rom", Type::uint(8), 4);
+        let err = m.mem_init_file(&mem, &bad).unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -128,8 +128,10 @@ struct Commit {
 }
 
 /// A staged memory write: when `bits[en] & 1` is set and `bits[addr] < depth`, store
-/// `bits[val] & mask` at `mem[base + bits[addr]]`. Applied before register commits
-/// (all operand slots still hold pre-edge values), in port-declaration order.
+/// the port's merged word at `mem[base + bits[addr]]`. Applied before register
+/// commits (all operand slots still hold pre-edge values), in port-declaration order
+/// with whole-word stores — a same-cycle collision resolves to the last port, exactly
+/// like the last nonblocking assignment winning in the emitted Verilog.
 #[derive(Debug, Clone, Copy)]
 struct MemCommit {
     base: u32,
@@ -138,6 +140,11 @@ struct MemCommit {
     en: u32,
     val: u32,
     mask: u128,
+    /// For lane-masked ports, `(lane slot, pre-edge word slot)`: the merged word is
+    /// `(old & !lane) | (value & lane)`, where `old` was staged by a `MemRead`
+    /// instruction in the register program (so it reads PRE-edge contents, mirroring
+    /// the interpreter and the Verilog nonblocking read).
+    lane: Option<(u32, u32)>,
 }
 
 /// Backing-store layout and word metadata of one memory in a [`Tape`].
@@ -181,8 +188,12 @@ pub struct Tape {
     mem_commits: Vec<MemCommit>,
     /// Backing-store layout, one entry per memory in declaration order.
     mems: Vec<TapeMem>,
-    /// Total backing-store words across all memories.
-    mem_words: usize,
+    /// Initial backing-store image (one word per entry, layout as in `mems`):
+    /// declared init words pre-masked to the word width, zero elsewhere.
+    mem_init: Vec<u128>,
+    /// Signals that depend on a sequential memory read and therefore cannot be
+    /// peeked before the first clock edge.
+    sync_tainted: std::collections::BTreeSet<String>,
     inputs: BTreeMap<String, InPort>,
     outputs: Vec<(String, u32)>,
     has_reset: bool,
@@ -217,7 +228,7 @@ impl Tape {
 
     /// Total backing-store words across all memories.
     pub fn mem_word_count(&self) -> usize {
-        self.mem_words
+        self.mem_init.len()
     }
 }
 
@@ -418,7 +429,10 @@ impl<'n> Builder<'n> {
                 };
                 Ok(dst)
             }
-            Expression::MemRead { mem, addr } => {
+            // Sequential reads are hoisted into implicit registers by lowering; a
+            // surviving sync read means the netlist skipped lowering.
+            Expression::MemRead { sync: true, .. } => Err(Self::unsupported(expr)),
+            Expression::MemRead { mem, addr, sync: false } => {
                 let a = self.compile_expr(addr, out)?;
                 let index = *self
                     .mem_index
@@ -499,7 +513,7 @@ impl<'n> Builder<'n> {
             });
         }
 
-        // Memory write ports: addr/enable/value are staged alongside register
+        // Memory write ports: addr/enable/value/mask are staged alongside register
         // next-states; the commits run before the register commits, so every operand
         // slot still holds its pre-edge value (simultaneous-update semantics, like the
         // interpreter's two-phase step).
@@ -511,10 +525,33 @@ impl<'n> Builder<'n> {
                 let addr = self.compile_expr(&port.addr, &mut reg_program)?;
                 let en = self.compile_expr(&port.enable, &mut reg_program)?;
                 let val = self.compile_expr(&port.value, &mut reg_program)?;
-                mem_commits.push(MemCommit { base, depth, addr, en, val, mask: word_mask });
+                let lane = match &port.mask {
+                    None => None,
+                    Some(m) => {
+                        let lane = self.compile_expr(m, &mut reg_program)?;
+                        // Stage the PRE-edge word alongside the operands: the merge
+                        // at commit time must read old data even if an earlier port
+                        // already stored to the same word this cycle.
+                        let word_info = self.netlist.mems[i].info;
+                        let old = self
+                            .temp(Some(Meta { width: word_info.width, signed: word_info.signed }));
+                        reg_program.push(Instr::MemRead { dst: old, addr, base, depth });
+                        Some((lane, old))
+                    }
+                };
+                mem_commits.push(MemCommit { base, depth, addr, en, val, mask: word_mask, lane });
             }
         }
-        let mem_words = self.mems.iter().map(|m| m.depth as usize).sum();
+        // Initial backing-store image: declared init words (pre-masked), zero padding.
+        let mut mem_init = vec![0u128; self.mems.iter().map(|m| m.depth as usize).sum()];
+        for (i, mem) in self.netlist.mems.iter().enumerate() {
+            let base = self.mems[i].base as usize;
+            let word_mask = mask(u128::MAX, self.mems[i].width);
+            for (offset, word) in mem.init.iter().take(mem.depth).enumerate() {
+                mem_init[base + offset] = word & word_mask;
+            }
+        }
+        let sync_tainted = self.netlist.sync_read_tainted();
 
         let inputs = self
             .netlist
@@ -552,7 +589,8 @@ impl<'n> Builder<'n> {
             commits,
             mem_commits,
             mems: self.mems,
-            mem_words,
+            mem_init,
+            sync_tainted,
             inputs,
             outputs,
             has_reset,
@@ -686,10 +724,11 @@ impl CompiledSimulator {
         Ok(Self::from_tape(Arc::new(Tape::compile(netlist)?)))
     }
 
-    /// Creates a simulator over an already-compiled (possibly shared) tape.
+    /// Creates a simulator over an already-compiled (possibly shared) tape. Memories
+    /// start at their declared initial image (zero where uninitialized).
     pub fn from_tape(tape: Arc<Tape>) -> Self {
         let state = tape.init.clone();
-        let mem = vec![0; tape.mem_words];
+        let mem = tape.mem_init.clone();
         Self { tape, state, mem, cycles: 0 }
     }
 
@@ -727,8 +766,13 @@ impl CompiledSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoSuchPort`] if the signal does not exist.
+    /// Returns [`SimError::NoSuchPort`] if the signal does not exist, and
+    /// [`SimError::SyncReadBeforeClock`] when the signal depends on a sequential
+    /// memory read and no clock edge has happened yet (mirroring the interpreter).
     pub fn peek(&self, name: &str) -> Result<u128, SimError> {
+        if self.cycles == 0 && self.tape.sync_tainted.contains(name) {
+            return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+        }
         self.tape
             .index
             .get(name)
@@ -753,8 +797,19 @@ impl CompiledSimulator {
             }
             let addr = self.state[commit.addr as usize].bits;
             if addr < u128::from(commit.depth) {
-                self.mem[(commit.base + addr as u32) as usize] =
-                    self.state[commit.val as usize].bits & commit.mask;
+                let value = self.state[commit.val as usize].bits & commit.mask;
+                // Whole-word stores in port order: a lane-masked port merges its
+                // data into the PRE-edge word (staged by the register program), and
+                // the last port to store a word wins — exactly the interpreter's
+                // commit loop and the emitted Verilog's nonblocking assignments.
+                let word = match commit.lane {
+                    None => value,
+                    Some((lane, old)) => {
+                        let lanes = self.state[lane as usize].bits & commit.mask;
+                        (self.state[old as usize].bits & !lanes) | (value & lanes)
+                    }
+                };
+                self.mem[(commit.base + addr as u32) as usize] = word;
             }
         }
         for commit in &self.tape.commits {
@@ -788,7 +843,8 @@ impl CompiledSimulator {
         Ok(())
     }
 
-    /// Reads all output ports, in port order.
+    /// Reads all output ports, in port order (raw values — no
+    /// [`SimError::SyncReadBeforeClock`] guard; see `SimEngine::outputs`).
     pub fn outputs(&self) -> Vec<(String, u128)> {
         self.tape
             .outputs
@@ -1108,6 +1164,107 @@ mod tests {
             sim.step().unwrap();
             assert_eq!(sim.peek_mem("store", 2).unwrap(), 0x9);
             assert_eq!(sim.peek("out").unwrap(), 0x9);
+        }
+    }
+
+    #[test]
+    fn masked_sync_init_ram_matches_interpreter() {
+        // One memory exercising all three new semantics at once: a lane-masked write
+        // port, a sequential read port, and an initial image — driven identically on
+        // both engines, compared peek-for-peek and word-for-word.
+        let mut m = ModuleBuilder::new("FullRam");
+        let we = m.input("we", Type::bool());
+        let addr = m.input("addr", Type::uint(2));
+        let wdata = m.input("wdata", Type::uint(8));
+        let wmask = m.input("wmask", Type::uint(8));
+        let rdata_c = m.output("rdata_c", Type::uint(8));
+        let rdata_s = m.output("rdata_s", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.mem_init(&mem, &[0x0F, 0xF0, 0x3C]);
+        m.when(&we, |m| m.mem_write_masked(&mem, &addr, &wdata, &wmask));
+        m.connect(&rdata_c, &mem.read(&addr));
+        m.connect(&rdata_s, &mem.read_sync(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+
+        let mut interp = Simulator::new(netlist.clone());
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        // Before the first edge both engines refuse to peek the registered read.
+        assert_eq!(interp.peek("rdata_s").unwrap_err(), compiled.peek("rdata_s").unwrap_err());
+        // The initial image is visible through the combinational port immediately.
+        for sim_addr in 0..4u128 {
+            interp.poke("addr", sim_addr).unwrap();
+            compiled.poke("addr", sim_addr).unwrap();
+            interp.eval().unwrap();
+            compiled.eval();
+            assert_eq!(interp.peek("rdata_c").unwrap(), compiled.peek("rdata_c").unwrap());
+        }
+        let schedule: &[(u128, u128, u128, u128)] = &[
+            (1, 0, 0xFF, 0x0F), // masked write into the init image
+            (1, 0, 0xAA, 0xF0), // second masked write, other lanes
+            (0, 0, 0x00, 0x00),
+            (1, 2, 0x55, 0xFF), // full-lane overwrite
+            (1, 3, 0x77, 0x00), // enabled write with no lanes set
+        ];
+        for (cycle, &(we_v, addr_v, data_v, mask_v)) in schedule.iter().enumerate() {
+            for (name, v) in [("we", we_v), ("addr", addr_v), ("wdata", data_v), ("wmask", mask_v)]
+            {
+                interp.poke(name, v).unwrap();
+                compiled.poke(name, v).unwrap();
+            }
+            interp.step().unwrap();
+            compiled.step();
+            for name in ["rdata_c", "rdata_s"] {
+                assert_eq!(
+                    interp.peek(name).unwrap(),
+                    compiled.peek(name).unwrap(),
+                    "cycle {cycle}, signal {name}"
+                );
+            }
+            for word in 0..4 {
+                assert_eq!(
+                    interp.peek_mem("store", word).unwrap(),
+                    compiled.peek_mem("store", word).unwrap(),
+                    "cycle {cycle}, word {word}"
+                );
+            }
+        }
+        // Spot-check the merged contents: 0x0F | low-lane 0xFF then high-lane 0xAA.
+        assert_eq!(compiled.peek_mem("store", 0).unwrap(), 0xAF);
+        assert_eq!(compiled.peek_mem("store", 2).unwrap(), 0x55);
+        assert_eq!(compiled.peek_mem("store", 3).unwrap(), 0x00);
+    }
+
+    #[test]
+    fn same_cycle_ports_commit_like_nonblocking_assigns() {
+        // Two ports, same address, same cycle: an unmasked first port and a masked
+        // second port. Every port computes its word from the PRE-edge contents and
+        // whole-word stores apply in declaration order (last port wins) — exactly
+        // the emitted Verilog, where each port is a nonblocking assignment reading
+        // pre-edge state and the last scheduled assignment takes the word.
+        let mut m = ModuleBuilder::new("MergePorts");
+        let addr = m.input("addr", Type::uint(2));
+        let a = m.input("a", Type::uint(8));
+        let b = m.input("b", Type::uint(8));
+        let ben = m.input("ben", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.mem_write(&mem, &addr, &a);
+        m.mem_write_masked(&mem, &addr, &b, &ben);
+        m.connect(&out, &mem.read(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let mut interp = Simulator::new(netlist.clone());
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        for sim in [&mut interp as &mut dyn crate::engine::SimEngine, &mut compiled] {
+            sim.poke_mem("store", 1, 0xFF).unwrap();
+            sim.poke("addr", 1).unwrap();
+            sim.poke("a", 0x00).unwrap();
+            sim.poke("b", 0x3C).unwrap();
+            sim.poke("ben", 0x0F).unwrap();
+            sim.step().unwrap();
+            // The masked port's merge reads the PRE-edge 0xFF (not port 1's 0x00):
+            // (0xFF & ~0x0F) | (0x3C & 0x0F) = 0xFC, and as the last port it wins.
+            assert_eq!(sim.peek_mem("store", 1).unwrap(), 0xFC);
+            assert_eq!(sim.peek("out").unwrap(), 0xFC);
         }
     }
 

@@ -87,6 +87,11 @@ pub trait SimEngine {
     fn cycles(&self) -> u64;
 
     /// Reads all output ports, in port order.
+    ///
+    /// Unlike [`peek`](Self::peek), this reports **raw** signal values without the
+    /// `SyncReadBeforeClock` guard: before the first clock edge an output fed by a
+    /// sequential memory read reads as its zero-initialised register value. Use
+    /// `peek` when the distinction matters.
     fn outputs(&self) -> Vec<(String, u128)>;
 
     /// True when the design has a `reset` input port.

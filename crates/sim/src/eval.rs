@@ -76,6 +76,16 @@ impl MemState {
     pub fn new(info: SignalInfo, depth: usize) -> Self {
         Self { info, words: vec![0; depth] }
     }
+
+    /// A memory of `depth` words preloaded from `init` (each word masked to the word
+    /// width); words beyond the image start as zero.
+    pub fn with_init(info: SignalInfo, depth: usize, init: &[u128]) -> Self {
+        let mut state = Self::new(info, depth);
+        for (word, value) in state.words.iter_mut().zip(init) {
+            *word = mask(*value, info.width);
+        }
+        state
+    }
 }
 
 /// Errors produced by evaluation.
@@ -159,11 +169,17 @@ pub fn eval_expr_with_mems(
                 eval_expr_with_mems(fval, env, infos, mems)
             }
         }
-        Expression::MemRead { mem, addr } => {
+        Expression::MemRead { mem, addr, sync: false } => {
             let state = mems.get(mem).ok_or_else(|| EvalError::UnknownSignal(mem.clone()))?;
             let a = eval_expr_with_mems(addr, env, infos, mems)?.as_u128();
             let word = if a < state.words.len() as u128 { state.words[a as usize] } else { 0 };
             Ok(EvalValue::new(word, state.info.width, state.info.signed))
+        }
+        // Sequential reads never reach expression evaluation: lowering hoists each
+        // one into an implicit read register whose next-state is the combinational
+        // read above. A surviving sync read means the netlist skipped lowering.
+        Expression::MemRead { sync: true, .. } => {
+            Err(EvalError::UnsupportedExpression(expr.to_string()))
         }
         Expression::Prim { op, args, params } => eval_prim(*op, args, params, env, infos, mems),
         other => Err(EvalError::UnsupportedExpression(other.to_string())),

@@ -47,6 +47,12 @@ pub enum SimError {
         /// The rejected value.
         value: u128,
     },
+    /// A signal fed by a sequential (registered) memory read was peeked before the
+    /// first clock edge: the implicit read register has never captured a word.
+    SyncReadBeforeClock {
+        /// The peeked signal.
+        signal: String,
+    },
     /// Expression evaluation failed (lowering bug or corrupted netlist).
     Eval(EvalError),
 }
@@ -64,6 +70,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::MemValueTooWide { mem, width, value } => {
                 write!(f, "value {value} does not fit a word of memory {mem} ({width} bits)")
+            }
+            SimError::SyncReadBeforeClock { signal } => {
+                write!(
+                    f,
+                    "signal {signal} depends on a sequential memory read; step the clock at \
+                     least once before peeking it"
+                )
             }
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
         }
@@ -107,11 +120,15 @@ pub struct Simulator {
     values: BTreeMap<String, u128>,
     /// Current contents of every memory.
     mems: BTreeMap<String, MemState>,
+    /// Signals that depend on a sequential memory read and therefore cannot be
+    /// peeked before the first clock edge.
+    sync_tainted: std::collections::BTreeSet<String>,
     cycles: u64,
 }
 
 impl Simulator {
-    /// Creates a simulator with all inputs, registers and memories initialised to zero.
+    /// Creates a simulator with all inputs and registers at zero and every memory
+    /// holding its declared initial image (zero where uninitialized).
     pub fn new(netlist: Netlist) -> Self {
         let mut values = BTreeMap::new();
         for port in &netlist.ports {
@@ -123,9 +140,13 @@ impl Simulator {
         for def in &netlist.defs {
             values.insert(def.name.clone(), 0);
         }
-        let mems =
-            netlist.mems.iter().map(|m| (m.name.clone(), MemState::new(m.info, m.depth))).collect();
-        Self { netlist, values, mems, cycles: 0 }
+        let mems = netlist
+            .mems
+            .iter()
+            .map(|m| (m.name.clone(), MemState::with_init(m.info, m.depth, &m.init)))
+            .collect();
+        let sync_tainted = netlist.sync_read_tainted();
+        Self { netlist, values, mems, sync_tainted, cycles: 0 }
     }
 
     /// The underlying netlist.
@@ -165,8 +186,14 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoSuchPort`] if the signal does not exist.
+    /// Returns [`SimError::NoSuchPort`] if the signal does not exist, and
+    /// [`SimError::SyncReadBeforeClock`] when the signal depends on a sequential
+    /// memory read and no clock edge has happened yet (the implicit read register
+    /// has never captured a word).
     pub fn peek(&self, name: &str) -> Result<u128, SimError> {
+        if self.cycles == 0 && self.sync_tainted.contains(name) {
+            return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+        }
         self.values.get(name).copied().ok_or_else(|| SimError::NoSuchPort(name.to_string()))
     }
 
@@ -265,10 +292,15 @@ impl Simulator {
             next_values.push((reg.name.clone(), mask(value, reg.info.width)));
         }
         // Stage memory writes against the same pre-edge state (simultaneous update):
-        // (memory index, word index, masked value), ports in declaration order so a
-        // same-cycle same-address collision resolves to the last port.
+        // (memory index, word index, fully merged word), ports in declaration order.
+        // A lane-masked port merges its data into the PRE-EDGE word; the commit loop
+        // then stores whole words in port order, so a same-cycle same-address
+        // collision resolves to the textually last port — exactly the semantics of
+        // the emitted Verilog, where every port is a nonblocking assignment (reading
+        // pre-edge state) and the last scheduled assignment wins.
         let mut mem_commits: Vec<(usize, usize, u128)> = Vec::new();
         for (mem_index, mem) in self.netlist.mems.iter().enumerate() {
+            let word_mask = mask(u128::MAX, mem.info.width);
             for port in &mem.writes {
                 let en = eval_expr_with_mems(
                     &port.enable,
@@ -292,18 +324,35 @@ impl Simulator {
                     &self.netlist.signals,
                     &self.mems,
                 )?;
-                if addr < mem.depth as u128 {
-                    mem_commits.push((mem_index, addr as usize, mask(value.bits, mem.info.width)));
+                if addr >= mem.depth as u128 {
+                    continue;
                 }
+                let value = mask(value.bits, mem.info.width);
+                let merged = match &port.mask {
+                    None => value,
+                    Some(m) => {
+                        let lanes = eval_expr_with_mems(
+                            m,
+                            &self.values,
+                            &self.netlist.signals,
+                            &self.mems,
+                        )?
+                        .bits
+                            & word_mask;
+                        let old = self.mems[&mem.name].words[addr as usize];
+                        (old & !lanes) | (value & lanes)
+                    }
+                };
+                mem_commits.push((mem_index, addr as usize, merged));
             }
         }
         for (name, value) in next_values {
             self.values.insert(name, value);
         }
-        for (mem_index, addr, value) in mem_commits {
+        for (mem_index, addr, word) in mem_commits {
             let name = &self.netlist.mems[mem_index].name;
             if let Some(state) = self.mems.get_mut(name) {
-                state.words[addr] = value;
+                state.words[addr] = word;
             }
         }
         self.cycles += 1;
@@ -331,7 +380,8 @@ impl Simulator {
         Ok(())
     }
 
-    /// Reads all output ports, in port order.
+    /// Reads all output ports, in port order (raw values — no
+    /// [`SimError::SyncReadBeforeClock`] guard; see `SimEngine::outputs`).
     pub fn outputs(&self) -> Vec<(String, u128)> {
         self.netlist
             .ports
@@ -626,6 +676,99 @@ mod tests {
             SimError::MemValueTooWide { mem: "m".into(), width: 8, value: 256 }.to_string(),
             "value 256 does not fit a word of memory m (8 bits)"
         );
+        assert_eq!(
+            SimError::SyncReadBeforeClock { signal: "rdata".into() }.to_string(),
+            "signal rdata depends on a sequential memory read; step the clock at least once \
+             before peeking it"
+        );
+    }
+
+    fn masked_ram_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("MaskedRam");
+        let addr = m.input("addr", Type::uint(2));
+        let wdata = m.input("wdata", Type::uint(8));
+        let wmask = m.input("wmask", Type::uint(8));
+        let we = m.input("we", Type::bool());
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.when(&we, |m| m.mem_write_masked(&mem, &addr, &wdata, &wmask));
+        m.connect(&rdata, &mem.read(&addr));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn masked_write_touches_only_the_set_lanes() {
+        let mut sim = Simulator::new(masked_ram_netlist());
+        sim.poke_mem("store", 2, 0b1010_0101).unwrap();
+        sim.poke("we", 1).unwrap();
+        sim.poke("addr", 2).unwrap();
+        sim.poke("wdata", 0xFF).unwrap();
+        sim.poke("wmask", 0x0F).unwrap();
+        sim.step().unwrap();
+        // Low nibble takes the data, high nibble keeps the old word.
+        assert_eq!(sim.peek_mem("store", 2).unwrap(), 0b1010_1111);
+        // An all-zero mask is an enabled write that changes nothing.
+        sim.poke("wmask", 0x00).unwrap();
+        sim.poke("wdata", 0x00).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_mem("store", 2).unwrap(), 0b1010_1111);
+    }
+
+    fn sync_ram_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("SyncRam");
+        let we = m.input("we", Type::bool());
+        let addr = m.input("addr", Type::uint(2));
+        let wdata = m.input("wdata", Type::uint(8));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.when(&we, |m| m.mem_write(&mem, &addr, &wdata));
+        m.connect(&rdata, &mem.read_sync(&addr));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn sync_read_lags_one_cycle_and_returns_old_data_under_write() {
+        let mut sim = Simulator::new(sync_ram_netlist());
+        // Peeking the registered read (or anything fed by it) before the first edge
+        // is a typed error, not a silent zero.
+        assert_eq!(
+            sim.peek("rdata"),
+            Err(SimError::SyncReadBeforeClock { signal: "rdata".into() })
+        );
+        sim.poke_mem("store", 1, 0x55).unwrap();
+        sim.poke("addr", 1).unwrap();
+        sim.poke("we", 1).unwrap();
+        sim.poke("wdata", 0xAA).unwrap();
+        sim.step().unwrap();
+        // The edge captured the PRE-edge word (read-under-write = old data) even
+        // though the write to the same address committed on the same edge.
+        assert_eq!(sim.peek("rdata").unwrap(), 0x55);
+        assert_eq!(sim.peek_mem("store", 1).unwrap(), 0xAA);
+        sim.poke("we", 0).unwrap();
+        sim.step().unwrap();
+        // One cycle later the new word is visible through the registered port.
+        assert_eq!(sim.peek("rdata").unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn initialized_memory_reads_back_image_and_survives_reset() {
+        let mut m = ModuleBuilder::new("Rom");
+        let addr = m.input("addr", Type::uint(2));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("rom", Type::uint(8), 4);
+        m.mem_init(&mem, &[0x10, 0x20, 0x30]);
+        m.connect(&dout, &mem.read(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let mut sim = Simulator::new(netlist);
+        for (addr, expected) in [(0u128, 0x10u128), (1, 0x20), (2, 0x30), (3, 0)] {
+            sim.poke("addr", addr).unwrap();
+            sim.eval().unwrap();
+            assert_eq!(sim.peek("dout").unwrap(), expected, "addr {addr}");
+        }
+        // Reset does not restore the image: it is a time-zero preload only.
+        sim.poke_mem("rom", 0, 0x77).unwrap();
+        sim.reset(2).unwrap();
+        assert_eq!(sim.peek_mem("rom", 0).unwrap(), 0x77);
     }
 
     #[test]

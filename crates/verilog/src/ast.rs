@@ -151,7 +151,9 @@ pub struct VAssign {
     pub expr: VExpr,
 }
 
-/// A memory (RAM) array declaration, `reg [W-1:0] name [0:depth-1];`.
+/// A memory (RAM) array declaration, `reg [W-1:0] name [0:depth-1];`, with optional
+/// initial contents rendered as an `initial` block (the `$readmemh` equivalent with
+/// the image inlined).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VMemDecl {
     /// Memory name.
@@ -160,6 +162,8 @@ pub struct VMemDecl {
     pub width: u32,
     /// Number of words.
     pub depth: usize,
+    /// Initial word values (empty = uninitialized); word `i` gets `init[i]`.
+    pub init: Vec<u128>,
 }
 
 /// A synchronous memory write inside an always block.
@@ -244,6 +248,13 @@ impl VModule {
         }
         if !self.decls.is_empty() || !self.mems.is_empty() {
             out.push('\n');
+        }
+        for mem in self.mems.iter().filter(|m| !m.init.is_empty()) {
+            out.push_str("  initial begin\n");
+            for (index, word) in mem.init.iter().enumerate() {
+                out.push_str(&format!("    {}[{index}] = {}'d{word};\n", mem.name, mem.width));
+            }
+            out.push_str("  end\n\n");
         }
         for assign in &self.assigns {
             out.push_str(&format!("  assign {} = {};\n", assign.target, assign.expr));
@@ -337,7 +348,7 @@ mod tests {
                 VPort { name: "q".into(), dir: VPortDir::Output, width: 8 },
             ],
             decls: vec![VDecl { name: "r".into(), width: 8, is_reg: true }],
-            mems: vec![VMemDecl { name: "store".into(), width: 8, depth: 16 }],
+            mems: vec![VMemDecl { name: "store".into(), width: 8, depth: 16, init: vec![7, 9] }],
             assigns: vec![VAssign { target: "q".into(), expr: VExpr::ident("r") }],
             always: vec![VAlways {
                 clock: "clock".into(),
@@ -359,6 +370,9 @@ mod tests {
         assert!(text.contains("input wire [7:0] a"));
         assert!(text.contains("reg [7:0] r;"));
         assert!(text.contains("reg [7:0] store [0:15];"));
+        assert!(text.contains("initial begin"));
+        assert!(text.contains("store[0] = 8'd7;"));
+        assert!(text.contains("store[1] = 8'd9;"));
         assert!(text.contains("assign q = r;"));
         assert!(text.contains("always @(posedge clock)"));
         assert!(text.contains("r <= a;"));

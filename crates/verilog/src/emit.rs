@@ -80,14 +80,18 @@ pub fn emit_netlist(netlist: &Netlist) -> Result<VModule, EmitError> {
             }),
         }
     }
-    // Memories: a reg array per memory, with each write port folded into the always
-    // block of its clock. Reads appear inline in `assigns`/register next-state
-    // expressions as array indexing (combinational read).
+    // Memories: a reg array per memory (with an `initial` image when declared), each
+    // write port folded into the always block of ITS OWN clock — ports of one memory
+    // may sit in different clock domains. Combinational reads appear inline in
+    // `assigns`/register next-state expressions as array indexing; sequential reads
+    // were hoisted by lowering into ordinary registers (emitted above) whose
+    // next-state is the guarded array read.
     for mem in &netlist.mems {
         module.mems.push(VMemDecl {
             name: mem.name.clone(),
             width: mem.info.width,
             depth: mem.depth,
+            init: mem.init.clone(),
         });
         for port in &mem.writes {
             let enable = match &port.enable {
@@ -106,16 +110,40 @@ pub fn emit_netlist(netlist: &Netlist) -> Result<VModule, EmitError> {
             } else {
                 enable
             };
+            // A lane-masked port stores a read-modify-write merge: lanes whose mask
+            // bit is clear keep the old word (nonblocking reads see pre-edge data, so
+            // the merge composes with the engines' old-data semantics).
+            let value = match &port.mask {
+                None => emit_expr(&port.value, netlist)?,
+                Some(mask) => {
+                    let old = VExpr::Index {
+                        base: mem.name.clone(),
+                        index: Box::new(emit_expr(&port.addr, netlist)?),
+                    };
+                    let mask_e = emit_expr(mask, netlist)?;
+                    let keep = VExpr::Binary {
+                        op: "&",
+                        lhs: Box::new(old),
+                        rhs: Box::new(VExpr::Unary { op: "~", arg: Box::new(mask_e.clone()) }),
+                    };
+                    let store = VExpr::Binary {
+                        op: "&",
+                        lhs: Box::new(emit_expr(&port.value, netlist)?),
+                        rhs: Box::new(mask_e),
+                    };
+                    VExpr::Binary { op: "|", lhs: Box::new(keep), rhs: Box::new(store) }
+                }
+            };
             let write = VMemWrite {
                 mem: mem.name.clone(),
                 addr: emit_expr(&port.addr, netlist)?,
-                value: emit_expr(&port.value, netlist)?,
+                value,
                 enable,
             };
-            match module.always.iter_mut().find(|a| a.clock == mem.clock) {
+            match module.always.iter_mut().find(|a| a.clock == port.clock) {
                 Some(block) => block.mem_writes.push(write),
                 None => module.always.push(VAlways {
-                    clock: mem.clock.clone(),
+                    clock: port.clock.clone(),
                     updates: Vec::new(),
                     mem_writes: vec![write],
                 }),
@@ -176,7 +204,10 @@ fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
             then: Box::new(emit_expr(tval, netlist)?),
             otherwise: Box::new(emit_expr(fval, netlist)?),
         }),
-        Expression::MemRead { mem, addr } => {
+        // Sequential reads are hoisted into implicit registers by lowering; a
+        // surviving sync read means the netlist skipped lowering.
+        Expression::MemRead { sync: true, .. } => Err(EmitError::Unsupported(expr.to_string())),
+        Expression::MemRead { mem, addr, sync: false } => {
             let indexed =
                 VExpr::Index { base: mem.clone(), index: Box::new(emit_expr(addr, netlist)?) };
             // The engines define out-of-range reads as zero; plain `mem[addr]` would
@@ -447,6 +478,84 @@ mod tests {
         let netlist = lower_circuit(&m.into_circuit()).unwrap();
         let text = emit_verilog(&netlist).unwrap();
         assert!(text.contains("assign rdata = store[addr];"), "{text}");
+    }
+
+    #[test]
+    fn emit_masked_write_as_lane_merge() {
+        let mut m = ModuleBuilder::new("MaskedRam");
+        let addr = m.input("addr", Type::uint(2));
+        let wdata = m.input("wdata", Type::uint(8));
+        let wmask = m.input("wmask", Type::uint(8));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.mem_write_masked(&mem, &addr, &wdata, &wmask);
+        m.connect(&rdata, &mem.read(&addr));
+        let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        // Lanes whose mask bit is clear keep the old word: read-modify-write merge.
+        assert!(
+            text.contains("store[addr] <= ((store[addr] & (~wmask)) | (wdata & wmask));"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn emit_dual_clock_ports_in_separate_always_blocks() {
+        let mut m = ModuleBuilder::raw("DualClock");
+        let clk_a = m.input("clk_a", Type::Clock);
+        let clk_b = m.input("clk_b", Type::Clock);
+        let addr = m.input("addr", Type::uint(2));
+        let din = m.input("din", Type::uint(4));
+        let dout = m.output("dout", Type::uint(4));
+        let mem = m.mem("store", Type::uint(4), 4);
+        m.with_clock(&clk_a, |m| m.mem_write(&mem, &addr, &din));
+        m.with_clock(&clk_b, |m| m.mem_write(&mem, &addr, &din));
+        m.connect(&dout, &mem.read(&addr));
+        let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit()).unwrap();
+        let module = emit_netlist(&netlist).unwrap();
+        assert_eq!(module.always.len(), 2, "one always block per write clock");
+        let text = module.to_verilog();
+        assert!(text.contains("always @(posedge clk_a)"), "{text}");
+        assert!(text.contains("always @(posedge clk_b)"), "{text}");
+    }
+
+    #[test]
+    fn emit_sync_read_as_registered_always_read() {
+        let mut m = ModuleBuilder::new("SyncRam");
+        let addr = m.input("addr", Type::uint(2));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.connect(&rdata, &mem.read(&addr));
+        let comb_only = rechisel_firrtl::lower_circuit(&m.into_circuit()).unwrap();
+        assert!(emit_verilog(&comb_only).unwrap().contains("assign rdata = store[addr];"));
+
+        let mut m = ModuleBuilder::new("SyncRam");
+        let addr = m.input("addr", Type::uint(2));
+        let rdata = m.output("rdata", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.connect(&rdata, &mem.read_sync(&addr));
+        let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        // The hoisted read register is an ordinary reg updated on the clock edge.
+        assert!(text.contains("reg [7:0] store_sr0;"), "{text}");
+        assert!(text.contains("always @(posedge clock)"), "{text}");
+        assert!(text.contains("store_sr0 <= store[addr];"), "{text}");
+        assert!(text.contains("assign rdata = store_sr0;"), "{text}");
+    }
+
+    #[test]
+    fn emit_initialized_memory_as_initial_block() {
+        let mut m = ModuleBuilder::new("Rom");
+        let addr = m.input("addr", Type::uint(2));
+        let dout = m.output("dout", Type::uint(8));
+        let mem = m.mem("rom", Type::uint(8), 4);
+        m.mem_init(&mem, &[0x11, 0x22, 0x33]);
+        m.connect(&dout, &mem.read(&addr));
+        let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit()).unwrap();
+        let text = emit_verilog(&netlist).unwrap();
+        assert!(text.contains("initial begin"), "{text}");
+        assert!(text.contains("rom[0] = 8'd17;"), "{text}");
+        assert!(text.contains("rom[2] = 8'd51;"), "{text}");
     }
 
     #[test]

@@ -69,6 +69,26 @@ fn dual_port_ram() -> Circuit {
     m.into_circuit()
 }
 
+/// The memory-v2 representative: an initialized RAM with a lane-masked write port, a
+/// combinational read port and a sequential (registered) read port.
+fn masked_init_ram() -> Circuit {
+    let mut m = ModuleBuilder::new("MaskedInitRam");
+    let we = m.input("we", Type::bool());
+    let addr = m.input("addr", Type::uint(3));
+    let wdata = m.input("wdata", Type::uint(8));
+    let wmask = m.input("wmask", Type::uint(8));
+    let rdata = m.output("rdata", Type::uint(8));
+    let rdata_q = m.output("rdata_q", Type::uint(8));
+    let mem = m.mem("store", Type::uint(8), 8);
+    m.mem_init(&mem, &[0x10, 0x32, 0x54, 0x76]);
+    m.when(&we, |m| {
+        m.mem_write_masked(&mem, &addr, &wdata, &wmask);
+    });
+    m.connect(&rdata, &mem.read(&addr));
+    m.connect(&rdata_q, &mem.read_sync(&addr));
+    m.into_circuit()
+}
+
 #[test]
 fn emitted_verilog_matches_golden_file() {
     let netlist = rechisel_firrtl::lower_circuit(&accum_alu()).expect("AccumAlu lowers");
@@ -81,6 +101,13 @@ fn emitted_memory_verilog_matches_golden_file() {
     let netlist = rechisel_firrtl::lower_circuit(&dual_port_ram()).expect("DualPortRam lowers");
     let emitted = emit_verilog(&netlist).expect("DualPortRam emits");
     check_golden(&emitted, "dual_port_ram.v", include_str!("golden/dual_port_ram.v"));
+}
+
+#[test]
+fn emitted_masked_init_ram_matches_golden_file() {
+    let netlist = rechisel_firrtl::lower_circuit(&masked_init_ram()).expect("MaskedInitRam lowers");
+    let emitted = emit_verilog(&netlist).expect("MaskedInitRam emits");
+    check_golden(&emitted, "masked_init_ram.v", include_str!("golden/masked_init_ram.v"));
 }
 
 #[test]

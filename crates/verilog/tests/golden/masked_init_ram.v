@@ -1,0 +1,30 @@
+module MaskedInitRam(
+  input wire clock,
+  input wire reset,
+  input wire we,
+  input wire [2:0] addr,
+  input wire [7:0] wdata,
+  input wire [7:0] wmask,
+  output wire [7:0] rdata,
+  output wire [7:0] rdata_q
+);
+  reg [7:0] store_sr0;
+  reg [7:0] store [0:7];
+
+  initial begin
+    store[0] = 8'd16;
+    store[1] = 8'd50;
+    store[2] = 8'd84;
+    store[3] = 8'd118;
+  end
+
+  assign rdata = store[addr];
+  assign rdata_q = store_sr0;
+
+  always @(posedge clock) begin
+    store_sr0 <= store[addr];
+    if (we) begin
+      store[addr] <= ((store[addr] & (~wmask)) | (wdata & wmask));
+    end
+  end
+endmodule
