@@ -1,12 +1,15 @@
-//! `sim/` — per-cycle throughput of the two simulation engines.
+//! `sim/` — per-cycle throughput of the simulation engines.
 //!
 //! The compiled instruction-tape engine exists to make the Simulator tool (step ❸ of
 //! the workflow) as fast as the substrate allows; this group quantifies the win on two
 //! suite circuits (a register file and an FSM). `sim/interp/*` vs `sim/compiled/*`
-//! measure a single `step()` on each engine; `sim/compile_tape/*` measures the
-//! one-time cost the per-case tape cache amortizes across a sweep. A direct
-//! steady-state speedup measurement is printed at the end (the acceptance bar for the
-//! compiled engine is ≥5× per cycle on these cases).
+//! measure a single `step()` on each engine; `sim/batched/*` measures one step of a
+//! 32-lane batched simulator (one tape walk advancing 32 independent state vectors);
+//! `sim/compile_tape/*` measures the one-time cost the per-case tape cache amortizes
+//! across a sweep. Direct steady-state speedup measurements are printed at the end
+//! (the acceptance bars: compiled ≥5× interp per cycle, and 32-lane batched ≥4× the
+//! per-cycle throughput of solo compiled). Speedups are min-of-N over alternating
+//! passes so a noisy-neighbor stall in one pass cannot skew the ratio.
 
 use std::time::Instant;
 
@@ -14,7 +17,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rechisel_benchsuite::circuits::{fsm, memory, sequential};
 use rechisel_benchsuite::SourceFamily;
 use rechisel_firrtl::lower::Netlist;
-use rechisel_sim::{CompiledSimulator, Simulator, Tape};
+use rechisel_sim::{BatchedSimulator, CompiledSimulator, Simulator, Tape};
+
+/// Lane count for the batched datapoints: wide enough that the per-step dispatch
+/// cost is fully amortized and the lane loops hit their SIMD steady state.
+const BATCH_LANES: usize = 32;
 
 /// Drives every data input with an in-range, activity-producing value.
 fn poke_ones(poke: &mut dyn FnMut(&str), netlist: &Netlist) {
@@ -46,6 +53,44 @@ fn measured_speedup(netlist: &Netlist) -> f64 {
 
     assert_eq!(interp.outputs(), compiled.outputs(), "engines diverged during the benchmark");
     interp_time.as_secs_f64() / compiled_time.as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+/// Per-lane steady-state throughput of a `lanes`-wide batched step over solo compiled
+/// steps: `lanes` solo cycles take `lanes × t_compiled`; the batch advances the same
+/// `lanes` state vectors in one `t_batched` walk. Both engines are timed over
+/// `PASSES` alternating passes and the minimum per-engine time wins, so a transient
+/// stall (scheduler preemption, frequency dip) in one pass cannot skew the ratio.
+fn measured_batch_speedup(netlist: &Netlist, lanes: usize) -> f64 {
+    const WARMUP: u32 = 200;
+    const CYCLES: u32 = 4000;
+    const PASSES: usize = 5;
+
+    let mut compiled = CompiledSimulator::new(netlist).unwrap();
+    compiled.reset(2).unwrap();
+    poke_ones(&mut |name| compiled.poke(name, 1).unwrap(), netlist);
+    compiled.step_n(WARMUP);
+
+    let mut batched = BatchedSimulator::new(netlist, lanes).unwrap();
+    batched.reset(2).unwrap();
+    for lane in 0..lanes {
+        poke_ones(&mut |name| batched.poke(lane, name, 1).unwrap(), netlist);
+    }
+    batched.step_n(WARMUP);
+
+    let mut compiled_time = f64::MAX;
+    let mut batched_time = f64::MAX;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        compiled.step_n(CYCLES);
+        compiled_time = compiled_time.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        batched.step_n(CYCLES);
+        batched_time = batched_time.min(start.elapsed().as_secs_f64());
+    }
+
+    assert_eq!(compiled.outputs(), batched.outputs(0), "engines diverged during the benchmark");
+    compiled_time * lanes as f64 / batched_time.max(f64::MIN_POSITIVE)
 }
 
 /// Fixed pure-CPU work (a splitmix64 spin) whose cost scales with host speed the same
@@ -88,6 +133,17 @@ fn bench_sim(c: &mut Criterion) {
         poke_ones(&mut |name| compiled.poke(name, 1).unwrap(), &netlist);
         c.bench_function(&format!("sim/compiled/{label}/step"), |b| b.iter(|| compiled.step()));
 
+        // One 32-lane batched step: a single tape walk advancing 32 state vectors.
+        // Compare against 32× the solo compiled step for per-lane throughput.
+        if *label != "masked_ram" {
+            let mut batched = BatchedSimulator::new(&netlist, BATCH_LANES).unwrap();
+            batched.reset(2).unwrap();
+            for lane in 0..BATCH_LANES {
+                poke_ones(&mut |name| batched.poke(lane, name, 1).unwrap(), &netlist);
+            }
+            c.bench_function(&format!("sim/batched/{label}/step"), |b| b.iter(|| batched.step()));
+        }
+
         // The one-time cost the per-case tape cache pays exactly once per sweep.
         c.bench_function(&format!("sim/compile_tape/{label}"), |b| {
             b.iter(|| Tape::compile(&netlist).unwrap())
@@ -98,6 +154,13 @@ fn bench_sim(c: &mut Criterion) {
     for (label, case) in &cases {
         let speedup = measured_speedup(case.reference_netlist());
         println!("sim/{label}: compiled engine is {speedup:.1}x faster per cycle than interp");
+    }
+    for (label, case) in cases.iter().filter(|(label, _)| *label != "masked_ram") {
+        let speedup = measured_batch_speedup(case.reference_netlist(), BATCH_LANES);
+        println!(
+            "sim/{label}: {BATCH_LANES}-lane batched delivers {speedup:.1}x the per-cycle \
+             throughput of solo compiled"
+        );
     }
 }
 

@@ -18,6 +18,13 @@
 //!
 //! `--bless` rewrites the baseline from the current results instead of gating.
 //!
+//! The gate fails **loudly on id mismatches in both directions**: a gated-group
+//! benchmark present in the baseline but absent from the results (deleted or renamed
+//! bench) and one present in the results but absent from the baseline (new bench
+//! nobody blessed) are both regressions — a silently skipped benchmark would let a
+//! real slowdown, or an ungated datapoint, through unnoticed. Re-bless to pin
+//! intentional changes.
+//!
 //! `--agg min` is the per-benchmark noise band: run the bench binary N times into the
 //! same JSONL sidecar and the gate takes the **minimum** median per id (including the
 //! calibration spin) instead of the last one. The minimum of N runs estimates the
@@ -133,6 +140,68 @@ fn normalized(entries: &BTreeMap<String, Entry>, id: &str) -> f64 {
     }
 }
 
+/// Outcome of gating one results set against one baseline.
+struct GateReport {
+    /// Per-benchmark verdict lines, in report order.
+    lines: Vec<String>,
+    /// True when any gated benchmark regressed or was missing on either side.
+    failed: bool,
+}
+
+/// Compares `results` against `baseline` over ids with the `group` prefix, flagging
+/// regressions beyond `max_regression` on calibration-normalized medians.
+///
+/// Ids present on only one side (the calibration spin aside, which is checked
+/// separately) are hard failures in **both** directions: baseline-only means a gated
+/// benchmark silently stopped running; results-only means a new benchmark is not
+/// pinned by the baseline.
+fn gate(
+    results: &BTreeMap<String, Entry>,
+    baseline: &BTreeMap<String, Entry>,
+    group: &str,
+    max_regression: f64,
+) -> GateReport {
+    let mut report = GateReport { lines: Vec::new(), failed: false };
+    for id in baseline.keys().filter(|id| id.starts_with(group)) {
+        if *id == CALIBRATION_ID {
+            continue;
+        }
+        if !results.contains_key(id) {
+            report.lines.push(format!("REGRESSION {id}: benchmark missing from the current run"));
+            report.failed = true;
+            continue;
+        }
+        let base = normalized(baseline, id);
+        let now = normalized(results, id);
+        if base <= 0.0 {
+            continue;
+        }
+        let change = now / base - 1.0;
+        let verdict = if change > max_regression {
+            report.failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        report.lines.push(format!(
+            "{verdict:>10} {id}: normalized median {now:.4} vs baseline {base:.4} ({:+.1}%)",
+            change * 100.0
+        ));
+    }
+    for id in results.keys().filter(|id| id.starts_with(group)) {
+        if *id == CALIBRATION_ID {
+            continue;
+        }
+        if !baseline.contains_key(id) {
+            report.lines.push(format!(
+                "REGRESSION {id}: benchmark missing from the baseline (re-bless to pin it)"
+            ));
+            report.failed = true;
+        }
+    }
+    report
+}
+
 struct Args {
     results: String,
     out: String,
@@ -246,42 +315,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut failed = false;
-    for id in baseline.keys().filter(|id| id.starts_with(&args.group)) {
-        if *id == CALIBRATION_ID {
-            continue;
-        }
-        if !results.contains_key(id) {
-            eprintln!("REGRESSION {id}: benchmark missing from the current run");
-            failed = true;
-            continue;
-        }
-        let base = normalized(&baseline, id);
-        let now = normalized(&results, id);
-        if base <= 0.0 {
-            continue;
-        }
-        let change = now / base - 1.0;
-        let verdict = if change > args.max_regression {
-            failed = true;
-            "REGRESSION"
-        } else {
-            "ok"
-        };
-        println!(
-            "{verdict:>10} {id}: normalized median {now:.4} vs baseline {base:.4} ({:+.1}%)",
-            change * 100.0
-        );
+    let report = gate(&results, &baseline, &args.group, args.max_regression);
+    for line in &report.lines {
+        println!("{line}");
     }
-    for id in results.keys().filter(|id| id.starts_with(&args.group)) {
-        if !baseline.contains_key(id) {
-            println!("       new {id}: not in baseline (not gated; re-bless to pin it)");
-        }
-    }
-
-    if failed {
+    if report.failed {
         eprintln!(
-            "bench_gate: at least one {}* benchmark regressed by more than {:.0}%",
+            "bench_gate: at least one {}* benchmark regressed by more than {:.0}% \
+             or is missing from the results or the baseline",
             args.group,
             args.max_regression * 100.0
         );
@@ -336,6 +377,69 @@ mod tests {
         assert_eq!(normalized(&entries, "sim/x"), 500.0, "no calibration: raw ns");
         entries.insert(CALIBRATION_ID.to_string(), Entry { median_ns: 250, samples: 30 });
         assert_eq!(normalized(&entries, "sim/x"), 2.0, "calibrated: ratio");
+    }
+
+    fn entries(pairs: &[(&str, u128)]) -> BTreeMap<String, Entry> {
+        pairs
+            .iter()
+            .map(|(id, ns)| (id.to_string(), Entry { median_ns: *ns, samples: 30 }))
+            .collect()
+    }
+
+    #[test]
+    fn gate_passes_matching_sets_and_flags_regressions() {
+        let baseline = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100), ("sim/b", 200)]);
+        let same = gate(&baseline, &baseline, "sim/", 0.25);
+        assert!(!same.failed);
+        assert_eq!(same.lines.len(), 2, "calibration is not gated");
+
+        let slow = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100), ("sim/b", 300)]);
+        let report = gate(&slow, &baseline, "sim/", 0.25);
+        assert!(report.failed);
+        assert!(report.lines.iter().any(|l| l.contains("REGRESSION") && l.contains("sim/b")));
+        assert!(report.lines.iter().any(|l| l.contains("ok") && l.contains("sim/a")));
+    }
+
+    #[test]
+    fn gate_fails_when_a_baseline_benchmark_is_missing_from_the_results() {
+        let baseline = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100), ("sim/gone", 80)]);
+        let results = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100)]);
+        let report = gate(&results, &baseline, "sim/", 0.25);
+        assert!(report.failed, "a silently skipped benchmark must fail the gate");
+        assert!(report
+            .lines
+            .iter()
+            .any(|l| l.contains("REGRESSION sim/gone") && l.contains("current run")));
+    }
+
+    #[test]
+    fn gate_fails_when_a_result_benchmark_is_missing_from_the_baseline() {
+        let baseline = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100)]);
+        let results = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100), ("sim/new", 80)]);
+        let report = gate(&results, &baseline, "sim/", 0.25);
+        assert!(report.failed, "an unpinned new benchmark must fail the gate");
+        assert!(report
+            .lines
+            .iter()
+            .any(|l| l.contains("REGRESSION sim/new") && l.contains("re-bless")));
+        // Out-of-group extras are someone else's gate.
+        let other = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100), ("compile/x", 9)]);
+        assert!(!gate(&other, &baseline, "sim/", 0.25).failed);
+    }
+
+    #[test]
+    fn gate_ignores_the_calibration_id_in_both_directions() {
+        // The calibration spin's presence is enforced separately (before gating); the
+        // mismatch check must not double-report it. The raw medians are chosen so that
+        // the calibrated and the raw-fallback normalizations agree.
+        let with_cal = entries(&[(CALIBRATION_ID, 50), ("sim/a", 100)]);
+        let without_cal = entries(&[("sim/a", 2)]);
+        let report = gate(&without_cal, &with_cal, "sim/", 0.25);
+        assert!(!report.failed);
+        assert!(!report.lines.iter().any(|l| l.contains(CALIBRATION_ID)));
+        let report = gate(&with_cal, &without_cal, "sim/", 0.25);
+        assert!(!report.failed);
+        assert!(!report.lines.iter().any(|l| l.contains(CALIBRATION_ID)));
     }
 
     #[test]

@@ -30,14 +30,28 @@ pub struct RandomCircuitConfig {
     /// ports — some conditional, with addresses shared between read and write sides so
     /// read-under-write collisions are frequent.
     pub max_mems: usize,
-    /// Maximum port/register width in bits (clamped to at least 1; kept ≤ 16 so
-    /// intermediate products stay well inside `u128`).
+    /// Maximum port/register width in bits (clamped to `1..=128`, the simulator's
+    /// word size). When at least 64, width picks are biased toward the word-boundary
+    /// widths 64/127/128 — the regime where shift and mask arithmetic can overflow —
+    /// and shift amounts are drawn wide enough to over-shift at run time.
     pub max_width: u32,
 }
 
 impl Default for RandomCircuitConfig {
     fn default() -> Self {
         Self { max_inputs: 4, max_ops: 14, max_regs: 3, max_mems: 2, max_width: 12 }
+    }
+}
+
+impl RandomCircuitConfig {
+    /// A configuration that pushes signals to the `u128` word boundary: widths up to
+    /// 128 with 64/127/128 drawn frequently, and over-shifting shift amounts.
+    ///
+    /// Generation consumes the seed stream differently from the default
+    /// configuration, so wide circuits are a separate fuzz population, not a
+    /// re-parameterization of the narrow one.
+    pub fn wide() -> Self {
+        Self { max_width: 128, ..Self::default() }
     }
 }
 
@@ -74,11 +88,27 @@ fn to_bool(s: &Signal) -> Signal {
     s.or_r()
 }
 
-/// Caps runaway widths (products, concatenations) so the pool stays ≤ 16 bits.
-fn cap(s: Signal) -> Signal {
+/// Caps runaway widths (products, concatenations, shifts) at `cap_w` bits so the
+/// pool stays within the simulator word.
+fn cap_to(s: Signal, cap_w: u32) -> Signal {
     match s.width() {
-        Some(w) if w > 16 => s.bits(15, 0),
+        Some(w) if w > cap_w => s.bits(cap_w - 1, 0),
         _ => s,
+    }
+}
+
+/// Picks a port/register width in `1..=max_width`, biased toward the word-boundary
+/// widths 64/127/128 when the config allows them.
+///
+/// For `max_width < 64` this consumes exactly one RNG draw, like the original
+/// uniform pick — so narrow-config generation (and its golden traces) is unchanged.
+fn pick_width(rng: &mut Rng, max_width: u32) -> u32 {
+    const BOUNDARY: [u32; 3] = [64, 127, 128];
+    let eligible: Vec<u32> = BOUNDARY.into_iter().filter(|w| *w <= max_width).collect();
+    if !eligible.is_empty() && rng.below(4) == 0 {
+        eligible[rng.below(eligible.len())]
+    } else {
+        1 + rng.below(max_width as usize) as u32
     }
 }
 
@@ -88,14 +118,21 @@ fn cap(s: Signal) -> Signal {
 /// that invariant over a window of seeds and the differential fuzz relies on it.
 pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
     let mut rng = Rng::new(seed);
-    let max_width = config.max_width.clamp(1, 16);
+    let max_width = config.max_width.clamp(1, 128);
+    // Runaway widths are capped at the word size; narrow configs keep the historic
+    // 16-bit cap so their generated circuits (and golden traces) are unchanged.
+    let cap_w = max_width.clamp(16, 128);
+    let cap = |s: Signal| cap_to(s, cap_w);
+    // Dynamic shift amounts: 3 bits historically; wide configs draw 8-bit amounts so
+    // run-time over-shifts (amount ≥ the 128-bit word) actually occur.
+    let amt_w = if max_width > 16 { 8 } else { 3 };
     let mut m = ModuleBuilder::new(format!("Fuzz{:016x}", seed));
 
     // Inputs.
     let n_inputs = 1 + rng.below(config.max_inputs.max(1));
     let mut pool: Vec<Signal> = Vec::new();
     for i in 0..n_inputs {
-        let w = 1 + rng.below(max_width as usize) as u32;
+        let w = pick_width(&mut rng, max_width);
         pool.push(m.input(&format!("in{i}"), Type::uint(w)));
     }
 
@@ -109,7 +146,7 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
     for i in 0..rng.below(config.max_regs + 1) {
         let w = match regs.first() {
             Some((_, w0)) if rng.below(2) == 0 => *w0,
-            _ => 1 + rng.below(max_width as usize) as u32,
+            _ => pick_width(&mut rng, max_width),
         };
         let r = if rng.below(3) == 0 {
             m.reg(&format!("r{i}"), Type::uint(w))
@@ -152,7 +189,12 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
                 let w = a.width().unwrap_or(1);
                 a.shr(rng.below(w.min(4) as usize + 1) as u32)
             }
-            12 => cap(a.shl(rng.below(4) as u32)),
+            12 => {
+                // Wide configs occasionally shift past the word so the static
+                // over-shift path (result fixed at zero) is exercised differentially.
+                let bound = if max_width > 16 { 140 } else { 4 };
+                cap(a.shl(rng.below(bound) as u32))
+            }
             13 => {
                 let w = a.width().unwrap_or(1).max(1);
                 let hi = rng.below(w as usize) as u32;
@@ -173,8 +215,8 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
             }
             // Dynamic shifts: dshl's result width depends on the shift *value*, the
             // one operation whose metadata the compiled engine must track at run time.
-            17 => cap(a.dshl(&to_width(&b, 3))),
-            18 => a.dshr(&to_width(&b, 3)),
+            17 => cap(a.dshl(&to_width(&b, amt_w))),
+            18 => a.dshr(&to_width(&b, amt_w)),
             // Signed round-trip: exercises SInt arithmetic and sign extension, then
             // returns to UInt so the pool stays mux-mergeable.
             _ => cap(a.as_sint().add(&b.as_sint()).as_uint()),
@@ -193,7 +235,7 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
     let n_mems = rng.below(config.max_mems + 1);
     for i in 0..n_mems {
         let depth = 1 + rng.below(8);
-        let word_w = 1 + rng.below(max_width as usize) as u32;
+        let word_w = pick_width(&mut rng, max_width);
         let mem = m.mem(&format!("mem{i}"), Type::uint(word_w), depth);
         if rng.below(3) == 0 {
             let image: Vec<u64> = (0..1 + rng.below(depth))
@@ -249,7 +291,7 @@ pub fn random_circuit(seed: u64, config: &RandomCircuitConfig) -> Circuit {
     // Outputs.
     let n_outputs = 1 + rng.below(3);
     for i in 0..n_outputs {
-        let w = 1 + rng.below(max_width as usize) as u32;
+        let w = pick_width(&mut rng, max_width);
         let out = m.output(&format!("out{i}"), Type::uint(w));
         m.connect(&out, &to_width(&pool[rng.below(pool.len())], w));
     }
@@ -315,13 +357,52 @@ mod tests {
 
     #[test]
     fn stimulus_respects_port_widths() {
-        let netlist = lower_circuit(&random_circuit(99, &RandomCircuitConfig::default())).unwrap();
-        for assignment in random_stimulus(&netlist, 16, 3) {
-            for (name, value) in assignment {
-                let info = netlist.signal(&name).unwrap();
-                assert!(value < (1u128 << info.width), "{name}={value}");
+        for config in [RandomCircuitConfig::default(), RandomCircuitConfig::wide()] {
+            let netlist = lower_circuit(&random_circuit(99, &config)).unwrap();
+            for assignment in random_stimulus(&netlist, 16, 3) {
+                for (name, value) in assignment {
+                    let info = netlist.signal(&name).unwrap();
+                    // A 128-bit port admits every u128; narrower ports are masked.
+                    let in_range = info.width >= 128 || value < (1u128 << info.width);
+                    assert!(in_range, "{name}={value} exceeds width {}", info.width);
+                }
             }
         }
+    }
+
+    #[test]
+    fn wide_config_reaches_word_boundary_widths_and_lowers() {
+        // The wide population must actually live at the u128 boundary: over a seed
+        // window, most circuits carry a 64/127/128-bit port, and every one of them
+        // still checks and lowers (the invariant the wide differential fuzz needs).
+        let config = RandomCircuitConfig::wide();
+        let mut boundary_seeds = 0usize;
+        for seed in 0..200u64 {
+            let circuit = random_circuit(seed, &config);
+            let report = check_circuit(&circuit);
+            assert!(!report.has_errors(), "wide seed {seed} fails checking: {report:?}");
+            let netlist = lower_circuit(&circuit)
+                .unwrap_or_else(|e| panic!("wide seed {seed} fails lowering: {e}"));
+            let at_boundary = netlist
+                .data_inputs()
+                .map(|p| p.info.width)
+                .chain(netlist.outputs().map(|p| p.info.width))
+                .any(|w| w == 64 || w == 127 || w == 128);
+            if at_boundary {
+                boundary_seeds += 1;
+            }
+        }
+        assert!(boundary_seeds >= 60, "only {boundary_seeds}/200 wide seeds hit 64/127/128");
+    }
+
+    #[test]
+    fn narrow_generation_is_unchanged_by_the_wide_machinery() {
+        // pick_width consumes exactly one draw below the boundary threshold, so the
+        // default-config population (and every golden trace recorded from it) is the
+        // same as before the wide support landed.
+        let netlist = lower_circuit(&random_circuit(7, &RandomCircuitConfig::default())).unwrap();
+        let widths: Vec<u32> = netlist.data_inputs().map(|p| p.info.width).collect();
+        assert!(widths.iter().all(|w| (1..=12).contains(w)), "widths {widths:?}");
     }
 
     #[test]

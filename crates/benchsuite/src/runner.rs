@@ -37,7 +37,10 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Simulation engine used by the functional testers. Defaults to the compiled
     /// instruction-tape engine, which amortizes one tape compilation per case over
-    /// every sample's testbench points.
+    /// every sample's testbench points. All engines also share one recorded reference
+    /// output trace per case (same-case samples are compared against a single
+    /// reference walk); [`EngineKind::Batched`] additionally settles a combinational
+    /// case's checked points in lanes of one batched tape walk.
     pub sim_engine: EngineKind,
 }
 
@@ -432,23 +435,27 @@ mod tests {
     }
 
     #[test]
-    fn sweeps_default_to_the_compiled_engine_and_both_engines_agree() {
+    fn sweeps_default_to_the_compiled_engine_and_all_engines_agree() {
         let config = ExperimentConfig::quick().with_samples(2);
         assert_eq!(config.sim_engine, EngineKind::Compiled);
         assert_eq!(config.engine().sim_engine(), EngineKind::Compiled);
         let interp_config = config.with_sim_engine(EngineKind::Interp);
         assert_eq!(interp_config.engine().sim_engine(), EngineKind::Interp);
+        let batched_config = config.with_sim_engine(EngineKind::Batched);
+        assert_eq!(batched_config.engine().sim_engine(), EngineKind::Batched);
 
-        // The engine choice must be invisible in the results: a sweep over either
+        // The engine choice must be invisible in the results: a sweep over any
         // engine produces identical outcomes.
         let suite = sampled_suite(5);
         let fast = run_model(&ModelProfile::gpt4o(), &suite, &config);
-        let slow = run_model(&ModelProfile::gpt4o(), &suite, &interp_config);
-        assert_eq!(fast.pass_at_k(1, 5), slow.pass_at_k(1, 5));
-        assert_eq!(fast.status_proportions(0), slow.status_proportions(0));
-        for (a, b) in fast.cases.iter().zip(&slow.cases) {
-            for (ra, rb) in a.samples.iter().zip(&b.samples) {
-                assert_eq!(ra.statuses, rb.statuses, "case {}", a.case_id);
+        for other in [interp_config, batched_config] {
+            let slow = run_model(&ModelProfile::gpt4o(), &suite, &other);
+            assert_eq!(fast.pass_at_k(1, 5), slow.pass_at_k(1, 5));
+            assert_eq!(fast.status_proportions(0), slow.status_proportions(0));
+            for (a, b) in fast.cases.iter().zip(&slow.cases) {
+                for (ra, rb) in a.samples.iter().zip(&b.samples) {
+                    assert_eq!(ra.statuses, rb.statuses, "case {}", a.case_id);
+                }
             }
         }
     }

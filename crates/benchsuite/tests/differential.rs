@@ -1,16 +1,23 @@
-//! Differential fuzzing of the two simulation engines.
+//! Differential fuzzing of the simulation engines.
 //!
 //! The compiled instruction-tape engine is only allowed to exist because it is
 //! mechanically indistinguishable from the tree-walking interpreter: for thousands of
 //! randomly generated circuits × random stimulus, every signal must agree **peek for
-//! peek, cycle for cycle**. Seeds are produced by the deterministic proptest stub
-//! (fixed per test name), so a failure reproduces forever; the case count is raised in
-//! CI's dedicated fuzz job via `RECHISEL_FUZZ_CASES`.
+//! peek, cycle for cycle**. The batched engine earns its keep the same way: every lane
+//! `k` of a batched run must be bit-identical — peek `Result`s, memory words, outputs
+//! — to a solo compiled run fed lane `k`'s stimulus. Both properties run over the
+//! narrow population and over [`RandomCircuitConfig::wide`], whose 64/127/128-bit
+//! signals and over-shifting amounts live at the `u128` word boundary. Seeds are
+//! produced by the deterministic proptest stub (fixed per test name), so a failure
+//! reproduces forever; the case count is raised in CI's dedicated fuzz job via
+//! `RECHISEL_FUZZ_CASES`.
 
 use proptest::prelude::*;
 use rechisel_benchsuite::{random_circuit, random_stimulus, sampled_suite, RandomCircuitConfig};
 use rechisel_firrtl::lower_circuit;
-use rechisel_sim::{run_testbench, run_testbench_with, CompiledSimulator, EngineKind, Simulator};
+use rechisel_sim::{
+    run_testbench, run_testbench_with, BatchedSimulator, CompiledSimulator, EngineKind, Simulator,
+};
 
 /// Generated-circuit count for the property below: default 1000, raised in CI.
 fn fuzz_cases() -> u32 {
@@ -58,8 +65,8 @@ fn assert_all_peeks_agree(
 
 /// One differential run: generate, lower, drive both engines with identical stimulus,
 /// and compare every signal after every eval and every step.
-fn differential_run(seed: u64) {
-    let circuit = random_circuit(seed, &RandomCircuitConfig::default());
+fn differential_run(seed: u64, config: &RandomCircuitConfig) {
+    let circuit = random_circuit(seed, config);
     let netlist = lower_circuit(&circuit)
         .unwrap_or_else(|e| panic!("seed {seed}: generated circuit fails to lower: {e}"));
     let names: Vec<String> = netlist.slot_assignment().iter().map(|(_, n)| n.to_string()).collect();
@@ -91,20 +98,114 @@ fn differential_run(seed: u64) {
     }
 }
 
+/// One batched lane-equivalence run: every lane of an L-lane batched simulator,
+/// driven with per-lane distinct stimulus, must be bit-identical to a solo compiled
+/// run fed that lane's stimulus — peek `Result`s (including `SyncReadBeforeClock`
+/// taint errors before the first edge), memory words, outputs and cycle counters.
+fn batched_lane_run(seed: u64, config: &RandomCircuitConfig) {
+    const LANES: usize = 4;
+    const CYCLES: usize = 8;
+    let circuit = random_circuit(seed, config);
+    let netlist = lower_circuit(&circuit)
+        .unwrap_or_else(|e| panic!("seed {seed}: generated circuit fails to lower: {e}"));
+    let names: Vec<String> = netlist.slot_assignment().iter().map(|(_, n)| n.to_string()).collect();
+    let mems: Vec<(String, usize)> =
+        netlist.mems.iter().map(|m| (m.name.clone(), m.depth)).collect();
+
+    let mut batched = BatchedSimulator::new(&netlist, LANES)
+        .unwrap_or_else(|e| panic!("seed {seed}: batched construction failed: {e}"));
+    let mut solos: Vec<CompiledSimulator> = (0..LANES)
+        .map(|_| {
+            CompiledSimulator::new(&netlist)
+                .unwrap_or_else(|e| panic!("seed {seed}: tape compilation failed: {e}"))
+        })
+        .collect();
+    let stimulus: Vec<Vec<Vec<(String, u128)>>> = (0..LANES as u64)
+        .map(|lane| random_stimulus(&netlist, CYCLES, seed ^ (lane.wrapping_mul(0x9E37_79B9))))
+        .collect();
+
+    let check = |batched: &BatchedSimulator, solos: &[CompiledSimulator], at: &str| {
+        for (lane, solo) in solos.iter().enumerate() {
+            for name in &names {
+                let b = batched.peek(lane, name);
+                let s = solo.peek(name);
+                assert_eq!(b, s, "seed {seed}: lane {lane} signal {name} diverges {at}");
+            }
+            for (mem, depth) in &mems {
+                for addr in 0..*depth as u128 {
+                    let b = batched.peek_mem(lane, mem, addr);
+                    let s = solo.peek_mem(mem, addr);
+                    assert_eq!(b, s, "seed {seed}: lane {lane} word {mem}[{addr}] diverges {at}");
+                }
+            }
+            assert_eq!(batched.outputs(lane), solo.outputs(), "seed {seed}: lane {lane} {at}");
+        }
+    };
+
+    check(&batched, &solos, "at construction");
+    batched.reset(2).unwrap();
+    for solo in &mut solos {
+        solo.reset(2).unwrap();
+    }
+    check(&batched, &solos, "after reset");
+
+    // `stimulus` is lane-major but the walk is cycle-major (all lanes must poke
+    // before the shared batched eval), so the cycle index stays explicit.
+    #[allow(clippy::needless_range_loop)]
+    for cycle in 0..CYCLES {
+        for (lane, solo) in solos.iter_mut().enumerate() {
+            for (name, value) in &stimulus[lane][cycle] {
+                batched.poke(lane, name, *value).unwrap();
+                solo.poke(name, *value).unwrap();
+            }
+        }
+        batched.eval();
+        for solo in &mut solos {
+            solo.eval();
+        }
+        check(&batched, &solos, &format!("eval {cycle}"));
+        batched.step();
+        for solo in &mut solos {
+            solo.step();
+        }
+        check(&batched, &solos, &format!("step {cycle}"));
+        assert_eq!(batched.cycles(), solos[0].cycles(), "seed {seed} cycle {cycle}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
-    /// Thousands of generated circuits × random stimulus: both engines, identical
-    /// peeks, cycle for cycle.
+    /// Thousands of generated circuits × random stimulus: both serial engines,
+    /// identical peeks, cycle for cycle.
     #[test]
     fn engines_agree_on_generated_circuits(seed in 0u64..u64::MAX) {
-        differential_run(seed);
+        differential_run(seed, &RandomCircuitConfig::default());
+    }
+
+    /// The same property over the wide population: 64/127/128-bit signals and
+    /// over-shifting shift amounts at the `u128` word boundary.
+    #[test]
+    fn engines_agree_on_wide_circuits(seed in 0u64..u64::MAX) {
+        differential_run(seed, &RandomCircuitConfig::wide());
+    }
+
+    /// Every lane of a batched run is bit-identical to a solo compiled run.
+    #[test]
+    fn batched_lanes_match_solo_compiled(seed in 0u64..u64::MAX) {
+        batched_lane_run(seed, &RandomCircuitConfig::default());
+    }
+
+    /// Lane equivalence over the wide population.
+    #[test]
+    fn batched_lanes_match_solo_compiled_wide(seed in 0u64..u64::MAX) {
+        batched_lane_run(seed, &RandomCircuitConfig::wide());
     }
 }
 
 #[test]
 fn engines_agree_on_suite_references() {
-    // Beyond generated circuits: both engines must produce byte-identical testbench
+    // Beyond generated circuits: every engine must produce byte-identical testbench
     // reports over real benchmark-suite reference designs (all five categories).
     for case in sampled_suite(24) {
         let netlist = case.reference_netlist();
@@ -112,7 +213,9 @@ fn engines_agree_on_suite_references() {
         let tb = tester.testbench();
         let interp = run_testbench(netlist, netlist, tb).unwrap();
         let compiled = run_testbench_with(EngineKind::Compiled, netlist, netlist, tb).unwrap();
+        let batched = run_testbench_with(EngineKind::Batched, netlist, netlist, tb).unwrap();
         assert_eq!(interp, compiled, "case {}", case.id);
+        assert_eq!(interp, batched, "case {}", case.id);
         assert!(compiled.passed(), "case {}", case.id);
     }
 }

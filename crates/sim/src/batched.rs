@@ -1,0 +1,1117 @@
+//! Batched lockstep simulation: N independent state vectors through one [`Tape`].
+//!
+//! The reflection loop of the paper re-runs the same reference design under many
+//! stimuli, so the data dimension is embarrassingly parallel. [`BatchedSimulator`]
+//! exploits that the Verilator way: the levelized instruction tape is walked **once
+//! per cycle** while every instruction is applied to N independent lanes, so the
+//! per-instruction dispatch cost (and every instruction-stream cache miss) is
+//! amortized over the whole batch.
+//!
+//! State is laid out structure-of-arrays: for each tape slot the N lane words are
+//! contiguous (`bits[slot * lanes + lane]`), as are the N copies of every memory word.
+//! Constants, masks, and the program itself are shared by all lanes. Lanes never
+//! interact: lane *k* of a batched run is bit-identical to a solo
+//! [`CompiledSimulator`](crate::CompiledSimulator) run fed the same pokes (including the per-lane
+//! [`SimError::SyncReadBeforeClock`] taint), which the differential fuzz suite
+//! asserts peek-for-peek.
+//!
+//! Tapes whose every slot and memory word fits in 64 (or 32) bits — and whose
+//! program is fully specialized (no shape-generic instructions) — run in **narrow
+//! mode**: lane words are `u64` (or `u32`) instead of `u128`, cutting the state
+//! traffic and multiplying the SIMD density of the lane loops. Mode selection is
+//! automatic and invisible; the wide-width differential fuzz population pins the
+//! `u128` path.
+
+use std::sync::Arc;
+
+use rechisel_firrtl::lower::Netlist;
+
+use crate::compiled::{ext, CmpKind, Instr, Tape, TapeMem};
+use crate::engine::SimEngine;
+use crate::eval::{apply_prim, mask, EvalValue};
+use crate::simulator::SimError;
+
+/// A lane word: the batched engine's state element, `u128` in general and `u64` or
+/// `u32` in narrow mode. The two width-sensitive operations (`addsub`, `cmp_bits`)
+/// carry the tape's 128-bit-word sign-extension shifts and re-anchor them to the
+/// word size.
+trait Word:
+    Copy
+    + Ord
+    + std::fmt::Debug
+    + From<bool>
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitXor<Output = Self>
+    + std::ops::Not<Output = Self>
+    + std::ops::Shl<u32, Output = Self>
+    + std::ops::Shr<u32, Output = Self>
+{
+    /// The all-zero word.
+    const ZERO: Self;
+    /// All-ones when the word's low bit is set, all-zeros otherwise — the branchless
+    /// mux mask the lane loops blend with (keeps the select vectorizable).
+    fn lsb_mask(self) -> Self;
+    /// Truncating conversion (callers guarantee the value fits the mode's width).
+    fn from_u128(v: u128) -> Self;
+    /// Widening conversion back to the engine's public `u128` values.
+    fn to_u128(self) -> u128;
+    /// `a ± b` under the tape's sign-extension shifts, wrapping, unmasked.
+    fn addsub(self, other: Self, sa: u32, sb: u32, sub: bool) -> Self;
+    /// One comparison under the tape's sign-extension shifts.
+    fn cmp_bits(self, other: Self, sa: u32, sb: u32, kind: CmpKind, signed: bool) -> bool;
+}
+
+impl Word for u128 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn lsb_mask(self) -> Self {
+        (self & 1).wrapping_neg()
+    }
+
+    #[inline(always)]
+    fn from_u128(v: u128) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_u128(self) -> u128 {
+        self
+    }
+
+    #[inline(always)]
+    fn addsub(self, other: Self, sa: u32, sb: u32, sub: bool) -> Self {
+        let (ea, eb) = (ext(self, sa), ext(other, sb));
+        (if sub { ea.wrapping_sub(eb) } else { ea.wrapping_add(eb) }) as u128
+    }
+
+    #[inline(always)]
+    fn cmp_bits(self, other: Self, sa: u32, sb: u32, kind: CmpKind, signed: bool) -> bool {
+        match kind {
+            CmpKind::Eq => ext(self, sa) == ext(other, sb),
+            CmpKind::Neq => ext(self, sa) != ext(other, sb),
+            _ => {
+                let ord =
+                    if signed { ext(self, sa).cmp(&ext(other, sb)) } else { self.cmp(&other) };
+                match kind {
+                    CmpKind::Lt => ord == std::cmp::Ordering::Less,
+                    CmpKind::Leq => ord != std::cmp::Ordering::Greater,
+                    CmpKind::Gt => ord == std::cmp::Ordering::Greater,
+                    _ => ord != std::cmp::Ordering::Less,
+                }
+            }
+        }
+    }
+}
+
+/// Sign-extends a `u64` lane word whose tape shift was computed for 128-bit words:
+/// shifts of 0 mean "unsigned, keep raw", larger shifts re-anchor to the 64-bit word.
+#[inline(always)]
+fn ext64(bits: u64, shift: u32) -> i64 {
+    let s = shift.saturating_sub(64);
+    ((bits << s) as i64) >> s
+}
+
+impl Word for u64 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn lsb_mask(self) -> Self {
+        (self & 1).wrapping_neg()
+    }
+
+    #[inline(always)]
+    fn from_u128(v: u128) -> Self {
+        v as u64
+    }
+
+    #[inline(always)]
+    fn to_u128(self) -> u128 {
+        u128::from(self)
+    }
+
+    #[inline(always)]
+    fn addsub(self, other: Self, sa: u32, sb: u32, sub: bool) -> Self {
+        // Modular arithmetic: the i64 sums agree with the i128 sums mod 2^64, and
+        // the caller masks the result to a width of at most 64 bits.
+        let (ea, eb) = (ext64(self, sa), ext64(other, sb));
+        (if sub { ea.wrapping_sub(eb) } else { ea.wrapping_add(eb) }) as u64
+    }
+
+    #[inline(always)]
+    fn cmp_bits(self, other: Self, sa: u32, sb: u32, kind: CmpKind, signed: bool) -> bool {
+        // `narrow_eligible` guarantees every signed comparison's operand values fit
+        // in i64, so the value-level comparisons agree with the i128 ones.
+        match kind {
+            CmpKind::Eq => ext64(self, sa) == ext64(other, sb),
+            CmpKind::Neq => ext64(self, sa) != ext64(other, sb),
+            _ => {
+                let ord =
+                    if signed { ext64(self, sa).cmp(&ext64(other, sb)) } else { self.cmp(&other) };
+                match kind {
+                    CmpKind::Lt => ord == std::cmp::Ordering::Less,
+                    CmpKind::Leq => ord != std::cmp::Ordering::Greater,
+                    CmpKind::Gt => ord == std::cmp::Ordering::Greater,
+                    _ => ord != std::cmp::Ordering::Less,
+                }
+            }
+        }
+    }
+}
+
+/// Sign-extends a `u32` lane word under a 128-bit-word tape shift (see [`ext64`]).
+#[inline(always)]
+fn ext32(bits: u32, shift: u32) -> i32 {
+    let s = shift.saturating_sub(96);
+    ((bits << s) as i32) >> s
+}
+
+impl Word for u32 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn lsb_mask(self) -> Self {
+        (self & 1).wrapping_neg()
+    }
+
+    #[inline(always)]
+    fn from_u128(v: u128) -> Self {
+        v as u32
+    }
+
+    #[inline(always)]
+    fn to_u128(self) -> u128 {
+        u128::from(self)
+    }
+
+    #[inline(always)]
+    fn addsub(self, other: Self, sa: u32, sb: u32, sub: bool) -> Self {
+        // Modular arithmetic mod 2^32; the caller masks to a width of at most 32.
+        let (ea, eb) = (ext32(self, sa), ext32(other, sb));
+        (if sub { ea.wrapping_sub(eb) } else { ea.wrapping_add(eb) }) as u32
+    }
+
+    #[inline(always)]
+    fn cmp_bits(self, other: Self, sa: u32, sb: u32, kind: CmpKind, signed: bool) -> bool {
+        match kind {
+            CmpKind::Eq => ext32(self, sa) == ext32(other, sb),
+            CmpKind::Neq => ext32(self, sa) != ext32(other, sb),
+            _ => {
+                let ord =
+                    if signed { ext32(self, sa).cmp(&ext32(other, sb)) } else { self.cmp(&other) };
+                match kind {
+                    CmpKind::Lt => ord == std::cmp::Ordering::Less,
+                    CmpKind::Leq => ord != std::cmp::Ordering::Greater,
+                    CmpKind::Gt => ord == std::cmp::Ordering::Greater,
+                    _ => ord != std::cmp::Ordering::Less,
+                }
+            }
+        }
+    }
+}
+
+/// Whether a tape can run its lanes in `u64` words without any observable
+/// difference from the `u128` reference semantics.
+///
+/// Requires every slot and memory word to be at most 64 bits wide and every
+/// instruction to be a specialized bits-only form whose constants fit the narrow
+/// word. Signed/mixed comparisons additionally need every unsigned operand below 64
+/// bits so the compared *values* fit in `i64` (a 64-bit unsigned operand next to a
+/// signed one only compares correctly in 128-bit words). Generic instructions
+/// (`Prim1`/`Prim2`/`Mux`) disqualify the tape: they evaluate in full `u128`
+/// [`EvalValue`]s and may produce runtime shapes wider than the static slot widths.
+fn narrow_eligible(tape: &Tape, word_bits: u32) -> bool {
+    let word_mask: u128 = (1u128 << word_bits) - 1;
+    // Tape sign-extension shifts are anchored to 128-bit words: 0 means unsigned
+    // (keep raw), and a shift of at least `128 - word_bits` re-anchors losslessly.
+    let sext_ok = |s: u32| s == 0 || s >= 128 - word_bits;
+    let fits_signed_word = |slot: u32| {
+        let v = &tape.init[slot as usize];
+        v.signed || v.width < word_bits
+    };
+    let instr_ok = |instr: &Instr| match *instr {
+        Instr::MemRead { .. }
+        | Instr::And { .. }
+        | Instr::Or { .. }
+        | Instr::Xor { .. }
+        | Instr::MuxBits { .. } => true,
+        Instr::CopyMask { mask, .. } | Instr::Not { mask, .. } => mask <= word_mask,
+        Instr::AddSub { mask, sa, sb, .. } => mask <= word_mask && sext_ok(sa) && sext_ok(sb),
+        Instr::Cmp { a, b, sa, sb, signed, kind, .. } => {
+            let values_ok = match kind {
+                // Unsigned orderings compare raw words, and same-shift equality is
+                // injective at any width; everything else compares sign-extended
+                // values, which must fit in the narrow word's signed range.
+                CmpKind::Lt | CmpKind::Leq | CmpKind::Gt | CmpKind::Geq if !signed => true,
+                CmpKind::Eq | CmpKind::Neq if sa == sb => true,
+                _ => fits_signed_word(a) && fits_signed_word(b),
+            };
+            sext_ok(sa) && sext_ok(sb) && values_ok
+        }
+        Instr::Slice { lo, mask, .. } => lo < word_bits && mask <= word_mask,
+        Instr::CatBits { shift, mask, .. } => shift < word_bits && mask <= word_mask,
+        Instr::Prim1 { .. } | Instr::Prim2 { .. } | Instr::Mux { .. } => false,
+    };
+    tape.init.iter().all(|v| v.width <= word_bits)
+        && tape.mems.iter().all(|m| m.width <= word_bits)
+        && tape.comb.iter().all(instr_ok)
+        && tape.reg_program.iter().all(instr_ok)
+        && tape.commits.iter().all(|c| c.mask <= word_mask)
+        && tape.mem_commits.iter().all(|c| c.mask <= word_mask)
+}
+
+/// Executes a [`Tape`] over N independent stimulus lanes in lockstep.
+///
+/// All lanes advance together: [`eval`](BatchedSimulator::eval) and
+/// [`step`](BatchedSimulator::step) apply to the whole batch, while
+/// [`poke`](BatchedSimulator::poke) / [`peek`](BatchedSimulator::peek) /
+/// [`peek_mem`](BatchedSimulator::peek_mem) / [`poke_mem`](BatchedSimulator::poke_mem)
+/// address one lane. The [`SimEngine`] implementation views lane 0 (stepping still
+/// advances every lane), so a 1-lane batch is a drop-in engine behind
+/// [`EngineKind::Batched`](crate::EngineKind::Batched).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rechisel_hcl::prelude::*;
+/// use rechisel_sim::{BatchedSimulator, Tape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ModuleBuilder::new("Counter");
+/// let en = m.input("en", Type::bool());
+/// let out = m.output("out", Type::uint(8));
+/// let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+/// m.when(&en, |m| m.connect(&count, &count.add(&Signal::lit_w(1, 8)).bits(7, 0)));
+/// m.connect(&out, &count);
+/// let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+///
+/// // One tape walk per cycle drives all four lanes.
+/// let mut sim = BatchedSimulator::new(&netlist, 4)?;
+/// sim.reset(2)?;
+/// for lane in 0..4 {
+///     sim.poke(lane, "en", (lane % 2 == 0) as u128)?;
+/// }
+/// sim.step_n(5);
+/// assert_eq!(sim.peek(0, "out")?, 5); // enabled lane counted
+/// assert_eq!(sim.peek(1, "out")?, 0); // disabled lane held
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedSimulator {
+    tape: Arc<Tape>,
+    lanes: usize,
+    /// The word-width-specialized lane state (see [`Core`]).
+    planes: Planes,
+    /// Per-lane cycle counters (lockstep stepping keeps them equal, but the
+    /// `SyncReadBeforeClock` taint is tracked per lane).
+    cycles: Vec<u64>,
+}
+
+/// The lane state in one of the word widths (see the module docs on narrow mode).
+#[derive(Debug, Clone)]
+enum Planes {
+    /// General path: 128-bit lane words, all instructions supported.
+    Wide(Core<u128>),
+    /// Narrow path: 64-bit lane words for fully-specialized tapes that fit.
+    Narrow(Core<u64>),
+    /// Narrowest path: 32-bit lane words for small fully-specialized tapes.
+    Narrow32(Core<u32>),
+}
+
+/// Dispatches a `Core` method across the two word widths.
+macro_rules! on_core {
+    ($planes:expr, $c:ident => $body:expr) => {
+        match $planes {
+            Planes::Wide($c) => $body,
+            Planes::Narrow($c) => $body,
+            Planes::Narrow32($c) => $body,
+        }
+    };
+}
+
+/// The word-width-generic lane state of a batch.
+#[derive(Debug, Clone)]
+struct Core<W> {
+    /// Slot-major lane words: `bits[slot * lanes + lane]`.
+    bits: Vec<W>,
+    /// Per-lane width metadata, only rewritten by generic (dynamic-shape)
+    /// instructions (never present in narrow mode).
+    width: Vec<u32>,
+    /// Per-lane signedness metadata, kept in lockstep with `width`.
+    signed: Vec<bool>,
+    /// Word-major memory lanes: `mem[word * lanes + lane]`.
+    mem: Vec<W>,
+}
+
+impl<W: Word> Core<W> {
+    fn from_tape(tape: &Tape, lanes: usize) -> Self {
+        let slots = tape.init.len();
+        let mut bits = Vec::with_capacity(slots * lanes);
+        let mut width = Vec::with_capacity(slots * lanes);
+        let mut signed = Vec::with_capacity(slots * lanes);
+        for value in &tape.init {
+            bits.extend(std::iter::repeat_n(W::from_u128(value.bits), lanes));
+            width.extend(std::iter::repeat_n(value.width, lanes));
+            signed.extend(std::iter::repeat_n(value.signed, lanes));
+        }
+        let mut mem = Vec::with_capacity(tape.mem_init.len() * lanes);
+        for word in &tape.mem_init {
+            mem.extend(std::iter::repeat_n(W::from_u128(*word), lanes));
+        }
+        Self { bits, width, signed, mem }
+    }
+
+    #[inline]
+    fn get(&self, at: usize) -> u128 {
+        self.bits[at].to_u128()
+    }
+
+    #[inline]
+    fn set(&mut self, at: usize, value: u128) {
+        self.bits[at] = W::from_u128(value);
+    }
+
+    #[inline]
+    fn mem_get(&self, at: usize) -> u128 {
+        self.mem[at].to_u128()
+    }
+
+    #[inline]
+    fn mem_set(&mut self, at: usize, value: u128) {
+        self.mem[at] = W::from_u128(value);
+    }
+
+    fn eval(&mut self, tape: &Tape, lanes: usize) {
+        exec_batched(
+            &tape.comb,
+            &mut self.bits,
+            &mut self.width,
+            &mut self.signed,
+            &self.mem,
+            lanes,
+        );
+    }
+
+    /// The clock edge: register staging, then memory commits (while every operand
+    /// slot still holds its pre-edge value), then register commits.
+    fn edge(&mut self, tape: &Tape, lanes: usize) {
+        exec_batched(
+            &tape.reg_program,
+            &mut self.bits,
+            &mut self.width,
+            &mut self.signed,
+            &self.mem,
+            lanes,
+        );
+        for commit in &tape.mem_commits {
+            let en0 = commit.en as usize * lanes;
+            let addr0 = commit.addr as usize * lanes;
+            let val0 = commit.val as usize * lanes;
+            let cmask = W::from_u128(commit.mask);
+            for l in 0..lanes {
+                if self.bits[en0 + l] & W::from(true) == W::ZERO {
+                    continue;
+                }
+                let addr = self.bits[addr0 + l].to_u128();
+                if addr < u128::from(commit.depth) {
+                    let value = self.bits[val0 + l] & cmask;
+                    let word = match commit.lane {
+                        None => value,
+                        Some((wmask, old)) => {
+                            let wmask = self.bits[wmask as usize * lanes + l] & cmask;
+                            (self.bits[old as usize * lanes + l] & !wmask) | (value & wmask)
+                        }
+                    };
+                    self.mem[(commit.base + addr as u32) as usize * lanes + l] = word;
+                }
+            }
+        }
+        for commit in &tape.commits {
+            let m = W::from_u128(commit.mask);
+            row1(&mut self.bits, commit.reg, commit.staged, lanes, |x, _| x & m);
+        }
+    }
+}
+
+impl BatchedSimulator {
+    /// Compiles `netlist` and creates a batch of `lanes` identical initial states
+    /// (inputs and registers zero, memories at their declared initial image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Eval`] when the netlist cannot be compiled (see
+    /// [`Tape::compile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero.
+    pub fn new(netlist: &Netlist, lanes: usize) -> Result<Self, SimError> {
+        Ok(Self::from_tape(Arc::new(Tape::compile(netlist)?), lanes))
+    }
+
+    /// Creates a batch over an already-compiled (possibly shared) tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero.
+    pub fn from_tape(tape: Arc<Tape>, lanes: usize) -> Self {
+        assert!(lanes > 0, "a batched simulator needs at least one lane");
+        let planes = if narrow_eligible(&tape, 32) {
+            Planes::Narrow32(Core::from_tape(&tape, lanes))
+        } else if narrow_eligible(&tape, 64) {
+            Planes::Narrow(Core::from_tape(&tape, lanes))
+        } else {
+            Planes::Wide(Core::from_tape(&tape, lanes))
+        };
+        Self { tape, lanes, planes, cycles: vec![0; lanes] }
+    }
+
+    /// Number of independent stimulus lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lane word width in bits: 32 or 64 when the tape qualified for a narrow
+    /// mode (every slot and memory word fits the word, fully specialized program),
+    /// 128 otherwise. Purely informational — every mode is bit-identical to the solo
+    /// engines.
+    pub fn word_bits(&self) -> u32 {
+        match &self.planes {
+            Planes::Wide(_) => 128,
+            Planes::Narrow(_) => 64,
+            Planes::Narrow32(_) => 32,
+        }
+    }
+
+    /// The compiled program all lanes execute.
+    pub fn tape(&self) -> &Arc<Tape> {
+        &self.tape
+    }
+
+    /// Clock cycles simulated so far (lockstep: identical for every lane).
+    pub fn cycles(&self) -> u64 {
+        self.cycles[0]
+    }
+
+    #[inline]
+    fn slot(&self, lane: usize, slot: u32) -> usize {
+        debug_assert!(lane < self.lanes);
+        slot as usize * self.lanes + lane
+    }
+
+    fn check_lane(&self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of range (batch has {} lanes)", self.lanes);
+    }
+
+    /// Drives an input port on one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] if `name` is not an input port and
+    /// [`SimError::ValueTooWide`] if `value` does not fit in the port's width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn poke(&mut self, lane: usize, name: &str, value: u128) -> Result<(), SimError> {
+        self.check_lane(lane);
+        let port =
+            self.tape.inputs.get(name).ok_or_else(|| SimError::NoSuchPort(name.to_string()))?;
+        if value != mask(value, port.width) {
+            return Err(SimError::ValueTooWide {
+                port: port.name.clone(),
+                width: port.width,
+                value,
+            });
+        }
+        let at = self.slot(lane, port.slot);
+        on_core!(&mut self.planes, c => c.set(at, value));
+        Ok(())
+    }
+
+    /// Drives an input port identically on every lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchedSimulator::poke`].
+    pub fn poke_all(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        for lane in 0..self.lanes {
+            self.poke(lane, name, value)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the current value of any signal (port, wire or register) on one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] if the signal does not exist, and
+    /// [`SimError::SyncReadBeforeClock`] when the signal depends on a sequential
+    /// memory read and this lane has not seen a clock edge yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn peek(&self, lane: usize, name: &str) -> Result<u128, SimError> {
+        self.check_lane(lane);
+        if self.cycles[lane] == 0 && self.tape.sync_tainted.contains(name) {
+            return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+        }
+        self.tape
+            .index
+            .get(name)
+            .map(|slot| on_core!(&self.planes, c => c.get(self.slot(lane, *slot))))
+            .ok_or_else(|| SimError::NoSuchPort(name.to_string()))
+    }
+
+    /// Re-evaluates all combinational logic across every lane (one tape walk).
+    pub fn eval(&mut self) {
+        let Self { tape, lanes, planes, .. } = self;
+        on_core!(planes, c => c.eval(tape, *lanes));
+    }
+
+    /// Advances one clock cycle on every lane: combinational program, register
+    /// staging, simultaneous commit (memory writes first, while every operand slot
+    /// still holds its pre-edge value, then registers), combinational program again.
+    ///
+    /// The commit rules per lane are exactly [`CompiledSimulator`](crate::CompiledSimulator)'s: whole-word
+    /// stores in port-declaration order (last port wins) and lane-masked ports merge
+    /// into the pre-edge word.
+    pub fn step(&mut self) {
+        self.eval();
+        let Self { tape, lanes, planes, .. } = self;
+        on_core!(planes, c => c.edge(tape, *lanes));
+        for c in &mut self.cycles {
+            *c += 1;
+        }
+        self.eval();
+    }
+
+    /// Advances `n` clock cycles on every lane.
+    pub fn step_n(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Asserts the `reset` input (when present) on every lane for `cycles` cycles,
+    /// then deasserts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] only if the tape's reset bookkeeping is
+    /// inconsistent (cannot happen for tapes produced by [`Tape::compile`]).
+    pub fn reset(&mut self, cycles: u32) -> Result<(), SimError> {
+        if self.tape.has_reset {
+            self.poke_all("reset", 1)?;
+            self.step_n(cycles);
+            self.poke_all("reset", 0)?;
+            self.eval();
+        }
+        Ok(())
+    }
+
+    /// Reads one lane's output ports, in port order (raw values — no
+    /// [`SimError::SyncReadBeforeClock`] guard; see `SimEngine::outputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn outputs(&self, lane: usize) -> Vec<(String, u128)> {
+        self.check_lane(lane);
+        self.tape
+            .outputs
+            .iter()
+            .map(|(name, slot)| {
+                (name.clone(), on_core!(&self.planes, c => c.get(self.slot(lane, *slot))))
+            })
+            .collect()
+    }
+
+    fn tape_mem(&self, mem: &str) -> Result<&TapeMem, SimError> {
+        self.tape
+            .mems
+            .iter()
+            .find(|m| m.name == mem)
+            .ok_or_else(|| SimError::NoSuchMem(mem.to_string()))
+    }
+
+    /// Reads the current contents of one memory word on one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories and
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn peek_mem(&self, lane: usize, mem: &str, addr: u128) -> Result<u128, SimError> {
+        self.check_lane(lane);
+        let m = self.tape_mem(mem)?;
+        if addr >= u128::from(m.depth) {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: m.depth as usize,
+                addr,
+            });
+        }
+        Ok(
+            on_core!(&self.planes, c => c.mem_get((m.base + addr as u32) as usize * self.lanes + lane)),
+        )
+    }
+
+    /// Overwrites one memory word on one lane, validating the address and value first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchMem`] for unknown memories,
+    /// [`SimError::MemAddrOutOfRange`] for addresses outside `0..depth`, and
+    /// [`SimError::MemValueTooWide`] when `value` has bits above the word width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn poke_mem(
+        &mut self,
+        lane: usize,
+        mem: &str,
+        addr: u128,
+        value: u128,
+    ) -> Result<(), SimError> {
+        self.check_lane(lane);
+        let m = self.tape_mem(mem)?;
+        if addr >= u128::from(m.depth) {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: m.depth as usize,
+                addr,
+            });
+        }
+        if value != mask(value, m.width) {
+            return Err(SimError::MemValueTooWide { mem: mem.to_string(), width: m.width, value });
+        }
+        let word = (m.base + addr as u32) as usize * self.lanes + lane;
+        on_core!(&mut self.planes, c => c.mem_set(word, value));
+        Ok(())
+    }
+}
+
+/// Applies `f(a_lane, lane)` across one destination row: `dst[l] = f(a[l], l)`.
+///
+/// The destination row is split out of `bits` so the hot loop runs over disjoint
+/// slices — no per-element bounds checks, and LLVM is free to vectorize across the
+/// lane dimension. A source row that aliases the destination (never produced by
+/// `Tape::compile`, which gives every instruction a fresh slot) falls back to the
+/// index loop.
+fn row1<W: Word>(bits: &mut [W], dst: u32, a: u32, lanes: usize, f: impl Fn(W, usize) -> W) {
+    let d0 = dst as usize * lanes;
+    let a0 = a as usize * lanes;
+    if a0 + lanes <= d0 || a0 >= d0 + lanes {
+        let (pre, rest) = bits.split_at_mut(d0);
+        let (drow, post) = rest.split_at_mut(lanes);
+        let arow = if a0 < d0 { &pre[a0..a0 + lanes] } else { &post[a0 - d0 - lanes..a0 - d0] };
+        for (l, (d, &x)) in drow.iter_mut().zip(arow).enumerate() {
+            *d = f(x, l);
+        }
+    } else {
+        for l in 0..lanes {
+            bits[d0 + l] = f(bits[a0 + l], l);
+        }
+    }
+}
+
+/// Applies `f(a_lane, b_lane)` across one destination row: `dst[l] = f(a[l], b[l])`.
+/// Same disjoint-slice fast path as [`row1`].
+fn row2<W: Word>(bits: &mut [W], dst: u32, a: u32, b: u32, lanes: usize, f: impl Fn(W, W) -> W) {
+    let d0 = dst as usize * lanes;
+    let a0 = a as usize * lanes;
+    let b0 = b as usize * lanes;
+    let disjoint = |o: usize| o + lanes <= d0 || o >= d0 + lanes;
+    if disjoint(a0) && disjoint(b0) {
+        let (pre, rest) = bits.split_at_mut(d0);
+        let (drow, post) = rest.split_at_mut(lanes);
+        let src = |o: usize| -> &[W] {
+            if o < d0 {
+                &pre[o..o + lanes]
+            } else {
+                &post[o - d0 - lanes..o - d0]
+            }
+        };
+        for ((d, &x), &y) in drow.iter_mut().zip(src(a0)).zip(src(b0)) {
+            *d = f(x, y);
+        }
+    } else {
+        for l in 0..lanes {
+            bits[d0 + l] = f(bits[a0 + l], bits[b0 + l]);
+        }
+    }
+}
+
+/// Applies one instruction program to every lane, slot-major.
+///
+/// Specialized (bits-only) instructions touch only the `bits` plane and run as
+/// disjoint-slice lane loops (see [`row1`]/[`row2`]); generic instructions go through
+/// [`apply_prim`] per lane and maintain the per-lane width/signedness planes, exactly
+/// mirroring the solo compiled `exec` loop.
+fn exec_batched<W: Word>(
+    instrs: &[Instr],
+    bits: &mut [W],
+    width: &mut [u32],
+    signed: &mut [bool],
+    mem: &[W],
+    lanes: usize,
+) {
+    let at = |slot: u32| slot as usize * lanes;
+    for instr in instrs {
+        match *instr {
+            Instr::MemRead { dst, addr, base, depth } => {
+                row1(bits, dst, addr, lanes, |a, l| {
+                    if a.to_u128() < u128::from(depth) {
+                        mem[(base + a.to_u128() as u32) as usize * lanes + l]
+                    } else {
+                        W::ZERO
+                    }
+                });
+            }
+            Instr::CopyMask { dst, src, mask } => {
+                let m = W::from_u128(mask);
+                row1(bits, dst, src, lanes, |x, _| x & m);
+            }
+            Instr::Not { dst, a, mask } => {
+                let m = W::from_u128(mask);
+                row1(bits, dst, a, lanes, |x, _| !x & m);
+            }
+            Instr::And { dst, a, b } => {
+                row2(bits, dst, a, b, lanes, |x, y| x & y);
+            }
+            Instr::Or { dst, a, b } => {
+                row2(bits, dst, a, b, lanes, |x, y| x | y);
+            }
+            Instr::Xor { dst, a, b } => {
+                row2(bits, dst, a, b, lanes, |x, y| x ^ y);
+            }
+            Instr::AddSub { dst, a, b, sa, sb, mask, sub } => {
+                let m = W::from_u128(mask);
+                if sub {
+                    row2(bits, dst, a, b, lanes, |x, y| x.addsub(y, sa, sb, true) & m);
+                } else {
+                    row2(bits, dst, a, b, lanes, |x, y| x.addsub(y, sa, sb, false) & m);
+                }
+            }
+            Instr::Cmp { dst, a, b, sa, sb, kind, signed } => {
+                // Dispatch on (kind, signed) once per instruction, not per lane:
+                // each arm hands `row2` a closure whose comparison is a compile-time
+                // constant, keeping the lane loop branch-free and vectorizable.
+                macro_rules! cmp {
+                    ($k:expr, $s:expr) => {
+                        row2(bits, dst, a, b, lanes, |x: W, y: W| {
+                            W::from(x.cmp_bits(y, sa, sb, $k, $s))
+                        })
+                    };
+                }
+                match (kind, signed) {
+                    (CmpKind::Eq, _) => cmp!(CmpKind::Eq, false),
+                    (CmpKind::Neq, _) => cmp!(CmpKind::Neq, false),
+                    (CmpKind::Lt, false) => cmp!(CmpKind::Lt, false),
+                    (CmpKind::Lt, true) => cmp!(CmpKind::Lt, true),
+                    (CmpKind::Leq, false) => cmp!(CmpKind::Leq, false),
+                    (CmpKind::Leq, true) => cmp!(CmpKind::Leq, true),
+                    (CmpKind::Gt, false) => cmp!(CmpKind::Gt, false),
+                    (CmpKind::Gt, true) => cmp!(CmpKind::Gt, true),
+                    (CmpKind::Geq, false) => cmp!(CmpKind::Geq, false),
+                    (CmpKind::Geq, true) => cmp!(CmpKind::Geq, true),
+                }
+            }
+            Instr::MuxBits { dst, c, t, f } => {
+                let (d0, c0, t0, f0) = (at(dst), at(c), at(t), at(f));
+                let disjoint = |o: usize| o + lanes <= d0 || o >= d0 + lanes;
+                if disjoint(c0) && disjoint(t0) && disjoint(f0) {
+                    let (pre, rest) = bits.split_at_mut(d0);
+                    let (drow, post) = rest.split_at_mut(lanes);
+                    let src = |o: usize| -> &[W] {
+                        if o < d0 {
+                            &pre[o..o + lanes]
+                        } else {
+                            &post[o - d0 - lanes..o - d0]
+                        }
+                    };
+                    let it = drow.iter_mut().zip(src(c0)).zip(src(t0)).zip(src(f0));
+                    for (((d, &c), &t), &f) in it {
+                        let m = c.lsb_mask();
+                        *d = (t & m) | (f & !m);
+                    }
+                } else {
+                    for l in 0..lanes {
+                        let pick = if bits[c0 + l] & W::from(true) != W::ZERO { t0 } else { f0 };
+                        bits[d0 + l] = bits[pick + l];
+                    }
+                }
+            }
+            Instr::Slice { dst, a, lo, mask } => {
+                let m = W::from_u128(mask);
+                row1(bits, dst, a, lanes, |x, _| (x >> lo) & m);
+            }
+            Instr::CatBits { dst, a, b, shift, mask } => {
+                let m = W::from_u128(mask);
+                row2(bits, dst, a, b, lanes, |x, y| ((x << shift) | y) & m);
+            }
+            Instr::Prim1 { op, dst, a, p0, p1 } => {
+                let (d0, a0) = (at(dst), at(a));
+                for l in 0..lanes {
+                    let va = EvalValue {
+                        bits: bits[a0 + l].to_u128(),
+                        width: width[a0 + l],
+                        signed: signed[a0 + l],
+                    };
+                    let r = apply_prim(op, va, None, &[p0, p1]);
+                    bits[d0 + l] = W::from_u128(r.bits);
+                    width[d0 + l] = r.width;
+                    signed[d0 + l] = r.signed;
+                }
+            }
+            Instr::Prim2 { op, dst, a, b } => {
+                let (d0, a0, b0) = (at(dst), at(a), at(b));
+                for l in 0..lanes {
+                    let va = EvalValue {
+                        bits: bits[a0 + l].to_u128(),
+                        width: width[a0 + l],
+                        signed: signed[a0 + l],
+                    };
+                    let vb = EvalValue {
+                        bits: bits[b0 + l].to_u128(),
+                        width: width[b0 + l],
+                        signed: signed[b0 + l],
+                    };
+                    let r = apply_prim(op, va, Some(vb), &[]);
+                    bits[d0 + l] = W::from_u128(r.bits);
+                    width[d0 + l] = r.width;
+                    signed[d0 + l] = r.signed;
+                }
+            }
+            Instr::Mux { dst, c, t, f } => {
+                let (d0, c0, t0, f0) = (at(dst), at(c), at(t), at(f));
+                for l in 0..lanes {
+                    let pick = if bits[c0 + l] & W::from(true) != W::ZERO { t0 } else { f0 };
+                    bits[d0 + l] = bits[pick + l];
+                    width[d0 + l] = width[pick + l];
+                    signed[d0 + l] = signed[pick + l];
+                }
+            }
+        }
+    }
+}
+
+/// Lane-0 view: a 1-lane batch is a drop-in [`SimEngine`]; with more lanes the trait
+/// methods address lane 0 while `step`/`eval` still advance the whole batch in
+/// lockstep.
+impl SimEngine for BatchedSimulator {
+    fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        BatchedSimulator::poke(self, 0, name, value)
+    }
+
+    fn peek(&self, name: &str) -> Result<u128, SimError> {
+        BatchedSimulator::peek(self, 0, name)
+    }
+
+    fn eval(&mut self) -> Result<(), SimError> {
+        BatchedSimulator::eval(self);
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), SimError> {
+        BatchedSimulator::step(self);
+        Ok(())
+    }
+
+    fn cycles(&self) -> u64 {
+        BatchedSimulator::cycles(self)
+    }
+
+    fn outputs(&self) -> Vec<(String, u128)> {
+        BatchedSimulator::outputs(self, 0)
+    }
+
+    fn has_reset(&self) -> bool {
+        self.tape.has_reset
+    }
+
+    fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        BatchedSimulator::peek_mem(self, 0, mem, addr)
+    }
+
+    fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        BatchedSimulator::poke_mem(self, 0, mem, addr, value)
+    }
+
+    fn mem_names(&self) -> Vec<String> {
+        self.tape.mems.iter().map(|m| m.name.clone()).collect()
+    }
+
+    fn mem_depth(&self, mem: &str) -> Option<usize> {
+        self.tape.mems.iter().find(|m| m.name == mem).map(|m| m.depth as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledSimulator;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    fn counter_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Counter");
+        let en = m.input("en", Type::bool());
+        let out = m.output("out", Type::uint(8));
+        let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+        m.when(&en, |m| {
+            let next = count.add(&Signal::lit_w(1, 8)).bits(7, 0);
+            m.connect(&count, &next);
+        });
+        m.connect(&out, &count);
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    fn ram_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Ram");
+        let we = m.input("we", Type::bool());
+        let addr = m.input("addr", Type::uint(2));
+        let wdata = m.input("wdata", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.when(&we, |m| m.mem_write(&mem, &addr, &wdata));
+        m.connect(&out, &mem.read(&addr));
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn lanes_diverge_under_different_pokes() {
+        let mut sim = BatchedSimulator::new(&counter_netlist(), 4).unwrap();
+        sim.reset(2).unwrap();
+        for lane in 0..4 {
+            sim.poke(lane, "en", u128::from(lane % 2 == 0)).unwrap();
+        }
+        sim.step_n(7);
+        assert_eq!(sim.peek(0, "out").unwrap(), 7);
+        assert_eq!(sim.peek(1, "out").unwrap(), 0);
+        assert_eq!(sim.peek(2, "out").unwrap(), 7);
+        assert_eq!(sim.peek(3, "out").unwrap(), 0);
+        assert_eq!(sim.cycles(), 9);
+    }
+
+    #[test]
+    fn every_lane_matches_a_solo_compiled_run() {
+        let netlist = counter_netlist();
+        let lanes = 8;
+        let mut batch = BatchedSimulator::new(&netlist, lanes).unwrap();
+        let mut solos: Vec<CompiledSimulator> =
+            (0..lanes).map(|_| CompiledSimulator::new(&netlist).unwrap()).collect();
+        batch.reset(2).unwrap();
+        for solo in &mut solos {
+            solo.reset(2).unwrap();
+        }
+        // A different en schedule per lane, varied over time.
+        for t in 0..12u64 {
+            for (lane, solo) in solos.iter_mut().enumerate() {
+                let en = u128::from((t + lane as u64).is_multiple_of(lane as u64 + 2));
+                batch.poke(lane, "en", en).unwrap();
+                solo.poke("en", en).unwrap();
+            }
+            batch.step();
+            for solo in &mut solos {
+                solo.step();
+            }
+            for (lane, solo) in solos.iter().enumerate() {
+                assert_eq!(batch.peek(lane, "out").unwrap(), solo.peek("out").unwrap());
+                assert_eq!(batch.outputs(lane), solo.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_lanes_are_independent() {
+        let mut sim = BatchedSimulator::new(&ram_netlist(), 3).unwrap();
+        sim.poke_all("we", 1).unwrap();
+        for lane in 0..3 {
+            sim.poke(lane, "addr", 2).unwrap();
+            sim.poke(lane, "wdata", 0x10 + lane as u128).unwrap();
+        }
+        sim.step();
+        for lane in 0..3 {
+            assert_eq!(sim.peek_mem(lane, "store", 2).unwrap(), 0x10 + lane as u128);
+            assert_eq!(sim.peek(lane, "out").unwrap(), 0x10 + lane as u128);
+        }
+        // Direct backdoor pokes stay lane-local too.
+        sim.poke_mem(1, "store", 0, 0xAB).unwrap();
+        assert_eq!(sim.peek_mem(1, "store", 0).unwrap(), 0xAB);
+        assert_eq!(sim.peek_mem(0, "store", 0).unwrap(), 0);
+        assert_eq!(sim.peek_mem(2, "store", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn poke_and_mem_validation_errors_match_compiled() {
+        let mut sim = BatchedSimulator::new(&ram_netlist(), 2).unwrap();
+        assert!(matches!(sim.poke(1, "ghost", 0), Err(SimError::NoSuchPort(_))));
+        assert!(matches!(
+            sim.poke(0, "wdata", 0x100),
+            Err(SimError::ValueTooWide { width: 8, value: 0x100, .. })
+        ));
+        assert!(matches!(sim.peek_mem(0, "ghost", 0), Err(SimError::NoSuchMem(_))));
+        assert!(matches!(
+            sim.peek_mem(1, "store", 4),
+            Err(SimError::MemAddrOutOfRange { depth: 4, addr: 4, .. })
+        ));
+        assert!(matches!(
+            sim.poke_mem(1, "store", 0, 0x1FF),
+            Err(SimError::MemValueTooWide { width: 8, value: 0x1FF, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 2 out of range")]
+    fn out_of_range_lane_panics() {
+        let mut sim = BatchedSimulator::new(&counter_netlist(), 2).unwrap();
+        let _ = sim.poke(2, "en", 1);
+    }
+
+    #[test]
+    fn sync_read_taint_is_reported_per_lane() {
+        let mut m = ModuleBuilder::new("SyncRam");
+        let addr = m.input("addr", Type::uint(2));
+        let out = m.output("out", Type::uint(8));
+        let mem = m.mem("store", Type::uint(8), 4);
+        m.connect(&out, &mem.read_sync(&addr));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+
+        let mut sim = BatchedSimulator::new(&netlist, 2).unwrap();
+        for lane in 0..2 {
+            assert!(matches!(sim.peek(lane, "out"), Err(SimError::SyncReadBeforeClock { .. })));
+        }
+        sim.step();
+        for lane in 0..2 {
+            assert!(sim.peek(lane, "out").is_ok());
+        }
+    }
+
+    #[test]
+    fn lane_zero_view_implements_sim_engine() {
+        let netlist = counter_netlist();
+        let mut batch = BatchedSimulator::new(&netlist, 3).unwrap();
+        let engine: &mut dyn SimEngine = &mut batch;
+        engine.reset(2).unwrap();
+        engine.poke("en", 1).unwrap();
+        for _ in 0..4 {
+            engine.step().unwrap();
+        }
+        assert_eq!(engine.peek("out").unwrap(), 4);
+        assert_eq!(engine.outputs(), vec![("out".to_string(), 4)]);
+        assert!(engine.has_reset());
+        // Lockstep: the other lanes stepped too (en stayed 0 there).
+        assert_eq!(batch.peek(1, "out").unwrap(), 0);
+        assert_eq!(batch.cycles(), 6);
+    }
+}

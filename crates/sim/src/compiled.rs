@@ -30,9 +30,9 @@ use crate::simulator::SimError;
 
 /// Physical metadata of a value: its width and signed interpretation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Meta {
-    width: u32,
-    signed: bool,
+pub(crate) struct Meta {
+    pub(crate) width: u32,
+    pub(crate) signed: bool,
 }
 
 impl Meta {
@@ -57,7 +57,7 @@ impl Meta {
 
 /// Comparison selector for the specialized compare instruction.
 #[derive(Debug, Clone, Copy)]
-enum CmpKind {
+pub(crate) enum CmpKind {
     Eq,
     Neq,
     Lt,
@@ -79,7 +79,7 @@ enum CmpKind {
 ///   dynamic-metadata cases — mux arms of different widths, `dshl` (whose result
 ///   width depends on the shift *value*) — and every seldom-used operation.
 #[derive(Debug, Clone, Copy)]
-enum Instr {
+pub(crate) enum Instr {
     /// `bits[dst] = bits[src] & mask` — named-slot commits, plain copies.
     CopyMask { dst: u32, src: u32, mask: u128 },
     /// `bits[dst] = !bits[a] & mask`
@@ -114,17 +114,17 @@ enum Instr {
 
 /// Sign-extends `bits` (pre-masked to its width) through bit 127.
 #[inline(always)]
-fn ext(bits: u128, shift: u32) -> i128 {
+pub(crate) fn ext(bits: u128, shift: u32) -> i128 {
     ((bits << shift) as i128) >> shift
 }
 
 /// A register commit: copy the staged next-state into the register slot, masked to the
 /// register's width.
 #[derive(Debug, Clone, Copy)]
-struct Commit {
-    reg: u32,
-    staged: u32,
-    mask: u128,
+pub(crate) struct Commit {
+    pub(crate) reg: u32,
+    pub(crate) staged: u32,
+    pub(crate) mask: u128,
 }
 
 /// A staged memory write: when `bits[en] & 1` is set and `bits[addr] < depth`, store
@@ -133,36 +133,36 @@ struct Commit {
 /// with whole-word stores — a same-cycle collision resolves to the last port, exactly
 /// like the last nonblocking assignment winning in the emitted Verilog.
 #[derive(Debug, Clone, Copy)]
-struct MemCommit {
-    base: u32,
-    depth: u32,
-    addr: u32,
-    en: u32,
-    val: u32,
-    mask: u128,
+pub(crate) struct MemCommit {
+    pub(crate) base: u32,
+    pub(crate) depth: u32,
+    pub(crate) addr: u32,
+    pub(crate) en: u32,
+    pub(crate) val: u32,
+    pub(crate) mask: u128,
     /// For lane-masked ports, `(lane slot, pre-edge word slot)`: the merged word is
     /// `(old & !lane) | (value & lane)`, where `old` was staged by a `MemRead`
     /// instruction in the register program (so it reads PRE-edge contents, mirroring
     /// the interpreter and the Verilog nonblocking read).
-    lane: Option<(u32, u32)>,
+    pub(crate) lane: Option<(u32, u32)>,
 }
 
 /// Backing-store layout and word metadata of one memory in a [`Tape`].
 #[derive(Debug, Clone)]
-struct TapeMem {
-    name: String,
-    base: u32,
-    depth: u32,
-    width: u32,
+pub(crate) struct TapeMem {
+    pub(crate) name: String,
+    pub(crate) base: u32,
+    pub(crate) depth: u32,
+    pub(crate) width: u32,
 }
 
 /// An input port's pre-resolved poke target.
 #[derive(Debug, Clone)]
-struct InPort {
-    name: String,
-    slot: u32,
-    width: u32,
-    signed: bool,
+pub(crate) struct InPort {
+    pub(crate) name: String,
+    pub(crate) slot: u32,
+    pub(crate) width: u32,
+    pub(crate) signed: bool,
 }
 
 /// A netlist compiled to a flat, slot-indexed instruction program.
@@ -172,31 +172,31 @@ struct InPort {
 /// recompiling (the benchmark suite caches one tape per case this way).
 #[derive(Debug)]
 pub struct Tape {
-    name: String,
+    pub(crate) name: String,
     /// Initial state: named slots (zeroed, with their signal metadata), then the
     /// constant pool, then temporaries.
-    init: Vec<EvalValue>,
+    pub(crate) init: Vec<EvalValue>,
     /// Named signal -> slot, for peeks.
-    index: BTreeMap<String, u32>,
+    pub(crate) index: BTreeMap<String, u32>,
     /// Combinational program in evaluation order (one `Store` per def).
-    comb: Vec<Instr>,
+    pub(crate) comb: Vec<Instr>,
     /// Register next-state program (writes staging slots only).
-    reg_program: Vec<Instr>,
+    pub(crate) reg_program: Vec<Instr>,
     /// Register commit list, applied after the whole `reg_program` ran.
-    commits: Vec<Commit>,
+    pub(crate) commits: Vec<Commit>,
     /// Memory write commits, applied (before register commits) after `reg_program`.
-    mem_commits: Vec<MemCommit>,
+    pub(crate) mem_commits: Vec<MemCommit>,
     /// Backing-store layout, one entry per memory in declaration order.
-    mems: Vec<TapeMem>,
+    pub(crate) mems: Vec<TapeMem>,
     /// Initial backing-store image (one word per entry, layout as in `mems`):
     /// declared init words pre-masked to the word width, zero elsewhere.
-    mem_init: Vec<u128>,
+    pub(crate) mem_init: Vec<u128>,
     /// Signals that depend on a sequential memory read and therefore cannot be
     /// peeked before the first clock edge.
-    sync_tainted: std::collections::BTreeSet<String>,
-    inputs: BTreeMap<String, InPort>,
-    outputs: Vec<(String, u32)>,
-    has_reset: bool,
+    pub(crate) sync_tainted: std::collections::BTreeSet<String>,
+    pub(crate) inputs: BTreeMap<String, InPort>,
+    pub(crate) outputs: Vec<(String, u32)>,
+    pub(crate) has_reset: bool,
 }
 
 impl Tape {
@@ -376,7 +376,17 @@ impl<'n> Builder<'n> {
                 let dst = self.temp(Some(rm));
                 let instr = match op {
                     Not => Some(Instr::Not { dst, a, mask: rm.mask() }),
-                    Bits => Some(Instr::Slice { dst, a, lo: p1.max(0) as u32, mask: rm.mask() }),
+                    Bits if p1.max(0) < 128 => {
+                        Some(Instr::Slice { dst, a, lo: p1.max(0) as u32, mask: rm.mask() })
+                    }
+                    // A static left shift is concatenation with an empty low part:
+                    // shift the operand into place and mask to the saturating result
+                    // width. Over-shifts of 128+ stay generic (they zero the word).
+                    Shl if p0.max(0) < 128 => {
+                        let zero = self.constant(EvalValue::new(0, 1, false));
+                        let shift = p0.max(0) as u32;
+                        Some(Instr::CatBits { dst, a, b: zero, shift, mask: rm.mask() })
+                    }
                     // Reinterpreting casts keep the bit pattern when the width is
                     // unchanged; the metadata difference is already in the slot shape.
                     AsUInt | AsSInt => Some(Instr::CopyMask { dst, src: a, mask: rm.mask() }),

@@ -1,4 +1,4 @@
-//! The execution-engine seam: one trait, two implementations.
+//! The execution-engine seam: one trait, three implementations.
 //!
 //! [`SimEngine`] abstracts over *how* a lowered netlist is executed, so every consumer
 //! of simulation — the testbench runner, the functional tester, the benchmark sweeps —
@@ -14,12 +14,18 @@
 //!   hashing or allocation. Sweeps that simulate the same design for thousands of
 //!   cycles amortize the one-time compile many times over.
 //!
-//! Both engines execute the *same* operator kernel ([`crate::eval::apply_prim`]) and
+//! * [`BatchedSimulator`] (selected by [`EngineKind::Batched`]) executes the same
+//!   tape over N independent stimulus lanes in lockstep (structure-of-arrays state);
+//!   through this seam it runs as a 1-lane batch, and the dedicated lane API unlocks
+//!   the batched throughput for sweep workloads.
+//!
+//! All engines execute the *same* operator kernel ([`crate::eval::apply_prim`]) and
 //! are pinned cycle-for-cycle identical by the differential fuzz suite in
 //! `rechisel-benchsuite`.
 
 use rechisel_firrtl::lower::Netlist;
 
+use crate::batched::BatchedSimulator;
 use crate::compiled::CompiledSimulator;
 use crate::simulator::{SimError, Simulator};
 
@@ -171,14 +177,18 @@ pub enum EngineKind {
     /// Levelized instruction-tape engine ([`CompiledSimulator`]).
     #[default]
     Compiled,
+    /// Lane-batched tape engine ([`BatchedSimulator`]); a 1-lane batch through this
+    /// seam, with the full lane API available on the concrete type.
+    Batched,
 }
 
 impl EngineKind {
-    /// A short display name (`"interp"` / `"compiled"`).
+    /// A short display name (`"interp"` / `"compiled"` / `"batched"`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Interp => "interp",
             EngineKind::Compiled => "compiled",
+            EngineKind::Batched => "batched",
         }
     }
 
@@ -186,13 +196,15 @@ impl EngineKind {
     ///
     /// # Errors
     ///
-    /// [`EngineKind::Compiled`] returns [`SimError::Eval`] when the netlist cannot be
-    /// compiled to a tape (dangling references or non-ground expressions — conditions
-    /// the interpreter would only report at evaluation time).
+    /// [`EngineKind::Compiled`] and [`EngineKind::Batched`] return [`SimError::Eval`]
+    /// when the netlist cannot be compiled to a tape (dangling references or
+    /// non-ground expressions — conditions the interpreter would only report at
+    /// evaluation time).
     pub fn simulator(self, netlist: &Netlist) -> Result<Box<dyn SimEngine>, SimError> {
         match self {
             EngineKind::Interp => Ok(Box::new(Simulator::new(netlist.clone()))),
             EngineKind::Compiled => Ok(Box::new(CompiledSimulator::new(netlist)?)),
+            EngineKind::Batched => Ok(Box::new(BatchedSimulator::new(netlist, 1)?)),
         }
     }
 }
@@ -224,7 +236,7 @@ mod tests {
 
     #[test]
     fn both_kinds_drive_the_same_trait_object_protocol() {
-        for kind in [EngineKind::Interp, EngineKind::Compiled] {
+        for kind in [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched] {
             let mut sim = kind.simulator(&counter()).unwrap();
             assert!(sim.has_reset());
             sim.reset(2).unwrap();
@@ -241,5 +253,6 @@ mod tests {
         assert_eq!(EngineKind::default(), EngineKind::Compiled);
         assert_eq!(EngineKind::Interp.name(), "interp");
         assert_eq!(EngineKind::Compiled.to_string(), "compiled");
+        assert_eq!(EngineKind::Batched.to_string(), "batched");
     }
 }

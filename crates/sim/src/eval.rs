@@ -4,6 +4,15 @@
 //! `rechisel_firrtl::lower`) against an environment mapping signal names to bit values.
 //! Values are stored as `u128` bit patterns masked to the signal width; signed
 //! interpretation happens locally inside the operations that need it.
+//!
+//! # Word-size semantics
+//!
+//! The physical word is [`WORD_BITS`] (= 128) bits. Operator result widths saturate at
+//! the word size (an `add` of two 128-bit values still produces a 128-bit result, i.e.
+//! arithmetic is performed modulo 2^128), and shifting by the word size or more yields
+//! zero for logical shifts and sign-fill for arithmetic shifts — never a panic or a
+//! wrapped shift amount. Every engine (interpreter, compiled tape, batched lanes) runs
+//! through [`apply_prim`], so these rules hold uniformly.
 
 use std::collections::BTreeMap;
 
@@ -16,7 +25,7 @@ use rechisel_firrtl::lower::SignalInfo;
 pub struct EvalValue {
     /// Bit pattern, masked to `width`.
     pub bits: u128,
-    /// Width in bits (1..=64 in practice).
+    /// Width in bits (0..=[`WORD_BITS`]; operator results saturate at the word size).
     pub width: u32,
     /// Two's-complement signed interpretation.
     pub signed: bool,
@@ -34,29 +43,44 @@ impl EvalValue {
     }
 
     /// Signed (two's complement) interpretation of the bit pattern.
+    ///
+    /// Sign-extends through bit 127 with a shift pair rather than subtracting
+    /// `1 << width` — the subtraction form overflows `i128` at width 127, and at
+    /// width 128 the bit pattern already *is* the two's-complement value.
     pub fn as_i128(&self) -> i128 {
         if self.signed && self.width > 0 && self.width < 128 {
-            let sign_bit = 1u128 << (self.width - 1);
-            if self.bits & sign_bit != 0 {
-                (self.bits as i128) - (1i128 << self.width)
-            } else {
-                self.bits as i128
-            }
+            let shift = 128 - self.width;
+            ((self.bits << shift) as i128) >> shift
         } else {
             self.bits as i128
         }
     }
 }
 
+/// The physical word size in bits: values are stored as `u128` bit patterns, so
+/// operator result widths saturate here and wider arithmetic wraps modulo 2^128.
+pub const WORD_BITS: u32 = 128;
+
 /// Masks `bits` to the lowest `width` bits.
 pub fn mask(bits: u128, width: u32) -> u128 {
     if width == 0 {
         0
-    } else if width >= 128 {
+    } else if width >= WORD_BITS {
         bits
     } else {
         bits & ((1u128 << width) - 1)
     }
+}
+
+/// Shifts `bits` left by `amount`, yielding zero once the shift amount reaches the
+/// word size (a raw `<<` would panic in debug builds and wrap the amount in release).
+pub fn shl_bits(bits: u128, amount: u32) -> u128 {
+    bits.checked_shl(amount).unwrap_or(0)
+}
+
+/// Logical right shift with the same over-shift-to-zero guarantee as [`shl_bits`].
+pub fn shr_bits(bits: u128, amount: u32) -> u128 {
+    bits.checked_shr(amount).unwrap_or(0)
 }
 
 /// Contents and physical properties of one memory during interpretation.
@@ -224,19 +248,19 @@ pub fn apply_prim(op: PrimOp, a: EvalValue, b: Option<EvalValue>, params: &[i64]
     match op {
         Add => {
             let b = b.expect("binary op");
-            let w = a.width.max(b.width) + 1;
+            let w = a.width.max(b.width).saturating_add(1).min(WORD_BITS);
             let signed = a.signed || b.signed;
-            EvalValue::new((a.as_i128().wrapping_add(b.as_i128())) as u128, w.min(127), signed)
+            EvalValue::new((a.as_i128().wrapping_add(b.as_i128())) as u128, w, signed)
         }
         Sub => {
             let b = b.expect("binary op");
-            let w = a.width.max(b.width) + 1;
+            let w = a.width.max(b.width).saturating_add(1).min(WORD_BITS);
             let signed = a.signed || b.signed;
-            EvalValue::new((a.as_i128().wrapping_sub(b.as_i128())) as u128, w.min(127), signed)
+            EvalValue::new((a.as_i128().wrapping_sub(b.as_i128())) as u128, w, signed)
         }
         Mul => {
             let b = b.expect("binary op");
-            let w = (a.width + b.width).min(127);
+            let w = a.width.saturating_add(b.width).min(WORD_BITS);
             let signed = a.signed || b.signed;
             EvalValue::new((a.as_i128().wrapping_mul(b.as_i128())) as u128, w, signed)
         }
@@ -250,7 +274,7 @@ pub fn apply_prim(op: PrimOp, a: EvalValue, b: Option<EvalValue>, params: &[i64]
             } else {
                 a.as_u128() / b.as_u128()
             };
-            EvalValue::new(value, a.width + u32::from(signed), signed)
+            EvalValue::new(value, a.width.saturating_add(u32::from(signed)).min(WORD_BITS), signed)
         }
         Rem => {
             let b = b.expect("binary op");
@@ -297,39 +321,49 @@ pub fn apply_prim(op: PrimOp, a: EvalValue, b: Option<EvalValue>, params: &[i64]
             1,
             false,
         ),
+        // Shift semantics (explicit, shared by every engine): the result width
+        // saturates at the word size, a logical over-shift yields zero, and an
+        // arithmetic right over-shift yields pure sign fill.
         Shl => {
             let amount = params[0].max(0) as u32;
-            EvalValue::new(a.bits << amount.min(100), a.width + amount, a.signed)
+            let w = a.width.saturating_add(amount).min(WORD_BITS);
+            EvalValue::new(shl_bits(a.bits, amount), w, a.signed)
         }
         Shr => {
             let amount = params[0].max(0) as u32;
             let value = if a.signed {
-                (a.as_i128() >> amount.min(100)) as u128
+                (a.as_i128() >> amount.min(WORD_BITS - 1)) as u128
             } else {
-                a.bits >> amount.min(100)
+                shr_bits(a.bits, amount)
             };
             EvalValue::new(value, a.width.saturating_sub(amount).max(1), a.signed)
         }
         Dshl => {
             let b = b.expect("binary op");
-            let amount = (b.as_u128().min(100)) as u32;
-            EvalValue::new(a.bits << amount, (a.width + amount).min(127), a.signed)
+            let amount = b.as_u128().min(u128::from(WORD_BITS)) as u32;
+            let w = a.width.saturating_add(amount).min(WORD_BITS);
+            EvalValue::new(shl_bits(a.bits, amount), w, a.signed)
         }
         Dshr => {
             let b = b.expect("binary op");
-            let amount = (b.as_u128().min(127)) as u32;
-            let value = if a.signed { (a.as_i128() >> amount) as u128 } else { a.bits >> amount };
+            let amount = b.as_u128().min(u128::from(WORD_BITS)) as u32;
+            let value = if a.signed {
+                (a.as_i128() >> amount.min(WORD_BITS - 1)) as u128
+            } else {
+                shr_bits(a.bits, amount)
+            };
             EvalValue::new(value, a.width, a.signed)
         }
         Cat => {
             let b = b.expect("binary op");
-            EvalValue::new((a.bits << b.width) | b.bits, a.width + b.width, false)
+            let w = a.width.saturating_add(b.width).min(WORD_BITS);
+            EvalValue::new(shl_bits(a.bits, b.width) | b.bits, w, false)
         }
         Bits => {
             let hi = params[0].max(0) as u32;
             let lo = params[1].max(0) as u32;
-            let w = hi.saturating_sub(lo) + 1;
-            EvalValue::new(a.bits >> lo, w, false)
+            let w = (hi.saturating_sub(lo) + 1).min(WORD_BITS);
+            EvalValue::new(shr_bits(a.bits, lo), w, false)
         }
         AndR => EvalValue::new(u128::from(a.bits == mask(u128::MAX, a.width)), 1, false),
         OrR => EvalValue::new(u128::from(a.bits != 0), 1, false),
@@ -339,10 +373,14 @@ pub fn apply_prim(op: PrimOp, a: EvalValue, b: Option<EvalValue>, params: &[i64]
         AsBool => EvalValue::new(a.bits & 1, 1, false),
         AsClock => EvalValue::new(a.bits & 1, 1, false),
         AsAsyncReset => EvalValue::new(a.bits & 1, 1, false),
-        Neg => EvalValue::new((-a.as_i128()) as u128, a.width + 1, true),
+        Neg => EvalValue::new(
+            a.as_i128().wrapping_neg() as u128,
+            a.width.saturating_add(1).min(WORD_BITS),
+            true,
+        ),
         Pad => {
             let target = params[0].max(0) as u32;
-            let w = a.width.max(target);
+            let w = a.width.max(target).min(WORD_BITS);
             let value = if a.signed { a.as_i128() as u128 } else { a.bits };
             EvalValue::new(value, w, a.signed)
         }
@@ -355,7 +393,7 @@ pub fn apply_prim(op: PrimOp, a: EvalValue, b: Option<EvalValue>, params: &[i64]
             let keep = params[0].max(0) as u32;
             let keep = keep.max(1);
             let shift = a.width.saturating_sub(keep);
-            EvalValue::new(a.bits >> shift, keep, false)
+            EvalValue::new(shr_bits(a.bits, shift), keep, false)
         }
     }
 }
@@ -655,6 +693,91 @@ mod tests {
         let v = eval(&trunc, &[("a", 0b1000, 4, true), ("b", 0b0111, 4, true)]);
         assert_eq!(v.bits, 1);
         assert_eq!(v.width, 4);
+    }
+
+    #[test]
+    fn mask_and_sign_at_the_word_boundary() {
+        // Widths 127 and 128 exercise the `1u128 << width` hazards directly.
+        assert_eq!(mask(u128::MAX, 127), u128::MAX >> 1);
+        assert_eq!(mask(u128::MAX, 128), u128::MAX);
+        assert_eq!(shl_bits(1, 127), 1u128 << 127);
+        assert_eq!(shl_bits(u128::MAX, 128), 0);
+        assert_eq!(shr_bits(u128::MAX, 127), 1);
+        assert_eq!(shr_bits(u128::MAX, 128), 0);
+        // Signed interpretation: the sign bit of a 127-bit value is bit 126; of a
+        // 128-bit value it is bit 127 (plain two's-complement reinterpretation).
+        let v = EvalValue::new(1u128 << 126, 127, true);
+        assert_eq!(v.as_i128(), -(1i128 << 126));
+        let v = EvalValue::new(u128::MAX, 128, true);
+        assert_eq!(v.as_i128(), -1);
+        let v = EvalValue::new(u128::MAX >> 1, 128, true);
+        assert_eq!(v.as_i128(), i128::MAX);
+    }
+
+    #[test]
+    fn wide_shifts_saturate_instead_of_panicking() {
+        let wide = EvalValue::new(u128::MAX, 128, false);
+        // shl result width saturates at the word size; shifted-out bits are dropped.
+        let v = apply_prim(PrimOp::Shl, wide, None, &[1]);
+        assert_eq!((v.bits, v.width), (u128::MAX - 1, 128));
+        let v = apply_prim(PrimOp::Shl, wide, None, &[128]);
+        assert_eq!((v.bits, v.width), (0, 128));
+        // A 120-bit shift amount used to be silently clamped to 100.
+        let v = apply_prim(PrimOp::Shr, wide, None, &[120]);
+        assert_eq!(v.bits, 0xFF);
+        let v = apply_prim(PrimOp::Shr, wide, None, &[200]);
+        assert_eq!(v.bits, 0);
+        // Arithmetic right over-shift is pure sign fill.
+        let sneg = EvalValue::new(u128::MAX, 128, true);
+        let v = apply_prim(PrimOp::Shr, sneg, None, &[500]);
+        assert_eq!(v.as_i128(), -1);
+    }
+
+    #[test]
+    fn dynamic_shifts_at_width_128() {
+        let wide = EvalValue::new(u128::MAX, 128, false);
+        let amt = |n: u128| Some(EvalValue::new(n, 8, false));
+        // dshl result width saturates at 128 (not the old 127), so a 1-bit shift of a
+        // 127-bit value keeps its top bit.
+        let narrow = EvalValue::new(1u128 << 126, 127, false);
+        let v = apply_prim(PrimOp::Dshl, narrow, amt(1), &[]);
+        assert_eq!((v.bits, v.width), (1u128 << 127, 128));
+        // Over-shift yields zero instead of clamping the amount to 100.
+        let v = apply_prim(PrimOp::Dshl, wide, amt(120), &[]);
+        assert_eq!(v.bits, u128::MAX << 120);
+        let big = Some(EvalValue::new(200, 16, false));
+        assert_eq!(apply_prim(PrimOp::Dshl, wide, big, &[]).bits, 0);
+        assert_eq!(apply_prim(PrimOp::Dshr, wide, big, &[]).bits, 0);
+        let v = apply_prim(PrimOp::Dshr, wide, amt(127), &[]);
+        assert_eq!(v.bits, 1);
+        // Signed dynamic over-shift sign-fills.
+        let sneg = EvalValue::new(u128::MAX, 128, true);
+        assert_eq!(apply_prim(PrimOp::Dshr, sneg, big, &[]).as_i128(), -1);
+    }
+
+    #[test]
+    fn cat_add_and_neg_at_the_word_boundary() {
+        let wide = EvalValue::new(u128::MAX, 128, false);
+        let one = EvalValue::new(1, 128, false);
+        // Cat with a 128-bit rhs keeps only the rhs (lhs is shifted past the word).
+        let v = apply_prim(PrimOp::Cat, one, Some(wide), &[]);
+        assert_eq!((v.bits, v.width), (u128::MAX, 128));
+        // Cat of 127+1 bits fills the word exactly.
+        let hi = EvalValue::new(u128::MAX >> 1, 127, false);
+        let lo1 = EvalValue::new(1, 1, false);
+        let v = apply_prim(PrimOp::Cat, hi, Some(lo1), &[]);
+        assert_eq!((v.bits, v.width), (u128::MAX, 128));
+        // Add at width 128 wraps modulo 2^128 (result width saturates at the word).
+        let v = apply_prim(PrimOp::Add, wide, Some(one), &[]);
+        assert_eq!((v.bits, v.width), (0, 128));
+        // Mul of two 64-bit values lands exactly on the word boundary.
+        let m = EvalValue::new(u64::MAX as u128, 64, false);
+        let v = apply_prim(PrimOp::Mul, m, Some(m), &[]);
+        assert_eq!((v.bits, v.width), ((u64::MAX as u128).wrapping_mul(u64::MAX as u128), 128));
+        // Neg of the most negative 128-bit value wraps instead of panicking.
+        let min = EvalValue::new(1u128 << 127, 128, true);
+        let v = apply_prim(PrimOp::Neg, min, None, &[]);
+        assert_eq!((v.bits, v.width), (1u128 << 127, 128));
     }
 
     #[test]

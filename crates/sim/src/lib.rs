@@ -6,12 +6,14 @@
 //!
 //! The crate provides:
 //!
-//! * [`SimEngine`] — the execution-engine trait, with two implementations selectable
-//!   via [`EngineKind`]:
-//!   [`Simulator`] (tree-walking interpreter, the semantic reference) and
+//! * [`SimEngine`] — the execution-engine trait, with three implementations
+//!   selectable via [`EngineKind`]:
+//!   [`Simulator`] (tree-walking interpreter, the semantic reference),
 //!   [`CompiledSimulator`] (a levelized instruction [`Tape`] with slot-indexed state —
 //!   no hashing or allocation per cycle, typically an order of magnitude faster;
-//!   compile once, simulate many).
+//!   compile once, simulate many), and [`BatchedSimulator`] (N independent stimulus
+//!   lanes through one tape in lockstep — structure-of-arrays state that amortizes
+//!   instruction dispatch over the whole batch).
 //! * [`Testbench`] / [`FunctionalPoint`] — stimulus description, including seeded random
 //!   stimulus generation.
 //! * [`run_testbench`] / [`run_testbench_with`] / [`run_testbench_on`] —
@@ -44,17 +46,20 @@
 
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod compiled;
 pub mod engine;
 pub mod eval;
 pub mod simulator;
 pub mod testbench;
 
+pub use batched::BatchedSimulator;
 pub use compiled::{CompiledSimulator, Tape};
 pub use engine::{EngineKind, SimEngine};
 pub use eval::{apply_prim, eval_expr, EvalError, EvalValue};
 pub use simulator::{SimError, Simulator};
 pub use testbench::{
-    run_testbench, run_testbench_on, run_testbench_with, FunctionalPoint, PointFailure, SimReport,
+    record_reference_trace, run_testbench, run_testbench_against_trace, run_testbench_batched,
+    run_testbench_on, run_testbench_with, FunctionalPoint, OutputTrace, PointFailure, SimReport,
     Testbench,
 };

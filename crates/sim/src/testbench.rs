@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use rechisel_firrtl::lower::Netlist;
 
+use crate::batched::BatchedSimulator;
 use crate::engine::{EngineKind, SimEngine};
 use crate::simulator::{SimError, Simulator};
 
@@ -63,6 +64,15 @@ impl Testbench {
     /// Number of points that perform a check.
     pub fn checked_points(&self) -> usize {
         self.points.iter().filter(|p| p.check).count()
+    }
+
+    /// True when no point advances the clock — every check is a settled evaluation.
+    ///
+    /// Combinational testbenches are the point-parallel regime of
+    /// [`run_testbench_batched`]: checked points are independent given the post-reset
+    /// state, so they can ride separate lanes of one batched tape walk.
+    pub fn is_combinational(&self) -> bool {
+        self.points.iter().all(|p| p.cycles == 0)
     }
 
     /// Generates a randomized testbench for a netlist interface.
@@ -272,6 +282,155 @@ pub fn run_testbench_on(
                 expected,
                 actual,
             });
+        }
+    }
+    Ok(report)
+}
+
+/// The reference model's outputs at every **checked** point of a testbench, in point
+/// order — a pre-recorded "expected" side for [`run_testbench_against_trace`].
+pub type OutputTrace = Vec<Vec<(String, u128)>>;
+
+/// Walks `testbench` on the reference engine alone and records its outputs at every
+/// checked point.
+///
+/// The trace depends only on the reference and the testbench, so a benchmark case can
+/// record it **once** and compare every candidate DUT (every sample of the case)
+/// against it — one reference tape walk per case instead of one per sample.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the reference simulation fails structurally.
+pub fn record_reference_trace(
+    ref_sim: &mut dyn SimEngine,
+    testbench: &Testbench,
+) -> Result<OutputTrace, SimError> {
+    if testbench.reset_cycles > 0 {
+        ref_sim.reset(testbench.reset_cycles)?;
+    }
+    let mut trace = Vec::with_capacity(testbench.checked_points());
+    for point in &testbench.points {
+        for (name, value) in &point.inputs {
+            let _ = ref_sim.poke(name, *value);
+        }
+        if point.cycles == 0 {
+            ref_sim.eval()?;
+        } else {
+            ref_sim.step_n(point.cycles)?;
+        }
+        if point.check {
+            trace.push(ref_sim.outputs());
+        }
+    }
+    Ok(trace)
+}
+
+/// Runs `testbench` on a DUT engine alone, comparing every checked point against a
+/// pre-recorded reference [`OutputTrace`].
+///
+/// Produces a report bit-identical to [`run_testbench_on`] with a live reference —
+/// same poke-skipping rules, same failure details — but the reference side is read
+/// from the trace instead of re-simulated per DUT.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the DUT simulation fails structurally. Functional
+/// mismatches are *not* errors; they are reported in the returned [`SimReport`].
+pub fn run_testbench_against_trace(
+    dut_sim: &mut dyn SimEngine,
+    trace: &OutputTrace,
+    testbench: &Testbench,
+) -> Result<SimReport, SimError> {
+    if testbench.reset_cycles > 0 {
+        dut_sim.reset(testbench.reset_cycles)?;
+    }
+    let mut report = SimReport::default();
+    let mut expected_at = trace.iter();
+    for (index, point) in testbench.points.iter().enumerate() {
+        for (name, value) in &point.inputs {
+            let _ = dut_sim.poke(name, *value);
+        }
+        if point.cycles == 0 {
+            dut_sim.eval()?;
+        } else {
+            dut_sim.step_n(point.cycles)?;
+        }
+        if !point.check {
+            continue;
+        }
+        report.total_points += 1;
+        let expected = expected_at.next().expect("trace covers every checked point").clone();
+        let actual = dut_sim.outputs();
+        if expected != actual {
+            report.failures.push(PointFailure {
+                index,
+                inputs: point.inputs.clone(),
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Runs a **combinational** testbench through a [`BatchedSimulator`], evaluating up to
+/// `lanes` checked points per tape walk, against a pre-recorded reference trace.
+///
+/// Each checked point rides its own lane: the lane replays the chronological poke
+/// prefix of its point (reproducing the serial input-persistence semantics, including
+/// pokes that do not apply to this DUT and leave the previous value in place), then a
+/// single `eval` settles the whole chunk. The report is bit-identical to the serial
+/// [`run_testbench_against_trace`] walk.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] only if the reset preamble fails structurally (cannot happen
+/// for tapes produced by `Tape::compile`).
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `testbench` is not combinational — sequential points
+/// carry state between points and cannot be lane-parallelized.
+pub fn run_testbench_batched(
+    dut_sim: &mut BatchedSimulator,
+    trace: &OutputTrace,
+    testbench: &Testbench,
+) -> Result<SimReport, SimError> {
+    debug_assert!(testbench.is_combinational(), "batched point-parallel runs are comb-only");
+    let lanes = dut_sim.lanes();
+    if testbench.reset_cycles > 0 {
+        dut_sim.reset(testbench.reset_cycles)?;
+    }
+    let checked: Vec<usize> = testbench
+        .points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.check)
+        .map(|(index, _)| index)
+        .collect();
+    let mut report = SimReport::default();
+    let mut expected_at = trace.iter();
+    for chunk in checked.chunks(lanes) {
+        for (lane, &pi) in chunk.iter().enumerate() {
+            for point in &testbench.points[..=pi] {
+                for (name, value) in &point.inputs {
+                    let _ = dut_sim.poke(lane, name, *value);
+                }
+            }
+        }
+        dut_sim.eval();
+        for (lane, &pi) in chunk.iter().enumerate() {
+            report.total_points += 1;
+            let expected = expected_at.next().expect("trace covers every checked point").clone();
+            let actual = dut_sim.outputs(lane);
+            if expected != actual {
+                report.failures.push(PointFailure {
+                    index: pi,
+                    inputs: testbench.points[pi].inputs.clone(),
+                    expected,
+                    actual,
+                });
+            }
         }
     }
     Ok(report)
