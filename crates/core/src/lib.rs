@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod artifact;
 pub mod candidate;
 pub mod engine;
 pub mod feedback;
@@ -49,6 +50,7 @@ pub mod trace;
 pub mod workflow;
 
 pub use agents::{Generator, Inspector, Reviewer, TemplateReviewer, TraceInspector};
+pub use artifact::{ArtifactCache, CacheStats, CircuitArtifacts};
 pub use candidate::Candidate;
 pub use engine::{
     CollectingObserver, Engine, EngineBuilder, NullObserver, Observer, RunEvent, RunEventKind,

@@ -128,10 +128,33 @@ impl FunctionalTester {
         }
     }
 
+    /// Creates a tester whose reference tape is already compiled — e.g. pulled from
+    /// a shared [`ArtifactCache`](crate::ArtifactCache) — so this tester (and every
+    /// clone) never compiles the reference netlist itself.
+    ///
+    /// `tape` must be the compilation result of `reference`; passing a mismatched
+    /// tape produces nonsense reference traces.
+    pub fn with_shared_tape(
+        reference: Netlist,
+        testbench: Testbench,
+        tape: Result<Arc<Tape>, SimError>,
+    ) -> Self {
+        let tester = Self::new(reference, testbench);
+        tester.reference_tape.set(tape).expect("fresh tester has an empty tape cell");
+        tester
+    }
+
     /// Switches the execution engine, keeping the (shared) compiled-tape cache.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// The compiled reference tape shared across clones of this tester, compiling it
+    /// on first use. Public so callers can verify tape sharing (`Arc::ptr_eq`) and
+    /// so the serving layer can surface tape-compile errors directly.
+    pub fn shared_tape(&self) -> Result<Arc<Tape>, SimError> {
+        self.reference_tape()
     }
 
     /// The execution engine used by [`test`](Self::test).

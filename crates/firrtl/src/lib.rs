@@ -52,6 +52,7 @@
 
 pub mod check;
 pub mod diagnostics;
+pub mod fingerprint;
 pub mod ir;
 pub mod lower;
 pub mod passes;
@@ -62,6 +63,7 @@ pub mod typeenv;
 
 pub use check::{check_circuit, check_circuit_with, CheckOptions};
 pub use diagnostics::{Diagnostic, DiagnosticReport, ErrorCode, Severity};
+pub use fingerprint::Fingerprint;
 pub use ir::{Circuit, Expression, Module, ModuleKind, Port, PrimOp, SourceInfo, Statement, Type};
 pub use lower::{
     lower_circuit, MemSlot, NetDef, NetMem, NetMemWrite, NetPort, NetReg, Netlist, SignalInfo,

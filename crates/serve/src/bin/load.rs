@@ -1,0 +1,434 @@
+//! `rechisel-load` — deterministic load generator for `rechisel-serve`.
+//!
+//! Spawns N concurrent clients that drive `run_session` (or `compile`/`simulate`)
+//! requests against a server, in closed loop (next request after the previous
+//! reply) or open loop (each client pipelines all its requests, then drains the
+//! interleaved replies). Case/sample choice is derived from `--seed`, so a run is
+//! reproducible. Every request is accounted for: a terminal reply (ok, busy or
+//! typed error) must arrive for each, and any transport/protocol failure fails
+//! the run.
+//!
+//! ```text
+//! rechisel-load --addr HOST:PORT [--clients N] [--sessions N] [--mode closed|open]
+//!               [--op run_session|compile|simulate] [--cases N] [--seed N]
+//!               [--max-iterations N] [--model NAME]
+//!               [--expect-min-inflight N] [--expect-busy] [--expect-zero-errors]
+//!               [--expect-hit-rate-above F] [--shutdown-server]
+//! ```
+//!
+//! Exit status: 0 when every `--expect-*` assertion holds (and no request was
+//! dropped), 1 otherwise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rechisel_serve::client::{Client, ClientError, SessionRequest};
+
+#[derive(Debug, Clone)]
+struct Options {
+    addr: String,
+    clients: usize,
+    sessions: usize,
+    open_loop: bool,
+    op: String,
+    cases: usize,
+    seed: u64,
+    max_iterations: u32,
+    model: Option<String>,
+    expect_min_inflight: Option<u64>,
+    expect_busy: bool,
+    expect_zero_errors: bool,
+    expect_hit_rate_above: Option<f64>,
+    shutdown_server: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4547".into(),
+            clients: 8,
+            sessions: 4,
+            open_loop: false,
+            op: "run_session".into(),
+            cases: 8,
+            seed: 42,
+            max_iterations: 2,
+            model: None,
+            expect_min_inflight: None,
+            expect_busy: false,
+            expect_zero_errors: false,
+            expect_hit_rate_above: None,
+            shutdown_server: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rechisel-load --addr HOST:PORT [--clients N] [--sessions N] \
+         [--mode closed|open] [--op run_session|compile|simulate] [--cases N] [--seed N] \
+         [--max-iterations N] [--model NAME] [--expect-min-inflight N] [--expect-busy] \
+         [--expect-zero-errors] [--expect-hit-rate-above F] [--shutdown-server]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--clients" => opts.clients = num(&value("--clients"), "--clients"),
+            "--sessions" => opts.sessions = num(&value("--sessions"), "--sessions"),
+            "--mode" => match value("--mode").as_str() {
+                "closed" => opts.open_loop = false,
+                "open" => opts.open_loop = true,
+                other => {
+                    eprintln!("unknown mode `{other}`");
+                    usage()
+                }
+            },
+            "--op" => opts.op = value("--op"),
+            "--cases" => opts.cases = num(&value("--cases"), "--cases"),
+            "--seed" => opts.seed = num(&value("--seed"), "--seed"),
+            "--max-iterations" => {
+                opts.max_iterations = num(&value("--max-iterations"), "--max-iterations")
+            }
+            "--model" => opts.model = Some(value("--model")),
+            "--expect-min-inflight" => {
+                opts.expect_min_inflight =
+                    Some(num(&value("--expect-min-inflight"), "--expect-min-inflight"))
+            }
+            "--expect-busy" => opts.expect_busy = true,
+            "--expect-zero-errors" => opts.expect_zero_errors = true,
+            "--expect-hit-rate-above" => {
+                opts.expect_hit_rate_above =
+                    Some(num(&value("--expect-hit-rate-above"), "--expect-hit-rate-above"))
+            }
+            "--shutdown-server" => opts.shutdown_server = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if !matches!(opts.op.as_str(), "run_session" | "compile" | "simulate") {
+        eprintln!("unknown op `{}`", opts.op);
+        usage();
+    }
+    if opts.open_loop && opts.op != "run_session" {
+        eprintln!("--mode open supports only --op run_session");
+        usage();
+    }
+    opts
+}
+
+fn num<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value `{text}` for {flag}");
+        usage()
+    })
+}
+
+/// splitmix64: the deterministic per-request RNG (same algorithm as the vendored
+/// rand stub, re-rolled here so the binary does not depend on it).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shared tallies across client threads.
+#[derive(Default)]
+struct Tally {
+    sent: AtomicU64,
+    replied: AtomicU64,
+    ok: AtomicU64,
+    busy: AtomicU64,
+    server_errors: AtomicU64,
+    transport_errors: AtomicU64,
+    events: AtomicU64,
+    inflight: AtomicU64,
+    inflight_high_water: AtomicU64,
+}
+
+impl Tally {
+    fn inflight_up(&self) {
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight_high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn inflight_down(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let case_pool: Vec<String> = rechisel_benchsuite_case_ids(opts.cases);
+    if case_pool.is_empty() {
+        eprintln!("rechisel-load: empty case pool");
+        std::process::exit(1);
+    }
+
+    let tally = Arc::new(Tally::default());
+    // Barrier 1: every client connected and committed before anyone sends.
+    // Barrier 2 (open loop only): every client finished sending before anyone
+    // reads a terminal reply — at that instant ALL requests are in flight, which
+    // makes the `--expect-min-inflight` measurement deterministic.
+    let start = Arc::new(Barrier::new(opts.clients));
+    let sent_all = Arc::new(Barrier::new(opts.clients));
+    let latencies = Arc::new(std::sync::Mutex::new(Vec::<Duration>::new()));
+
+    let began = Instant::now();
+    let threads: Vec<_> = (0..opts.clients)
+        .map(|client_index| {
+            let opts = opts.clone();
+            let tally = Arc::clone(&tally);
+            let start = Arc::clone(&start);
+            let sent_all = Arc::clone(&sent_all);
+            let latencies = Arc::clone(&latencies);
+            let case_pool = case_pool.clone();
+            std::thread::spawn(move || {
+                client_thread(
+                    client_index,
+                    &opts,
+                    &case_pool,
+                    &tally,
+                    &start,
+                    &sent_all,
+                    &latencies,
+                )
+            })
+        })
+        .collect();
+    for thread in threads {
+        if thread.join().is_err() {
+            tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let elapsed = began.elapsed();
+
+    // Server-side view, plus optional shutdown.
+    let (hit_rate, server_busy, server_high_water, server_sessions) =
+        match Client::connect_with_retry(opts.addr.as_str(), Duration::from_secs(5)) {
+            Ok(mut client) => {
+                let stats = client.stats().ok();
+                if opts.shutdown_server {
+                    let _ = client.shutdown_server();
+                }
+                match stats {
+                    Some(s) => {
+                        (s.cache_hit_rate(), s.server_busy(), s.jobs_high_water(), s.sessions())
+                    }
+                    None => (0.0, 0, 0, 0),
+                }
+            }
+            Err(_) => (0.0, 0, 0, 0),
+        };
+
+    let sent = tally.sent.load(Ordering::Relaxed);
+    let replied = tally.replied.load(Ordering::Relaxed);
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let busy = tally.busy.load(Ordering::Relaxed);
+    let server_errors = tally.server_errors.load(Ordering::Relaxed);
+    let transport_errors = tally.transport_errors.load(Ordering::Relaxed);
+    let events = tally.events.load(Ordering::Relaxed);
+    let high_water = tally.inflight_high_water.load(Ordering::Relaxed);
+
+    let mut lat = latencies.lock().expect("latency list").clone();
+    lat.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if lat.is_empty() {
+            return Duration::ZERO;
+        }
+        lat[(((lat.len() - 1) as f64) * p) as usize]
+    };
+
+    println!(
+        "rechisel-load: {sent} sent, {replied} replied ({ok} ok, {busy} busy, \
+         {server_errors} server errors, {transport_errors} transport errors), {events} events, \
+         {:.1} req/s",
+        replied as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "rechisel-load: client in-flight high-water {high_water}, server high-water \
+         {server_high_water}, server sessions {server_sessions}, server busy {server_busy}, \
+         cache hit-rate {hit_rate:.3}, p50 {:?}, p99 {:?}",
+        pct(0.50),
+        pct(0.99)
+    );
+
+    let mut failed = false;
+    let mut expect = |name: &str, pass: bool| {
+        if !pass {
+            eprintln!("rechisel-load: EXPECTATION FAILED: {name}");
+            failed = true;
+        }
+    };
+    expect("every request replied", replied == sent && transport_errors == 0);
+    if let Some(min) = opts.expect_min_inflight {
+        expect(&format!("in-flight high-water >= {min} (got {high_water})"), high_water >= min);
+    }
+    if opts.expect_busy {
+        expect("at least one busy reply", busy + server_busy > 0);
+    }
+    if opts.expect_zero_errors {
+        expect(
+            &format!("zero errors (got {server_errors} server, {transport_errors} transport)"),
+            server_errors == 0 && transport_errors == 0,
+        );
+    }
+    if let Some(min) = opts.expect_hit_rate_above {
+        expect(&format!("cache hit-rate > {min} (got {hit_rate:.3})"), hit_rate > min);
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// The first `count` suite case ids — the shared vocabulary with the server,
+/// which loads the same suite.
+fn rechisel_benchsuite_case_ids(count: usize) -> Vec<String> {
+    rechisel_benchsuite::sampled_suite(count).into_iter().map(|case| case.id).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_thread(
+    client_index: usize,
+    opts: &Options,
+    case_pool: &[String],
+    tally: &Tally,
+    start: &Barrier,
+    sent_all: &Barrier,
+    latencies: &std::sync::Mutex<Vec<Duration>>,
+) {
+    let mut client = match Client::connect_with_retry(opts.addr.as_str(), Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+            // Unblock the barriers for everyone else.
+            start.wait();
+            if opts.open_loop {
+                sent_all.wait();
+            }
+            return;
+        }
+    };
+    let mut rng = opts.seed ^ ((client_index as u64) << 32).wrapping_add(0x5bd1_e995);
+    let requests: Vec<SessionRequest> = (0..opts.sessions)
+        .map(|_| {
+            let case = &case_pool[(splitmix(&mut rng) as usize) % case_pool.len()];
+            let sample = (splitmix(&mut rng) % 8) as u32;
+            let mut req = SessionRequest::new(case.clone())
+                .sample(sample)
+                .max_iterations(opts.max_iterations);
+            if let Some(model) = &opts.model {
+                req = req.model(model.clone());
+            }
+            req
+        })
+        .collect();
+
+    start.wait();
+    if opts.open_loop {
+        // Send phase: pipeline every request, counting each as in flight.
+        let mut ids = Vec::with_capacity(requests.len());
+        for req in &requests {
+            match client.start_session(req) {
+                Ok(id) => {
+                    ids.push(id);
+                    tally.sent.fetch_add(1, Ordering::Relaxed);
+                    tally.inflight_up();
+                }
+                Err(_) => {
+                    tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        sent_all.wait();
+        let drain_started = Instant::now();
+        match client.drain_sessions(&ids) {
+            Ok(outcomes) => {
+                for (_, outcome) in outcomes {
+                    tally.replied.fetch_add(1, Ordering::Relaxed);
+                    tally.inflight_down();
+                    latencies.lock().expect("latency list").push(drain_started.elapsed());
+                    record_outcome(tally, outcome);
+                }
+            }
+            Err(_) => {
+                // Whatever did not get a terminal reply counts as dropped.
+                tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    } else {
+        for req in &requests {
+            tally.sent.fetch_add(1, Ordering::Relaxed);
+            tally.inflight_up();
+            let sent_at = Instant::now();
+            let outcome: Result<(), ClientError> = match opts.op.as_str() {
+                "compile" => client.compile(&req.case).map(|_| ()),
+                "simulate" => client.simulate(&req.case).map(|_| ()),
+                _ => match client.run_session(req) {
+                    Ok(outcome) => {
+                        tally.events.fetch_add(outcome.events.len() as u64, Ordering::Relaxed);
+                        tally.replied.fetch_add(1, Ordering::Relaxed);
+                        tally.ok.fetch_add(1, Ordering::Relaxed);
+                        tally.inflight_down();
+                        latencies.lock().expect("latency list").push(sent_at.elapsed());
+                        continue;
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            tally.inflight_down();
+            latencies.lock().expect("latency list").push(sent_at.elapsed());
+            match outcome {
+                Ok(()) => {
+                    tally.replied.fetch_add(1, Ordering::Relaxed);
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(ClientError::Server { kind, .. }) => {
+                    tally.replied.fetch_add(1, Ordering::Relaxed);
+                    if kind == "busy" {
+                        tally.busy.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        tally.server_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn record_outcome(tally: &Tally, outcome: Result<rechisel_serve::SessionOutcome, ClientError>) {
+    match outcome {
+        Ok(session) => {
+            tally.ok.fetch_add(1, Ordering::Relaxed);
+            tally.events.fetch_add(session.events.len() as u64, Ordering::Relaxed);
+        }
+        Err(ClientError::Server { kind, .. }) => {
+            if kind == "busy" {
+                tally.busy.fetch_add(1, Ordering::Relaxed);
+            } else {
+                tally.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(_) => {
+            tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

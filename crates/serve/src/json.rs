@@ -1,0 +1,526 @@
+//! A minimal hand-rolled JSON value, parser and serializer.
+//!
+//! The wire protocol is newline-delimited JSON, and the workspace deliberately has
+//! no real serde (the `vendor/serde` stub is a no-op marker crate) — so the serving
+//! layer carries its own ~200-line recursive-descent implementation. It supports
+//! the full JSON grammar (objects, arrays, strings with escapes incl. `\uXXXX`,
+//! numbers, booleans, null) with a nesting-depth limit so a hostile request line
+//! cannot blow the stack.
+//!
+//! Numbers are kept as `f64`; every quantity the protocol carries (ids, iteration
+//! counts, byte sizes) fits in the 53-bit exact-integer range.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Protocol messages are at most a few
+/// levels deep; anything deeper is hostile or corrupt.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+///
+/// Objects use a `BTreeMap` so serialization order is deterministic — handy for
+/// tests that compare encoded lines byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field access; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64` (must be a non-negative exact integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single-line string (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Self {
+        Json::Num(f64::from(n))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with a byte offset for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where it went wrong.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses exactly one JSON value, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{lit}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(map)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}' in object"));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) => {
+                    // Re-decode UTF-8 starting at this byte: the input is a &str, so
+                    // the byte sequence is valid; find the char it starts.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                    let _ = b;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hex4 = |p: &mut Self| -> Result<u32, JsonError> {
+            let mut v = 0u32;
+            for _ in 0..4 {
+                let b = p.bump().ok_or_else(|| p.err("truncated \\u escape"))?;
+                let d = (b as char).to_digit(16).ok_or_else(|| p.err("invalid \\u escape"))?;
+                v = v * 16 + d;
+            }
+            Ok(v)
+        };
+        let first = hex4(self)?;
+        // Surrogate pair handling for non-BMP characters.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let second = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xDC00..0xE000).contains(&first) {
+            Err(self.err("unpaired low surrogate"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_protocol_shaped_messages() {
+        let line = r#"{"op":"run_session","id":7,"case":"hdlbits/vector5","sample":0}"#;
+        let value = parse(line).unwrap();
+        assert_eq!(value.get("op").and_then(Json::as_str), Some("run_session"));
+        assert_eq!(value.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(parse(&value.encode()).unwrap(), value);
+    }
+
+    #[test]
+    fn parses_nested_values_and_escapes() {
+        let value =
+            parse(r#"{"a":[1,2.5,-3e2,true,false,null],"s":"q\"\\\n\u0041\u00e9"}"#).unwrap();
+        let arr = value.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 6);
+        assert_eq!(arr[2], Json::Num(-300.0));
+        assert_eq!(value.get("s").and_then(Json::as_str), Some("q\"\\\nAé"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "unpaired low surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "+1",
+            "1.2.3",
+            "\"abc",
+            "\"\\x\"",
+            "{\"a\":1}extra",
+            "[1 2]",
+            "--1",
+            "1e",
+            "Infinity",
+            "NaN",
+        ] {
+            assert!(parse(bad).is_err(), "input {bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integers_encode_without_fraction() {
+        assert_eq!(Json::Num(42.0).encode(), "42");
+        assert_eq!(Json::Num(1.5).encode(), "1.5");
+        assert_eq!(Json::from(0u64).encode(), "0");
+    }
+
+    #[test]
+    fn object_encoding_is_deterministic() {
+        let a = Json::obj([("b", Json::from(1u64)), ("a", Json::from(2u64))]);
+        assert_eq!(a.encode(), r#"{"a":2,"b":1}"#);
+    }
+
+    #[test]
+    fn control_characters_escape_on_encode() {
+        assert_eq!(Json::Str("\u{0001}".into()).encode(), r#""\u0001""#);
+        assert_eq!(
+            parse(&Json::Str("\u{0001}".into()).encode()).unwrap(),
+            Json::Str("\u{0001}".into())
+        );
+    }
+}

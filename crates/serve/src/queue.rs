@@ -1,0 +1,266 @@
+//! Bounded, sharded work queues with work-stealing.
+//!
+//! The server partitions heavy jobs across a fixed set of shard queues — one per
+//! worker — keyed by a job hash, so same-case jobs tend to land on the same worker
+//! (warm per-case caches). Each queue is bounded: when every shard is full,
+//! [`WorkQueues::try_push`] fails and the caller sends a typed `Busy` reply —
+//! backpressure instead of unbounded memory growth. Workers pop their own shard
+//! first and **steal** from the others when idle, so a skewed key distribution
+//! cannot strand work behind one busy shard.
+//!
+//! The implementation is condvar-based (`Mutex<VecDeque>` per shard) rather than
+//! channel-based: `std::sync::mpsc` has no bounded try-send without a `sync_channel`
+//! per shard, and stealing needs two-ended access anyway.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long an idle worker parks on its own shard before re-scanning for steals
+/// and re-checking the closed flag.
+const IDLE_PARK: Duration = Duration::from_millis(10);
+
+struct Shard<T> {
+    jobs: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// A fixed set of bounded FIFO queues with cross-shard stealing.
+pub struct WorkQueues<T> {
+    shards: Vec<Shard<T>>,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+impl<T> WorkQueues<T> {
+    /// Creates `shards` queues of `capacity` jobs each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `capacity` is zero.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity > 0, "need a non-zero queue capacity");
+        Self {
+            shards: (0..shards)
+                .map(|_| Shard { jobs: Mutex::new(VecDeque::new()), ready: Condvar::new() })
+                .collect(),
+            capacity,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueues on the hinted shard, spilling to the least-loaded other shard when
+    /// the hint is full. Returns the job when every shard is full (the caller's
+    /// backpressure signal) or when the queues are closed.
+    pub fn try_push(&self, hint: usize, job: T) -> Result<(), T> {
+        let n = self.shards.len();
+        let mut job = Some(job);
+        for offset in 0..n {
+            let index = (hint + offset) % n;
+            let shard = &self.shards[index];
+            let mut jobs = shard.jobs.lock().expect("work queue poisoned");
+            // The closed check happens under the shard lock (and `closed` is
+            // SeqCst): a worker that observed `closed` before its final drain scan
+            // can then never miss a concurrently pushed job — the push either
+            // lands before that scan's lock acquisition or observes `closed` and
+            // fails. Checked per shard so a close racing a multi-shard spill scan
+            // cannot slip an insert in late.
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(job.take().expect("job still owned"));
+            }
+            if jobs.len() < self.capacity {
+                jobs.push_back(job.take().expect("job still owned"));
+                drop(jobs);
+                shard.ready.notify_one();
+                return Ok(());
+            }
+        }
+        Err(job.take().expect("job still owned"))
+    }
+
+    /// Jobs currently enqueued across all shards.
+    pub fn depth(&self) -> usize {
+        self.shards.iter().map(|s| s.jobs.lock().expect("work queue poisoned").len()).sum()
+    }
+
+    /// Pops a job for worker `own`: its own shard first, then a steal scan over the
+    /// other shards, then a bounded park on its own condvar. Returns `None` only
+    /// after [`close`](Self::close) once every shard is empty — workers drain
+    /// in-flight work before exiting.
+    pub fn pop(&self, own: usize) -> Option<T> {
+        let n = self.shards.len();
+        loop {
+            // Observe `closed` BEFORE scanning: if it was already set, any push
+            // that could still insert would itself observe `closed` under the
+            // shard lock and fail, so an all-empty scan below is a safe exit.
+            let was_closed = self.closed.load(Ordering::SeqCst);
+            // Own shard first: cheap, and preserves the locality the hash gives us.
+            {
+                let mut jobs = self.shards[own % n].jobs.lock().expect("work queue poisoned");
+                if let Some(job) = jobs.pop_front() {
+                    return Some(job);
+                }
+            }
+            // Steal scan, starting after our own shard for fairness.
+            for offset in 1..n {
+                let mut jobs =
+                    self.shards[(own + offset) % n].jobs.lock().expect("work queue poisoned");
+                if let Some(job) = jobs.pop_front() {
+                    return Some(job);
+                }
+            }
+            if was_closed {
+                return None;
+            }
+            // Park briefly on our own shard; the timeout bounds how stale a steal
+            // opportunity (a push to a different shard) can get.
+            let shard = &self.shards[own % n];
+            let jobs = shard.jobs.lock().expect("work queue poisoned");
+            let _ = shard
+                .ready
+                .wait_timeout_while(jobs, IDLE_PARK, |jobs| jobs.is_empty())
+                .expect("work queue poisoned");
+        }
+    }
+
+    /// Closes the queues: pushes start failing, and workers exit once the remaining
+    /// jobs drain.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.ready.notify_all();
+        }
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_round_trips_in_fifo_order() {
+        let q = WorkQueues::new(1, 8);
+        for i in 0..5 {
+            q.try_push(0, i).unwrap();
+        }
+        assert_eq!(q.depth(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(0), Some(i));
+        }
+    }
+
+    #[test]
+    fn full_queues_reject_with_the_job_returned() {
+        let q = WorkQueues::new(2, 1);
+        q.try_push(0, "a").unwrap();
+        q.try_push(0, "b").unwrap(); // spills to shard 1
+        assert_eq!(q.try_push(0, "c"), Err("c"), "all shards full");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn workers_steal_from_other_shards() {
+        let q = WorkQueues::new(4, 4);
+        q.try_push(2, 99).unwrap();
+        // Worker 0's own shard is empty; it must steal the job from shard 2.
+        assert_eq!(q.pop(0), Some(99));
+    }
+
+    #[test]
+    fn close_drains_remaining_jobs_then_returns_none() {
+        let q = WorkQueues::new(2, 4);
+        q.try_push(0, 1).unwrap();
+        q.try_push(1, 2).unwrap();
+        q.close();
+        assert!(q.try_push(0, 3).is_err(), "closed queues reject pushes");
+        let mut drained = vec![q.pop(0).unwrap(), q.pop(1).unwrap()];
+        drained.sort_unstable();
+        assert_eq!(drained, [1, 2]);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_push_and_on_close() {
+        let q = Arc::new(WorkQueues::new(2, 2));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(job) = q.pop(0) {
+                    got.push(job);
+                }
+                got
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(1, 7).unwrap(); // lands on the other shard; worker must steal it
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(worker.join().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn concurrent_producers_and_stealing_consumers_lose_nothing() {
+        let q = Arc::new(WorkQueues::new(4, 64));
+        let total = 400;
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(job) = q.pop(w) {
+                        got.push(job);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..total / 4 {
+                        let mut job = p * 1000 + i;
+                        loop {
+                            match q.try_push(job % 4, job) {
+                                Ok(()) => break,
+                                Err(j) => {
+                                    job = j;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Let consumers drain, then close.
+        while q.depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        q.close();
+        let mut all: Vec<_> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut expected: Vec<_> =
+            (0..4).flat_map(|p| (0..total / 4).map(move |i| p * 1000 + i)).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected, "every job popped exactly once");
+    }
+}

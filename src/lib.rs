@@ -12,6 +12,8 @@
 //! * [`core`] — the ReChisel agentic workflow (reflection + escape mechanism).
 //! * [`benchsuite`] — 216-case benchmark suite, Pass@k, experiment runners.
 //! * [`autochip`] — the AutoChip direct-Verilog baseline.
+//! * [`serve`] — sharded experiment server (line protocol over TCP) with a
+//!   content-addressed artifact cache, plus the blocking client.
 //!
 //! # Quickstart
 //!
@@ -39,5 +41,6 @@ pub use rechisel_core as core;
 pub use rechisel_firrtl as firrtl;
 pub use rechisel_hcl as hcl;
 pub use rechisel_llm as llm;
+pub use rechisel_serve as serve;
 pub use rechisel_sim as sim;
 pub use rechisel_verilog as verilog;
