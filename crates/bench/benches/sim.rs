@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rechisel_benchsuite::circuits::{fsm, memory, sequential};
+use rechisel_benchsuite::circuits::{cdc, fsm, memory, sequential};
 use rechisel_benchsuite::SourceFamily;
 use rechisel_firrtl::lower::Netlist;
 use rechisel_sim::{BatchedSimulator, CompiledSimulator, Simulator, Tape};
@@ -147,6 +147,21 @@ fn bench_sim(c: &mut Criterion) {
         // The one-time cost the per-case tape cache pays exactly once per sweep.
         c.bench_function(&format!("sim/compile_tape/{label}"), |b| {
             b.iter(|| Tape::compile(&netlist).unwrap())
+        });
+    }
+
+    // Per-domain stepping on a dual-clock design: one write-domain edge of the async
+    // FIFO through the compiled tape. `step_clock` stages every next-state but commits
+    // only the matching domain, so this pins the cost of the domain filter on the
+    // commit loop.
+    {
+        let case = cdc::async_fifo(8, 8, SourceFamily::Rtllm);
+        let netlist = case.reference_netlist().clone();
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        compiled.reset(2).unwrap();
+        poke_ones(&mut |name| compiled.poke(name, 1).unwrap(), &netlist);
+        c.bench_function("sim/cdc_async_fifo/step_clock", |b| {
+            b.iter(|| compiled.step_clock("clk_w").unwrap())
         });
     }
 

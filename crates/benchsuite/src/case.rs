@@ -50,6 +50,8 @@ pub enum Category {
     Fsm,
     /// RAM-backed designs (register files, FIFOs, caches, delay lines).
     Memory,
+    /// Clock-domain-crossing designs (synchronizers, async FIFOs, handshakes).
+    Cdc,
 }
 
 impl std::fmt::Display for Category {
@@ -61,6 +63,7 @@ impl std::fmt::Display for Category {
             Category::Sequential => write!(f, "sequential"),
             Category::Fsm => write!(f, "fsm"),
             Category::Memory => write!(f, "memory"),
+            Category::Cdc => write!(f, "cdc"),
         }
     }
 }

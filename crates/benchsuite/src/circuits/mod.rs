@@ -5,6 +5,7 @@
 //! of the ReChisel paper) is assembled from these generators by [`crate::suite`].
 
 pub mod arithmetic;
+pub mod cdc;
 pub mod combinational;
 pub mod fsm;
 pub mod memory;

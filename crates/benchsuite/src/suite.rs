@@ -4,10 +4,11 @@
 //! to 216 valid module-level cases (§V-A). This module assembles the same number of
 //! cases from the reference-design library, covering the same design categories
 //! (combinational logic, vectors/bit manipulation, arithmetic, sequential logic and
-//! FSMs) and tagging each case with the benchmark family it is modelled after.
+//! FSMs, plus a clock-domain-crossing family exercising the multi-clock simulator) and
+//! tagging each case with the benchmark family it is modelled after.
 
 use crate::case::{BenchmarkCase, SourceFamily};
-use crate::circuits::{arithmetic, combinational, fsm, memory, sequential};
+use crate::circuits::{arithmetic, cdc, combinational, fsm, memory, sequential};
 
 /// The number of cases in the full suite (matching the paper).
 pub const SUITE_SIZE: usize = 216;
@@ -198,6 +199,17 @@ fn all_generated_cases() -> Vec<BenchmarkCase> {
     for w in [3u32, 4, 8, 12, 16] {
         cases.push(combinational::gray_encoder(w, HdlBits));
     }
+    // --- clock-domain crossing ----------------------------------------------------------
+    for w in [1u32, 4, 8] {
+        cases.push(cdc::sync_2ff(w, VerilogEval));
+    }
+    for (w, depth) in [(8u32, 4usize), (4, 8), (8, 8)] {
+        cases.push(cdc::async_fifo(w, depth, Rtllm));
+    }
+    for w in [4u32, 8] {
+        cases.push(cdc::cdc_handshake(w, Rtllm));
+    }
+
     // Gates last: the most redundant variants, dropped first by truncation.
     for op in ["and", "or", "xor", "nand", "nor", "xnor"] {
         for w in [1u32, 2, 3, 4, 5, 6, 8, 12, 16] {
@@ -226,7 +238,7 @@ mod tests {
         let families: BTreeSet<_> = suite.iter().map(|c| c.family).collect();
         assert_eq!(families.len(), 3);
         let categories: BTreeSet<_> = suite.iter().map(|c| c.category).collect();
-        assert_eq!(categories.len(), 6);
+        assert_eq!(categories.len(), 7);
     }
 
     #[test]

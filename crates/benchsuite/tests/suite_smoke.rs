@@ -19,7 +19,7 @@ fn full_suite_enumerates_all_216_cases() {
 
     // Every paper category is represented.
     let categories: BTreeSet<_> = suite.iter().map(|case| case.category).collect();
-    assert_eq!(categories.len(), 6, "expected all six design categories");
+    assert_eq!(categories.len(), 7, "expected all seven design categories");
     let families: BTreeSet<_> = suite.iter().map(|case| case.family).collect();
     assert_eq!(families.len(), 3, "expected all three benchmark families");
 }

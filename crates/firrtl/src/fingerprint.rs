@@ -31,8 +31,8 @@
 use std::fmt;
 
 use crate::ir::{
-    Circuit, ClockSpec, Direction, Expression, Field, Module, ModuleKind, Port, RegReset,
-    Statement, Type,
+    Circuit, ClockSpec, Direction, Expression, Field, Module, ModuleKind, Port, ReadUnderWrite,
+    RegReset, Statement, Type,
 };
 
 /// 128-bit FNV-1a offset basis.
@@ -214,11 +214,30 @@ fn hash_expr(h: &mut Fnv128, expr: &Expression) {
                 h.i128(i128::from(*p));
             }
         }
-        Expression::MemRead { mem, addr, sync } => {
+        Expression::MemRead { mem, addr, sync, en, clock } => {
             h.tag(0x38);
             h.str(mem);
             h.byte(u8::from(*sync));
             hash_expr(h, addr);
+            // Read enables and explicit read clocks are only mixed in when present, so
+            // every pre-existing circuit keeps its pinned digest (cache compatibility).
+            if en.is_some() || clock.is_some() {
+                h.tag(0x3b);
+                match en {
+                    None => h.tag(0),
+                    Some(en) => {
+                        h.tag(1);
+                        hash_expr(h, en);
+                    }
+                }
+                match clock {
+                    None => h.tag(0),
+                    Some(clk) => {
+                        h.tag(1);
+                        hash_expr(h, clk);
+                    }
+                }
+            }
         }
         Expression::ScalaCast { arg, target } => {
             h.tag(0x39);
@@ -296,7 +315,7 @@ fn hash_statement(h: &mut Fnv128, stmt: &Statement) {
                 hash_statement(h, s);
             }
         }
-        Statement::Mem { name, ty, depth, init, info: _ } => {
+        Statement::Mem { name, ty, depth, init, ruw, info: _ } => {
             h.tag(0x66);
             h.str(name);
             hash_type(h, ty);
@@ -310,6 +329,12 @@ fn hash_statement(h: &mut Fnv128, stmt: &Statement) {
                         h.u128(*w);
                     }
                 }
+            }
+            // Non-default read-under-write policies only: keeps pinned digests stable
+            // for every circuit authored before the attribute existed.
+            if *ruw != ReadUnderWrite::Old {
+                h.tag(0x6a);
+                h.str(ruw.name());
             }
         }
         Statement::MemWrite { mem, addr, value, mask, clock, info: _ } => {
@@ -485,12 +510,63 @@ mod tests {
                 ty: Type::uint(8),
                 depth: 4,
                 init,
+                ruw: Default::default(),
                 info: SourceInfo::unknown(),
             });
             Circuit::single(m)
         };
         assert_ne!(mem(None).fingerprint(), mem(Some(vec![0, 0])).fingerprint());
         assert_ne!(mem(Some(vec![1])).fingerprint(), mem(Some(vec![2])).fingerprint());
+    }
+
+    #[test]
+    fn memory_port_attributes_change_the_fingerprint_only_when_non_default() {
+        // A circuit with a sync read and default port attributes must keep the digest
+        // it had before read enables / read clocks / read-under-write existed.
+        let reader = |en: Option<Expression>, clock: Option<Expression>, ruw: ReadUnderWrite| {
+            let mut m = Module::new("R", ModuleKind::Module);
+            m.ports.push(Port::new("clock", Direction::Input, Type::Clock));
+            m.ports.push(Port::new("reset", Direction::Input, Type::bool()));
+            m.ports.push(Port::new("en", Direction::Input, Type::bool()));
+            m.ports.push(Port::new("clk_b", Direction::Input, Type::Clock));
+            m.ports.push(Port::new("out", Direction::Output, Type::uint(8)));
+            m.body.push(Statement::Mem {
+                name: "store".into(),
+                ty: Type::uint(8),
+                depth: 4,
+                init: None,
+                ruw,
+                info: SourceInfo::unknown(),
+            });
+            m.body.push(Statement::Connect {
+                loc: Expression::reference("out"),
+                expr: Expression::MemRead {
+                    mem: "store".into(),
+                    addr: Box::new(Expression::uint_lit_w(0, 2)),
+                    sync: true,
+                    en: en.map(Box::new),
+                    clock: clock.map(Box::new),
+                },
+                info: SourceInfo::unknown(),
+            });
+            Circuit::single(m)
+        };
+
+        let base = reader(None, None, ReadUnderWrite::Old);
+        // Pins the default-attribute encoding: adding the fields must not have
+        // perturbed digests of circuits that don't use them.
+        assert_eq!(base.fingerprint().to_string(), "a256c2ff95f4e8dec949409c84d2a4c9");
+
+        let with_en = reader(Some(Expression::reference("en")), None, ReadUnderWrite::Old);
+        let with_clk = reader(None, Some(Expression::reference("clk_b")), ReadUnderWrite::Old);
+        let with_new = reader(None, None, ReadUnderWrite::New);
+        let with_undef = reader(None, None, ReadUnderWrite::Undefined);
+        assert_ne!(base.fingerprint(), with_en.fingerprint(), "read enable");
+        assert_ne!(base.fingerprint(), with_clk.fingerprint(), "read clock");
+        assert_ne!(base.fingerprint(), with_new.fingerprint(), "ruw new");
+        assert_ne!(base.fingerprint(), with_undef.fingerprint(), "ruw undefined");
+        assert_ne!(with_en.fingerprint(), with_clk.fingerprint(), "en vs clock");
+        assert_ne!(with_new.fingerprint(), with_undef.fingerprint(), "new vs undefined");
     }
 
     #[test]

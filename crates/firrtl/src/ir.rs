@@ -461,8 +461,12 @@ pub enum Expression {
     /// cycle becomes visible one cycle later, exactly like a register update). A
     /// sequential read (`sync: true`, Chisel's `SyncReadMem` behaviour) is registered:
     /// the addressed word is captured at the clock edge and visible one cycle later —
-    /// lowering hoists it into an implicit read register clocked by the module's
-    /// implicit clock. Out-of-range addresses read as zero in both flavours.
+    /// lowering hoists it into an implicit read register in the port's own clock
+    /// domain (`clock`, defaulting to the module's implicit clock), gated by the
+    /// optional read enable `en`, with same-edge write collisions resolved by the
+    /// memory's [`ReadUnderWrite`] attribute. Out-of-range addresses read as zero in
+    /// both flavours. `en` and `clock` apply to sequential ports only (combinational
+    /// reads always carry `None`).
     MemRead {
         /// Name of the memory being read.
         mem: String,
@@ -470,6 +474,14 @@ pub enum Expression {
         addr: Box<Expression>,
         /// True for a 1-cycle registered (sequential) read port.
         sync: bool,
+        /// Optional read enable of a sequential port (1 bit). `None` means always
+        /// enabled. When the enable is low at the port's clock edge the captured
+        /// value is *undefined*; the engines and the emitted Verilog model that
+        /// deterministically as "hold the previous value".
+        en: Option<Box<Expression>>,
+        /// Optional explicit read clock of a sequential port (Chisel's
+        /// `withClock { mem.read(...) }`). `None` means the module's implicit clock.
+        clock: Option<Box<Expression>>,
     },
     /// Defect carrier: a Scala-level `asInstanceOf` cast (Table II row A2). Rejected by
     /// type checking with the corresponding Chisel front-end message.
@@ -520,6 +532,29 @@ impl Expression {
         Expression::Mux { cond: Box::new(cond), tval: Box::new(tval), fval: Box::new(fval) }
     }
 
+    /// Builds a combinational memory read port.
+    pub fn mem_read(mem: impl Into<String>, addr: Expression) -> Self {
+        Expression::MemRead {
+            mem: mem.into(),
+            addr: Box::new(addr),
+            sync: false,
+            en: None,
+            clock: None,
+        }
+    }
+
+    /// Builds a sequential (registered) memory read port on the implicit clock,
+    /// always enabled.
+    pub fn mem_read_sync(mem: impl Into<String>, addr: Expression) -> Self {
+        Expression::MemRead {
+            mem: mem.into(),
+            addr: Box::new(addr),
+            sync: true,
+            en: None,
+            clock: None,
+        }
+    }
+
     /// The root reference name this expression reads or drives, if any.
     ///
     /// `io.out[3]` has root `io`; literals and operations have no root.
@@ -542,7 +577,15 @@ impl Expression {
                 inner.visit(f);
                 idx.visit(f);
             }
-            Expression::MemRead { addr, .. } => addr.visit(f),
+            Expression::MemRead { addr, en, clock, .. } => {
+                addr.visit(f);
+                if let Some(en) = en {
+                    en.visit(f);
+                }
+                if let Some(clock) = clock {
+                    clock.visit(f);
+                }
+            }
             Expression::Mux { cond, tval, fval } => {
                 cond.visit(f);
                 tval.visit(f);
@@ -588,11 +631,17 @@ impl Expression {
                 inner.rename_refs(f);
                 idx.rename_refs(f);
             }
-            Expression::MemRead { mem, addr, .. } => {
+            Expression::MemRead { mem, addr, en, clock, .. } => {
                 if let Some(new) = f(mem) {
                     *mem = new;
                 }
                 addr.rename_refs(f);
+                if let Some(en) = en {
+                    en.rename_refs(f);
+                }
+                if let Some(clock) = clock {
+                    clock.rename_refs(f);
+                }
             }
             Expression::Mux { cond, tval, fval } => {
                 cond.rename_refs(f);
@@ -628,9 +677,16 @@ impl fmt::Display for Expression {
             Expression::SIntLiteral { value, width: Some(w) } => write!(f, "SInt<{w}>({value})"),
             Expression::SIntLiteral { value, width: None } => write!(f, "SInt({value})"),
             Expression::Mux { cond, tval, fval } => write!(f, "mux({cond}, {tval}, {fval})"),
-            Expression::MemRead { mem, addr, sync: false } => write!(f, "read({mem}, {addr})"),
-            Expression::MemRead { mem, addr, sync: true } => {
-                write!(f, "read_sync({mem}, {addr})")
+            Expression::MemRead { mem, addr, sync: false, .. } => write!(f, "read({mem}, {addr})"),
+            Expression::MemRead { mem, addr, sync: true, en, clock } => {
+                write!(f, "read_sync({mem}, {addr}")?;
+                if let Some(en) = en {
+                    write!(f, ", en={en}")?;
+                }
+                if let Some(clock) = clock {
+                    write!(f, ", clock={clock}")?;
+                }
+                write!(f, ")")
             }
             Expression::Prim { op, args, params } => {
                 write!(f, "{op}(")?;
@@ -667,6 +723,46 @@ pub struct RegReset {
     pub reset: Expression,
     /// The value loaded while the reset is asserted.
     pub init: Expression,
+}
+
+/// Read-under-write behaviour of a memory's sequential read ports: what a registered
+/// read captures when a write port stores to the same address on the same clock edge
+/// (mirroring FIRRTL's per-`mem` `read-under-write` attribute).
+///
+/// The attribute only arbitrates *same-domain* collisions. A write port clocked in a
+/// different domain than the read port commits on its own edges, so the read simply
+/// observes whatever the backing store holds — cross-domain timing is a CDC concern,
+/// not a read-under-write one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadUnderWrite {
+    /// The read captures the word as it was *before* the same-edge write committed
+    /// (the default, and the natural behaviour of nonblocking Verilog assignment).
+    #[default]
+    Old,
+    /// The read captures the newly written data (write-first bypass; when several
+    /// same-domain ports hit the address, the last declared port's merge wins).
+    New,
+    /// The captured value is undefined. The engines and the emitted Verilog model
+    /// this deterministically as capturing zero, so "undefined" collisions are loud
+    /// in differential testing instead of silently choosing old or new.
+    Undefined,
+}
+
+impl ReadUnderWrite {
+    /// Short lowercase name (`"old"` / `"new"` / `"undefined"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadUnderWrite::Old => "old",
+            ReadUnderWrite::New => "new",
+            ReadUnderWrite::Undefined => "undefined",
+        }
+    }
+}
+
+impl fmt::Display for ReadUnderWrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
 }
 
 /// Clock specification of a register.
@@ -756,6 +852,9 @@ pub enum Statement {
         /// Optional initial contents; at most `depth` words, each within the word
         /// width (validated by the connect pass).
         init: Option<Vec<u128>>,
+        /// What sequential read ports capture when a same-domain write hits the same
+        /// address on the same edge.
+        ruw: ReadUnderWrite,
         /// Declaration site.
         info: SourceInfo,
     },

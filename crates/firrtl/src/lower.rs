@@ -26,8 +26,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::diagnostics::{Diagnostic, ErrorCode};
 use crate::ir::{
-    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, PrimOp, RegReset, SourceInfo,
-    Statement, Type,
+    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, PrimOp, ReadUnderWrite,
+    RegReset, SourceInfo, Statement, Type,
 };
 use crate::passes::width::resolve_widths;
 use crate::paths::{ground_paths, mangle, static_path};
@@ -128,13 +128,16 @@ pub struct NetMemWrite {
 /// [`Netlist::regs`] with a [`Expression::MemRead`] next-state). Writes are listed
 /// here and commit in declaration order with nonblocking-assignment semantics (each
 /// port's word is computed from pre-edge state; same-cycle, same-address collisions:
-/// last port wins). Read-under-write returns the old data for both read flavours.
+/// last port wins). Combinational reads always see the pre-edge data; sequential
+/// reads colliding with a same-domain, same-edge write follow the memory's declared
+/// read-under-write policy, which lowering bakes into the implicit read register's
+/// next-state expression (so the Verilog emitter and every engine inherit it).
 ///
-/// Clocking note: the current simulators use a single-edge model — `step()` advances
-/// **every** clock domain together (exactly as it always has for registers with
-/// explicit `withClock` domains), while the emitted Verilog keeps each port in its
-/// own `always @(posedge <clock>)` block. Independent per-domain stepping is a
-/// ROADMAP follow-on.
+/// Clocking note: every register and memory port belongs to a named clock domain
+/// (see [`Netlist::clock_domains`]), mirroring the emitted Verilog's one
+/// `always @(posedge <clock>)` block per domain. Engines edge domains independently
+/// via `step_clock(domain)`; `step()` edges all domains simultaneously (the
+/// single-clock convenience, and the pre-existing behaviour for legacy traces).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetMem {
     /// Memory name.
@@ -313,18 +316,61 @@ impl Netlist {
     /// simulation engines reject peeks of them with
     /// `SimError::SyncReadBeforeClock` until the first `step`.
     pub fn sync_read_tainted(&self) -> BTreeSet<String> {
-        let mut tainted: BTreeSet<String> =
-            self.mems.iter().flat_map(|m| m.sync_reads.iter().cloned()).collect();
-        if tainted.is_empty() {
-            return tainted;
+        self.sync_read_sources().into_keys().collect()
+    }
+
+    /// For every signal whose value depends on a sequential (registered) memory read,
+    /// the set of implicit read registers it (transitively) depends on.
+    ///
+    /// Engines track which implicit read registers have never captured a word — a
+    /// register leaves that "uncaptured" set on the first edge of **its own** clock
+    /// domain — and reject peeks of any signal that still depends on an uncaptured
+    /// register with `SimError::SyncReadBeforeClock`.
+    pub fn sync_read_sources(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut sources: BTreeMap<String, BTreeSet<String>> = self
+            .mems
+            .iter()
+            .flat_map(|m| m.sync_reads.iter())
+            .map(|r| (r.clone(), BTreeSet::from([r.clone()])))
+            .collect();
+        if sources.is_empty() {
+            return sources;
         }
-        // `defs` is topologically ordered, so one forward pass closes the set.
+        // `defs` is topologically ordered, so one forward pass closes the map.
         for def in &self.defs {
-            if def.expr.referenced_names().iter().any(|n| tainted.contains(n)) {
-                tainted.insert(def.name.clone());
+            let mut acc: BTreeSet<String> = BTreeSet::new();
+            for name in def.expr.referenced_names() {
+                if let Some(up) = sources.get(&name) {
+                    acc.extend(up.iter().cloned());
+                }
+            }
+            if !acc.is_empty() {
+                sources.insert(def.name.clone(), acc);
             }
         }
-        tainted
+        sources
+    }
+
+    /// Every clock domain of the netlist, in first-appearance order: register domains
+    /// in declaration order, then memory-write-port domains. Implicit read registers
+    /// are ordinary registers here, so a per-port read clock contributes its domain
+    /// too. Single-clock designs yield `["clock"]`; a design with no sequential state
+    /// yields an empty list.
+    pub fn clock_domains(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.regs {
+            if !out.contains(&r.clock) {
+                out.push(r.clock.clone());
+            }
+        }
+        for m in &self.mems {
+            for w in &m.writes {
+                if !out.contains(&w.clock) {
+                    out.push(w.clock.clone());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -445,7 +491,15 @@ fn rewrite_instance_refs(expr: &mut Expression, instances: &BTreeSet<String>) {
                 rewrite_instance_refs(a, instances);
             }
         }
-        Expression::MemRead { addr, .. } => rewrite_instance_refs(addr, instances),
+        Expression::MemRead { addr, en, clock, .. } => {
+            rewrite_instance_refs(addr, instances);
+            if let Some(en) = en {
+                rewrite_instance_refs(en, instances);
+            }
+            if let Some(clk) = clock {
+                rewrite_instance_refs(clk, instances);
+            }
+        }
         Expression::ScalaCast { arg, .. } => rewrite_instance_refs(arg, instances),
         Expression::BadApply { target, args } => {
             rewrite_instance_refs(target, instances);
@@ -622,8 +676,8 @@ fn rename_statement(stmt: &Statement, prefix: &str, names: &BTreeSet<String>) ->
 /// optional `(reset signal, init value)` pair.
 pub type GroundReg = (String, SignalInfo, String, Option<(Expression, Expression)>);
 
-/// A ground memory as `(name, word info, depth, initial contents)`.
-pub type GroundMem = (String, SignalInfo, usize, Vec<u128>);
+/// A ground memory as `(name, word info, depth, initial contents, read-under-write)`.
+pub type GroundMem = (String, SignalInfo, usize, Vec<u128>, ReadUnderWrite);
 
 /// A module in which every port, wire and register is ground-typed and every reference
 /// is a plain mangled [`Expression::Ref`].
@@ -745,7 +799,7 @@ impl<'a> Expander<'a> {
                         ));
                     }
                 }
-                Statement::Mem { name, ty, depth, init, info } => {
+                Statement::Mem { name, ty, depth, init, ruw, info } => {
                     if !ty.is_ground() {
                         return Err(Diagnostic::error(
                             ErrorCode::TypeMismatch,
@@ -758,6 +812,7 @@ impl<'a> Expander<'a> {
                         SignalInfo::from_type(ty),
                         *depth,
                         init.clone().unwrap_or_default(),
+                        *ruw,
                     ));
                 }
                 Statement::When { then_body, else_body, .. } => {
@@ -1040,10 +1095,12 @@ impl<'a> Expander<'a> {
                 }
             }
             Expression::UIntLiteral { .. } | Expression::SIntLiteral { .. } => Ok(expr.clone()),
-            Expression::MemRead { mem, addr, sync } => Ok(Expression::MemRead {
+            Expression::MemRead { mem, addr, sync, en, clock } => Ok(Expression::MemRead {
                 mem: mangle(mem),
                 addr: Box::new(self.expand_expr(addr)?),
                 sync: *sync,
+                en: en.as_ref().map(|e| self.expand_expr(e).map(Box::new)).transpose()?,
+                clock: clock.as_ref().map(|c| self.expand_expr(c).map(Box::new)).transpose()?,
             }),
             Expression::Mux { cond, tval, fval } => Ok(Expression::mux(
                 self.expand_expr(cond)?,
@@ -1150,7 +1207,9 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
     // port carries its own clock net, so several ports of one memory may sit in
     // different clock domains (per-port `withClock`) without being collapsed.
     let mut mems: Vec<NetMem> = Vec::new();
-    for (name, info, depth, init) in &ground.mems {
+    let mut ruw_of: BTreeMap<String, ReadUnderWrite> = BTreeMap::new();
+    for (name, info, depth, init, ruw) in &ground.mems {
+        ruw_of.insert(name.clone(), *ruw);
         mems.push(NetMem {
             name: name.clone(),
             info: *info,
@@ -1161,7 +1220,7 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
         });
     }
     for (name, _) in &mem_writes {
-        if !ground.mems.iter().any(|(m, _, _, _)| m == name) {
+        if !ground.mems.iter().any(|(m, ..)| m == name) {
             return Err(Diagnostic::error(
                 ErrorCode::UnknownReference,
                 SourceInfo::unknown(),
@@ -1170,7 +1229,7 @@ fn build_netlist(ground: &GroundModule) -> Result<Netlist, Diagnostic> {
         }
     }
 
-    hoist_sync_reads(&mut defs, &mut regs, &mut mems, &mut signals)?;
+    hoist_sync_reads(&mut defs, &mut regs, &mut mems, &ruw_of, &mut signals)?;
     let defs = topo_sort_defs(defs, &reg_names, &signals)?;
     Ok(Netlist {
         name: ground.name.clone(),
@@ -1267,12 +1326,26 @@ fn and_conditions(outer: &Option<Expression>, inner: &Expression) -> Expression 
     }
 }
 
+/// One distinct sequential read port discovered by [`SyncReadHoist`].
+struct SyncPort {
+    /// Mangled memory name.
+    mem: String,
+    /// Address expression (post-rewrite).
+    addr: Expression,
+    /// Optional read enable (post-rewrite).
+    en: Option<Expression>,
+    /// Resolved clock net of the port's read register.
+    clock: String,
+    /// Name of the implicit read register.
+    reg: String,
+}
+
 /// Bookkeeping shared by [`hoist_sync_reads`]' recursive rewriter.
 struct SyncReadHoist {
     /// Word metadata per memory, for sizing the implicit registers.
     mem_infos: BTreeMap<String, SignalInfo>,
-    /// `(memory, address, register name)` per distinct sequential read port.
-    ports: Vec<(String, Expression, String)>,
+    /// Distinct sequential read ports, in hoisting order (parallel to `new_regs`).
+    ports: Vec<SyncPort>,
     /// The implicit registers created so far, in hoisting order.
     new_regs: Vec<NetReg>,
 }
@@ -1280,21 +1353,39 @@ struct SyncReadHoist {
 impl SyncReadHoist {
     /// Replaces every `MemRead { sync: true }` in `expr` with a reference to its
     /// implicit read register, creating the register on first sight. Identical
-    /// `(memory, address)` ports share one register.
+    /// `(memory, address, enable, clock)` ports share one register.
     fn rewrite(
         &mut self,
         expr: &mut Expression,
         signals: &mut BTreeMap<String, SignalInfo>,
     ) -> Result<(), Diagnostic> {
         match expr {
-            Expression::MemRead { mem, addr, sync } => {
+            Expression::MemRead { mem, addr, sync, en, clock } => {
                 self.rewrite(addr, signals)?;
+                if let Some(en) = en {
+                    self.rewrite(en, signals)?;
+                }
                 if !*sync {
                     return Ok(());
                 }
-                let name = match self.ports.iter().find(|(m, a, _)| m == mem && a == addr.as_ref())
-                {
-                    Some((_, _, existing)) => existing.clone(),
+                let clock_net = match clock {
+                    None => "clock".to_string(),
+                    Some(c) => {
+                        let path = static_path(c).ok_or_else(|| {
+                            Diagnostic::error(
+                                ErrorCode::NoImplicitClock,
+                                SourceInfo::unknown(),
+                                "a sequential read clock must be a named clock signal",
+                            )
+                        })?;
+                        mangle(&path)
+                    }
+                };
+                let en_expr = en.as_ref().map(|e| (**e).clone());
+                let name = match self.ports.iter().find(|p| {
+                    p.mem == *mem && p.addr == **addr && p.en == en_expr && p.clock == clock_net
+                }) {
+                    Some(port) => port.reg.clone(),
                     None => {
                         let info = *self.mem_infos.get(mem.as_str()).ok_or_else(|| {
                             Diagnostic::error(
@@ -1303,28 +1394,33 @@ impl SyncReadHoist {
                                 format!("sequential read targets undeclared memory {mem}"),
                             )
                         })?;
-                        let index = self.ports.iter().filter(|(m, _, _)| m == mem).count();
+                        let index = self.ports.iter().filter(|p| p.mem == *mem).count();
                         let mut name = format!("{mem}_sr{index}");
                         while signals.contains_key(&name) {
                             name.push('_');
                         }
                         signals.insert(name.clone(), info);
-                        // The register's next-state is the combinational read of the
-                        // same address: staged against the pre-edge state (before the
-                        // memory write commits), it captures the OLD word at each
-                        // edge — read-under-write old-data semantics for free.
+                        // The register's next-state starts as the combinational read
+                        // of the same address: staged against the pre-edge state
+                        // (before the memory write commits), it captures the OLD word
+                        // at each edge of its own clock. Read-under-write bypassing
+                        // and enable-hold muxing are layered on afterwards (see
+                        // [`hoist_sync_reads`]), once every write port has been
+                        // rewritten.
                         self.new_regs.push(NetReg {
                             name: name.clone(),
                             info,
-                            clock: "clock".to_string(),
-                            next: Expression::MemRead {
-                                mem: mem.clone(),
-                                addr: addr.clone(),
-                                sync: false,
-                            },
+                            clock: clock_net.clone(),
+                            next: Expression::mem_read(mem.clone(), (**addr).clone()),
                             reset: None,
                         });
-                        self.ports.push((mem.clone(), (**addr).clone(), name.clone()));
+                        self.ports.push(SyncPort {
+                            mem: mem.clone(),
+                            addr: (**addr).clone(),
+                            en: en_expr,
+                            clock: clock_net,
+                            reg: name.clone(),
+                        });
                         name
                     }
                 };
@@ -1364,12 +1460,17 @@ impl SyncReadHoist {
 
 /// Hoists every sequential read port (`MemRead { sync: true }`) into an implicit read
 /// register: the register joins [`Netlist::regs`] (and therefore the slot assignment
-/// and the engines' ordinary staged-commit machinery), its name is recorded in the
-/// owning [`NetMem::sync_reads`], and every use site becomes a plain reference.
+/// and the engines' ordinary staged-commit machinery) clocked by the port's own read
+/// clock, its name is recorded in the owning [`NetMem::sync_reads`], and every use
+/// site becomes a plain reference. The memory's read-under-write policy and the
+/// port's read enable are folded into the register's next-state expression, so the
+/// Verilog emitter and every engine enforce them through the ordinary staged-commit
+/// path with no special cases.
 fn hoist_sync_reads(
     defs: &mut [NetDef],
     regs: &mut Vec<NetReg>,
     mems: &mut [NetMem],
+    ruw_of: &BTreeMap<String, ReadUnderWrite>,
     signals: &mut BTreeMap<String, SignalInfo>,
 ) -> Result<(), Diagnostic> {
     let mut hoist = SyncReadHoist {
@@ -1397,10 +1498,80 @@ fn hoist_sync_reads(
             }
         }
     }
-    for (mem_name, _, reg_name) in &hoist.ports {
-        if let Some(mem) = mems.iter_mut().find(|m| &m.name == mem_name) {
-            mem.sync_reads.push(reg_name.clone());
+    for port in &hoist.ports {
+        if let Some(mem) = mems.iter_mut().find(|m| m.name == port.mem) {
+            mem.sync_reads.push(port.reg.clone());
         }
+    }
+    // Layer read-under-write bypassing and enable-hold muxing onto each implicit
+    // register, now that every write-port expression has itself been rewritten (the
+    // bypass copies write-port expressions, which must no longer contain raw
+    // sequential reads).
+    for (port, reg) in hoist.ports.iter().zip(hoist.new_regs.iter_mut()) {
+        let mem = mems.iter().find(|m| m.name == port.mem).expect("hoisted port's memory exists");
+        let ruw = ruw_of.get(&port.mem).copied().unwrap_or_default();
+        let mut captured = reg.next.clone();
+        if ruw != ReadUnderWrite::Old {
+            // Only write ports in the read port's own clock domain bypass: a
+            // cross-domain collision always captures the old data, whatever the
+            // policy. Later ports wrap earlier ones, so a multi-writer collision
+            // resolves to the textually last port — the same rule the commits follow.
+            for w in mem.writes.iter().filter(|w| w.clock == port.clock) {
+                let same_addr =
+                    Expression::prim(PrimOp::Eq, vec![w.addr.clone(), port.addr.clone()], vec![]);
+                let in_range = Expression::prim(
+                    PrimOp::Lt,
+                    vec![port.addr.clone(), Expression::uint_lit(mem.depth as u128)],
+                    vec![],
+                );
+                let collides = Expression::prim(
+                    PrimOp::And,
+                    vec![
+                        w.enable.clone(),
+                        Expression::prim(PrimOp::And, vec![same_addr, in_range], vec![]),
+                    ],
+                    vec![],
+                );
+                let forwarded = match ruw {
+                    ReadUnderWrite::Old => unreachable!("filtered above"),
+                    // `(old & !mask) | (value & mask)`: the same lane merge the commit
+                    // performs, so the forwarded word equals the post-edge contents.
+                    ReadUnderWrite::New => match &w.mask {
+                        None => w.value.clone(),
+                        Some(mask) => Expression::prim(
+                            PrimOp::Or,
+                            vec![
+                                Expression::prim(
+                                    PrimOp::And,
+                                    vec![
+                                        Expression::mem_read(port.mem.clone(), port.addr.clone()),
+                                        Expression::prim(PrimOp::Not, vec![mask.clone()], vec![]),
+                                    ],
+                                    vec![],
+                                ),
+                                Expression::prim(
+                                    PrimOp::And,
+                                    vec![w.value.clone(), mask.clone()],
+                                    vec![],
+                                ),
+                            ],
+                            vec![],
+                        ),
+                    },
+                    // Our deterministic rendering of "don't rely on this": a
+                    // colliding capture reads as zero on every backend.
+                    ReadUnderWrite::Undefined => Expression::uint_lit(0),
+                };
+                captured = Expression::mux(collides, forwarded, captured);
+            }
+        }
+        if let Some(en) = &port.en {
+            // Disabled edges hold the previously captured word — the deterministic
+            // rendering of Chisel's "undefined when disabled".
+            captured =
+                Expression::mux(en.clone(), captured, Expression::reference(port.reg.clone()));
+        }
+        reg.next = captured;
     }
     regs.extend(hoist.new_regs);
     Ok(())

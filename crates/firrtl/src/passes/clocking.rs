@@ -82,14 +82,15 @@ pub fn check_clocking(module: &Module, circuit: &Circuit) -> DiagnosticReport {
         }
     });
 
-    // --- C1 (sequential reads): `read_sync` registers on the implicit clock ----------
-    // The implicit read register created by lowering always uses the module's
-    // implicit clock, so a sequential read inside a RawModule (or a module without a
-    // clock port) has nothing to latch on.
+    // --- C1 (sequential reads): `read_sync` registers need a clock -------------------
+    // The implicit read register created by lowering uses the port's explicit read
+    // clock when one is given and the module's implicit clock otherwise, so a
+    // clock-less sequential read inside a RawModule (or a module without a clock
+    // port) has nothing to latch on.
     if module.kind == ModuleKind::RawModule || module.port("clock").is_none() {
         module.visit_statements(&mut |stmt| {
             visit_statement_exprs(stmt, &mut |expr| {
-                if let Expression::MemRead { mem, sync: true, .. } = expr {
+                if let Expression::MemRead { mem, sync: true, clock: None, .. } = expr {
                     report.push(
                         Diagnostic::error(
                             ErrorCode::NoImplicitClock,
@@ -97,8 +98,9 @@ pub fn check_clocking(module: &Module, circuit: &Circuit) -> DiagnosticReport {
                             format!("sequential read of memory {mem} requires the implicit clock"),
                         )
                         .with_suggestion(
-                            "use a combinational read (mem.read) or declare the memory inside \
-                             a Module with an implicit clock",
+                            "give the port an explicit read clock (mem_read_sync under \
+                             with_clock), use a combinational read (mem.read), or declare \
+                             the memory inside a Module with an implicit clock",
                         )
                         .with_subject(mem.clone()),
                     );

@@ -130,7 +130,7 @@ impl<'a> ConnectChecker<'a> {
                     }
                 }
             }
-            Statement::Mem { name, ty, depth, init, info } => {
+            Statement::Mem { name, ty, depth, init, info, .. } => {
                 if !ty.is_ground() || ty.is_clock() {
                     self.report.push(
                         Diagnostic::error(
@@ -776,6 +776,7 @@ mod tests {
             ty: Type::uint(8),
             depth: 4,
             init: None,
+            ruw: Default::default(),
             info: SourceInfo::unknown(),
         });
         m.body.push(Statement::MemWrite {
@@ -793,6 +794,8 @@ mod tests {
                 mem: "store".into(),
                 addr: Box::new(Expression::uint_lit_w(0, 2)),
                 sync: false,
+                en: None,
+                clock: None,
             },
             info: SourceInfo::unknown(),
         });
@@ -814,6 +817,7 @@ mod tests {
             ty: Type::uint(8),
             depth: 4,
             init: None,
+            ruw: Default::default(),
             info: SourceInfo::unknown(),
         });
         m.body.push(Statement::MemWrite {
@@ -830,6 +834,8 @@ mod tests {
                 mem: "store".into(),
                 addr: Box::new(Expression::uint_lit_w(0, 2)),
                 sync: false,
+                en: None,
+                clock: None,
             },
             info: SourceInfo::unknown(),
         });
@@ -844,6 +850,7 @@ mod tests {
             ty: Type::uint(8),
             depth: 2,
             init: Some(vec![1, 2, 3]),
+            ruw: Default::default(),
             info: SourceInfo::new("T.scala", 4, 3),
         });
         m.body.push(Statement::Connect {
@@ -852,6 +859,8 @@ mod tests {
                 mem: "rom".into(),
                 addr: Box::new(Expression::uint_lit_w(0, 1)),
                 sync: false,
+                en: None,
+                clock: None,
             },
             info: SourceInfo::unknown(),
         });
@@ -869,6 +878,7 @@ mod tests {
             ty: Type::uint(4),
             depth: 4,
             init: Some(vec![0xF, 0x10]),
+            ruw: Default::default(),
             info: SourceInfo::unknown(),
         });
         m.body.push(Statement::Connect {
@@ -877,6 +887,8 @@ mod tests {
                 mem: "rom".into(),
                 addr: Box::new(Expression::uint_lit_w(0, 2)),
                 sync: false,
+                en: None,
+                clock: None,
             },
             info: SourceInfo::unknown(),
         });

@@ -183,12 +183,13 @@ fn chisel_expr(expr: &Expression) -> String {
         Expression::Mux { cond, tval, fval } => {
             format!("Mux({}, {}, {})", chisel_expr(cond), chisel_expr(tval), chisel_expr(fval))
         }
-        Expression::MemRead { mem, addr, sync: false } => {
+        Expression::MemRead { mem, addr, sync: false, .. } => {
             format!("{mem}.read({})", chisel_expr(addr))
         }
-        Expression::MemRead { mem, addr, sync: true } => {
-            format!("{mem}.readSync({})", chisel_expr(addr))
-        }
+        Expression::MemRead { mem, addr, sync: true, en, .. } => match en {
+            Some(en) => format!("{mem}.readSync({}, {})", chisel_expr(addr), chisel_expr(en)),
+            None => format!("{mem}.readSync({})", chisel_expr(addr)),
+        },
         Expression::Prim { op, args, params } => chisel_prim(*op, args, params),
         Expression::ScalaCast { arg, target } => {
             format!("{}.asInstanceOf[{target}]", chisel_expr(arg))

@@ -436,7 +436,7 @@ impl<'a> ExprTyper<'a> {
                     )
                 })
             }
-            Expression::MemRead { mem, addr, .. } => {
+            Expression::MemRead { mem, addr, en, clock, .. } => {
                 let Some(sym) = self.symbols.get(mem) else {
                     let mut d = Diagnostic::error(
                         ErrorCode::UnknownReference,
@@ -478,6 +478,29 @@ impl<'a> ExprTyper<'a> {
                                 mem_depth.saturating_sub(1)
                             ),
                         )
+                        .with_subject(mem.clone()));
+                    }
+                }
+                if let Some(en) = en {
+                    let en_ty = self.infer_depth(en, depth + 1)?;
+                    if !matches!(en_ty, Type::Bool | Type::UInt(Some(1)) | Type::UInt(None)) {
+                        return Err(Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            self.context.clone(),
+                            format!("read enable must be a Bool, found {}", en_ty.chisel_name()),
+                        )
+                        .with_subject(mem.clone()));
+                    }
+                }
+                if let Some(clk) = clock {
+                    let clk_ty = self.infer_depth(clk, depth + 1)?;
+                    if clk_ty != Type::Clock {
+                        return Err(Diagnostic::error(
+                            ErrorCode::TypeMismatch,
+                            self.context.clone(),
+                            format!("read clock must be a Clock, found {}", clk_ty.chisel_name()),
+                        )
+                        .with_suggestion("convert with .asClock if the source is a Bool")
                         .with_subject(mem.clone()));
                     }
                 }

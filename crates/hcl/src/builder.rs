@@ -7,8 +7,8 @@
 //! meaningful "lines" exactly like the sbt output quoted in the ReChisel paper).
 
 use rechisel_firrtl::ir::{
-    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, Port, RegReset, SourceInfo,
-    Statement, Type,
+    Circuit, ClockSpec, Direction, Expression, Module, ModuleKind, Port, ReadUnderWrite, RegReset,
+    SourceInfo, Statement, Type,
 };
 
 use crate::signal::Signal;
@@ -180,15 +180,37 @@ impl ModuleBuilder {
     /// ([`Mem::read_sync`]) are registered; writes ([`ModuleBuilder::mem_write`],
     /// [`ModuleBuilder::mem_write_masked`]) are synchronous and commit together with
     /// register updates, so a read in the same cycle as a write to the same address
-    /// returns the **old** data. The backing store starts at zero unless initialized
-    /// with [`ModuleBuilder::mem_init`] / [`ModuleBuilder::mem_init_file`].
+    /// returns the **old** data (the default read-under-write policy; see
+    /// [`ModuleBuilder::mem_with_ruw`] for the others). The backing store starts at
+    /// zero unless initialized with [`ModuleBuilder::mem_init`] /
+    /// [`ModuleBuilder::mem_init_file`].
     pub fn mem(&mut self, name: &str, elem_ty: Type, depth: usize) -> Mem {
+        self.mem_with_ruw(name, elem_ty, depth, ReadUnderWrite::Old)
+    }
+
+    /// Declares a memory with an explicit read-under-write policy, like
+    /// `SyncReadMem(depth, ty, SyncReadMem.WriteFirst)`.
+    ///
+    /// The policy arbitrates a sequential read that captures an address being written
+    /// **on the same clock edge in the same domain**: `Old` captures the pre-write
+    /// word, `New` forwards the freshly written data (write-first), and `Undefined`
+    /// captures a deterministic zero (our model of "don't rely on this"). Writes in a
+    /// different clock domain never forward — a cross-domain collision always reads
+    /// old data.
+    pub fn mem_with_ruw(
+        &mut self,
+        name: &str,
+        elem_ty: Type,
+        depth: usize,
+        ruw: ReadUnderWrite,
+    ) -> Mem {
         let info = self.next_info();
         self.push(Statement::Mem {
             name: name.to_string(),
             ty: elem_ty.clone(),
             depth,
             init: None,
+            ruw,
             info,
         });
         Mem { name: name.to_string(), elem_ty, depth }
@@ -200,9 +222,9 @@ impl ModuleBuilder {
     /// that reach it, exactly like a conditional register update. A write inside a
     /// [`ModuleBuilder::with_clock`] scope belongs to that clock domain — ports of
     /// one memory may sit in different domains (the emitted Verilog keeps one
-    /// `always` block per domain; the simulators use a single-edge model in which
-    /// `step()` advances every domain together, exactly as they always have for
-    /// `with_clock` registers).
+    /// `always` block per domain, and the simulators edge each domain independently:
+    /// `step_clock(domain)` advances one domain, `step()` advances all of them
+    /// together for single-clock convenience).
     pub fn mem_write(&mut self, mem: &Mem, addr: &Signal, value: &Signal) {
         let info = self.next_info();
         let clock = self.current_clock();
@@ -247,6 +269,32 @@ impl ModuleBuilder {
             clock,
             info,
         });
+    }
+
+    /// A sequential read port with an optional read enable, clocked by the current
+    /// clock scope (`mem.read(addr, en)` on a `SyncReadMem` under `withClock`).
+    ///
+    /// Unlike [`Mem::read_sync`] — which always latches on the module's implicit
+    /// clock — this port belongs to the [`ModuleBuilder::with_clock`] domain active at
+    /// the call site, so a dual-clock memory can be written in one domain and read in
+    /// another. When `en` is given, the port captures a new word only on edges where
+    /// the enable is high; on disabled edges it holds the previously captured word
+    /// (our deterministic rendering of Chisel's "undefined when disabled").
+    pub fn mem_read_sync(&mut self, mem: &Mem, addr: &Signal, en: Option<&Signal>) -> Signal {
+        let clock = match self.current_clock() {
+            ClockSpec::Implicit => None,
+            ClockSpec::Explicit(e) => Some(Box::new(e)),
+        };
+        Signal::new(
+            Expression::MemRead {
+                mem: mem.name.clone(),
+                addr: Box::new(addr.expr().clone()),
+                sync: true,
+                en: en.map(|s| Box::new(s.expr().clone())),
+                clock,
+            },
+            mem.elem_ty.clone(),
+        )
     }
 
     /// Sets a memory's initial contents (the `loadMemoryFromFile` equivalent with an
@@ -463,32 +511,23 @@ impl Mem {
     /// A combinational read port at `addr` (`mem.read(addr)`): returns the current
     /// contents of the addressed word; out-of-range addresses read as zero.
     pub fn read(&self, addr: &Signal) -> Signal {
-        Signal::new(
-            Expression::MemRead {
-                mem: self.name.clone(),
-                addr: Box::new(addr.expr().clone()),
-                sync: false,
-            },
-            self.elem_ty.clone(),
-        )
+        Signal::new(Expression::mem_read(&self.name, addr.expr().clone()), self.elem_ty.clone())
     }
 
     /// A sequential (1-cycle registered) read port at `addr`, like reading a
     /// `SyncReadMem`: the addressed word is captured at each clock edge and visible
-    /// one cycle later. Read-under-write returns the **old** data (the word as it was
-    /// before the same-edge write committed). The implicit read register uses the
-    /// module's implicit clock; out-of-range addresses capture zero.
+    /// one cycle later. Read-under-write follows the memory's declared policy
+    /// ([`ModuleBuilder::mem_with_ruw`]; the default returns the **old** data). The
+    /// implicit read register uses the module's implicit clock; out-of-range addresses
+    /// capture zero. For a port with a read enable or an explicit read clock, use
+    /// [`ModuleBuilder::mem_read_sync`] instead.
     ///
-    /// Peeking a signal fed by a sequential read before the first clock edge is a
-    /// simulation error (`SyncReadBeforeClock`) on both engines: the register has
-    /// never captured a word.
+    /// Peeking a signal fed by a sequential read before the first edge of the port's
+    /// clock domain is a simulation error (`SyncReadBeforeClock`) on every engine:
+    /// the register has never captured a word.
     pub fn read_sync(&self, addr: &Signal) -> Signal {
         Signal::new(
-            Expression::MemRead {
-                mem: self.name.clone(),
-                addr: Box::new(addr.expr().clone()),
-                sync: true,
-            },
+            Expression::mem_read_sync(&self.name, addr.expr().clone()),
             self.elem_ty.clone(),
         )
     }

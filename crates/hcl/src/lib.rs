@@ -45,5 +45,5 @@ pub use signal::{cat_all, mux, mux_case, pop_count, reduce, Signal};
 pub mod prelude {
     pub use crate::builder::{Mem, ModuleBuilder, SwitchBuilder};
     pub use crate::signal::{cat_all, mux, mux_case, pop_count, reduce, Signal};
-    pub use rechisel_firrtl::ir::{Circuit, Field, Module, Type};
+    pub use rechisel_firrtl::ir::{Circuit, Field, Module, ReadUnderWrite, Type};
 }

@@ -11,9 +11,10 @@
 //! contiguous (`bits[slot * lanes + lane]`), as are the N copies of every memory word.
 //! Constants, masks, and the program itself are shared by all lanes. Lanes never
 //! interact: lane *k* of a batched run is bit-identical to a solo
-//! [`CompiledSimulator`](crate::CompiledSimulator) run fed the same pokes (including the per-lane
-//! [`SimError::SyncReadBeforeClock`] taint), which the differential fuzz suite
-//! asserts peek-for-peek.
+//! [`CompiledSimulator`](crate::CompiledSimulator) run fed the same pokes and the same
+//! edge schedule (steps — full or per-domain — apply to every lane, so the
+//! [`SimError::SyncReadBeforeClock`] taint state is shared by the whole batch), which
+//! the differential fuzz suite asserts peek-for-peek.
 //!
 //! Tapes whose every slot and memory word fits in 64 (or 32) bits — and whose
 //! program is fully specialized (no shape-generic instructions) — run in **narrow
@@ -305,9 +306,12 @@ pub struct BatchedSimulator {
     lanes: usize,
     /// The word-width-specialized lane state (see [`Core`]).
     planes: Planes,
-    /// Per-lane cycle counters (lockstep stepping keeps them equal, but the
-    /// `SyncReadBeforeClock` taint is tracked per lane).
-    cycles: Vec<u64>,
+    /// Implicit sync-read registers whose own clock domain has not ticked yet.
+    /// Lockstep stepping applies every edge to all lanes, so one set covers the
+    /// whole batch.
+    uncaptured: std::collections::BTreeSet<String>,
+    /// Cycle counter (each full or per-domain edge counts one cycle).
+    cycles: u64,
 }
 
 /// The lane state in one of the word widths (see the module docs on narrow mode).
@@ -396,8 +400,10 @@ impl<W: Word> Core<W> {
     }
 
     /// The clock edge: register staging, then memory commits (while every operand
-    /// slot still holds its pre-edge value), then register commits.
-    fn edge(&mut self, tape: &Tape, lanes: usize) {
+    /// slot still holds its pre-edge value), then register commits. With a `domain`
+    /// filter only the commits of that clock domain apply (full staging still runs —
+    /// staged temps of other domains are simply discarded).
+    fn edge(&mut self, tape: &Tape, lanes: usize, domain: Option<u32>) {
         exec_batched(
             &tape.reg_program,
             &mut self.bits,
@@ -407,6 +413,9 @@ impl<W: Word> Core<W> {
             lanes,
         );
         for commit in &tape.mem_commits {
+            if domain.is_some_and(|d| commit.domain != d) {
+                continue;
+            }
             let en0 = commit.en as usize * lanes;
             let addr0 = commit.addr as usize * lanes;
             let val0 = commit.val as usize * lanes;
@@ -430,6 +439,9 @@ impl<W: Word> Core<W> {
             }
         }
         for commit in &tape.commits {
+            if domain.is_some_and(|d| commit.domain != d) {
+                continue;
+            }
             let m = W::from_u128(commit.mask);
             row1(&mut self.bits, commit.reg, commit.staged, lanes, |x, _| x & m);
         }
@@ -466,7 +478,8 @@ impl BatchedSimulator {
         } else {
             Planes::Wide(Core::from_tape(&tape, lanes))
         };
-        Self { tape, lanes, planes, cycles: vec![0; lanes] }
+        let uncaptured = tape.sync_regs.iter().map(|(name, _)| name.clone()).collect();
+        Self { tape, lanes, planes, uncaptured, cycles: 0 }
     }
 
     /// Number of independent stimulus lanes in this batch.
@@ -493,7 +506,7 @@ impl BatchedSimulator {
 
     /// Clock cycles simulated so far (lockstep: identical for every lane).
     pub fn cycles(&self) -> u64 {
-        self.cycles[0]
+        self.cycles
     }
 
     #[inline]
@@ -550,15 +563,20 @@ impl BatchedSimulator {
     ///
     /// Returns [`SimError::NoSuchPort`] if the signal does not exist, and
     /// [`SimError::SyncReadBeforeClock`] when the signal depends on a sequential
-    /// memory read and this lane has not seen a clock edge yet.
+    /// memory read whose own clock domain has not ticked yet (lockstep: the taint
+    /// state is shared by every lane).
     ///
     /// # Panics
     ///
     /// Panics when `lane` is out of range.
     pub fn peek(&self, lane: usize, name: &str) -> Result<u128, SimError> {
         self.check_lane(lane);
-        if self.cycles[lane] == 0 && self.tape.sync_tainted.contains(name) {
-            return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+        if !self.uncaptured.is_empty() {
+            if let Some(sources) = self.tape.sync_sources.get(name) {
+                if sources.iter().any(|s| self.uncaptured.contains(s)) {
+                    return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+                }
+            }
         }
         self.tape
             .index
@@ -581,12 +599,45 @@ impl BatchedSimulator {
     /// stores in port-declaration order (last port wins) and lane-masked ports merge
     /// into the pre-edge word.
     pub fn step(&mut self) {
+        self.step_filtered(None);
+    }
+
+    /// Edges one clock domain on every lane: only the registers and memory write
+    /// ports clocked by `domain` commit (see [`SimEngine::step_clock`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domain` is not a clock domain of the
+    /// compiled design.
+    pub fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        let idx = self
+            .tape
+            .domains
+            .iter()
+            .position(|d| d == domain)
+            .ok_or_else(|| SimError::NoSuchClock(domain.to_string()))?;
+        self.step_filtered(Some(idx as u32));
+        Ok(())
+    }
+
+    /// The design's clock domains, in first-appearance order.
+    pub fn clock_domains(&self) -> &[String] {
+        &self.tape.domains
+    }
+
+    fn step_filtered(&mut self, domain: Option<u32>) {
         self.eval();
         let Self { tape, lanes, planes, .. } = self;
-        on_core!(planes, c => c.edge(tape, *lanes));
-        for c in &mut self.cycles {
-            *c += 1;
+        on_core!(planes, c => c.edge(tape, *lanes, domain));
+        if !self.uncaptured.is_empty() {
+            let sync_regs = &self.tape.sync_regs;
+            self.uncaptured.retain(|name| {
+                !sync_regs
+                    .iter()
+                    .any(|(reg, reg_domain)| reg == name && domain.is_none_or(|d| *reg_domain == d))
+            });
         }
+        self.cycles += 1;
         self.eval();
     }
 
@@ -599,6 +650,10 @@ impl BatchedSimulator {
 
     /// Asserts the `reset` input (when present) on every lane for `cycles` cycles,
     /// then deasserts it.
+    ///
+    /// Each cycle is a full [`step`](Self::step), so the pulse edges **every** clock
+    /// domain on every lane. Memory init images are not restored — initialization
+    /// applies at time zero only.
     ///
     /// # Errors
     ///
@@ -925,6 +980,14 @@ impl SimEngine for BatchedSimulator {
     fn step(&mut self) -> Result<(), SimError> {
         BatchedSimulator::step(self);
         Ok(())
+    }
+
+    fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        BatchedSimulator::step_clock(self, domain)
+    }
+
+    fn clock_domains(&self) -> Vec<String> {
+        self.tape.domains.clone()
     }
 
     fn cycles(&self) -> u64 {

@@ -119,12 +119,14 @@ pub(crate) fn ext(bits: u128, shift: u32) -> i128 {
 }
 
 /// A register commit: copy the staged next-state into the register slot, masked to the
-/// register's width.
+/// register's width. `domain` indexes [`Tape::domains`]; a filtered step applies only
+/// the commits of the edged domain.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Commit {
     pub(crate) reg: u32,
     pub(crate) staged: u32,
     pub(crate) mask: u128,
+    pub(crate) domain: u32,
 }
 
 /// A staged memory write: when `bits[en] & 1` is set and `bits[addr] < depth`, store
@@ -145,6 +147,8 @@ pub(crate) struct MemCommit {
     /// instruction in the register program (so it reads PRE-edge contents, mirroring
     /// the interpreter and the Verilog nonblocking read).
     pub(crate) lane: Option<(u32, u32)>,
+    /// Index into [`Tape::domains`] of the port's write clock.
+    pub(crate) domain: u32,
 }
 
 /// Backing-store layout and word metadata of one memory in a [`Tape`].
@@ -191,9 +195,16 @@ pub struct Tape {
     /// Initial backing-store image (one word per entry, layout as in `mems`):
     /// declared init words pre-masked to the word width, zero elsewhere.
     pub(crate) mem_init: Vec<u128>,
-    /// Signals that depend on a sequential memory read and therefore cannot be
-    /// peeked before the first clock edge.
-    pub(crate) sync_tainted: std::collections::BTreeSet<String>,
+    /// Clock domains (mangled clock nets), first-appearance order — registers in
+    /// declaration order, then memory write ports. Commit entries index into this.
+    pub(crate) domains: Vec<String>,
+    /// Signal -> set of implicit sync-read registers it combinationally depends on.
+    /// A signal cannot be peeked while any of its sources is still uncaptured (its
+    /// own clock domain has not ticked yet).
+    pub(crate) sync_sources: BTreeMap<String, std::collections::BTreeSet<String>>,
+    /// Implicit sync-read registers with the index of their clock domain: the initial
+    /// `uncaptured` set of a fresh simulator, drained per-domain as edges happen.
+    pub(crate) sync_regs: Vec<(String, u32)>,
     pub(crate) inputs: BTreeMap<String, InPort>,
     pub(crate) outputs: Vec<(String, u32)>,
     pub(crate) has_reset: bool,
@@ -442,7 +453,7 @@ impl<'n> Builder<'n> {
             // Sequential reads are hoisted into implicit registers by lowering; a
             // surviving sync read means the netlist skipped lowering.
             Expression::MemRead { sync: true, .. } => Err(Self::unsupported(expr)),
-            Expression::MemRead { mem, addr, sync: false } => {
+            Expression::MemRead { mem, addr, sync: false, .. } => {
                 let a = self.compile_expr(addr, out)?;
                 let index = *self
                     .mem_index
@@ -487,6 +498,13 @@ impl<'n> Builder<'n> {
             comb.push(Instr::CopyMask { dst, src, mask });
         }
 
+        // Clock-domain table: every register and write-port clock resolves to an
+        // index, so filtered steps compare a u32 instead of a string per commit.
+        let domains = self.netlist.clock_domains();
+        let domain_index = |clock: &str| -> u32 {
+            domains.iter().position(|d| d == clock).expect("clock is in the domain table") as u32
+        };
+
         let mut reg_program = Vec::new();
         let mut commits = Vec::new();
         let reg_slots: std::collections::BTreeSet<u32> =
@@ -520,6 +538,7 @@ impl<'n> Builder<'n> {
                 reg: self.index[&reg.name],
                 staged,
                 mask: mask(u128::MAX, reg.info.width),
+                domain: domain_index(&reg.clock),
             });
         }
 
@@ -549,7 +568,16 @@ impl<'n> Builder<'n> {
                         Some((lane, old))
                     }
                 };
-                mem_commits.push(MemCommit { base, depth, addr, en, val, mask: word_mask, lane });
+                mem_commits.push(MemCommit {
+                    base,
+                    depth,
+                    addr,
+                    en,
+                    val,
+                    mask: word_mask,
+                    lane,
+                    domain: domain_index(&port.clock),
+                });
             }
         }
         // Initial backing-store image: declared init words (pre-masked), zero padding.
@@ -561,7 +589,22 @@ impl<'n> Builder<'n> {
                 mem_init[base + offset] = word & word_mask;
             }
         }
-        let sync_tainted = self.netlist.sync_read_tainted();
+        let sync_sources = self.netlist.sync_read_sources();
+        let sync_regs = self
+            .netlist
+            .mems
+            .iter()
+            .flat_map(|m| m.sync_reads.iter())
+            .map(|name| {
+                let reg = self
+                    .netlist
+                    .regs
+                    .iter()
+                    .find(|r| &r.name == name)
+                    .expect("sync-read register is in the register list");
+                (name.clone(), domain_index(&reg.clock))
+            })
+            .collect();
 
         let inputs = self
             .netlist
@@ -600,7 +643,9 @@ impl<'n> Builder<'n> {
             mem_commits,
             mems: self.mems,
             mem_init,
-            sync_tainted,
+            domains,
+            sync_sources,
+            sync_regs,
             inputs,
             outputs,
             has_reset,
@@ -720,6 +765,9 @@ pub struct CompiledSimulator {
     state: Vec<EvalValue>,
     /// Shared backing store of all memories (layout fixed by the tape's `mems`).
     mem: Vec<u128>,
+    /// Implicit sync-read registers whose own clock domain has not ticked yet; peeks
+    /// of signals depending on them fail with [`SimError::SyncReadBeforeClock`].
+    uncaptured: std::collections::BTreeSet<String>,
     cycles: u64,
 }
 
@@ -739,7 +787,8 @@ impl CompiledSimulator {
     pub fn from_tape(tape: Arc<Tape>) -> Self {
         let state = tape.init.clone();
         let mem = tape.mem_init.clone();
-        Self { tape, state, mem, cycles: 0 }
+        let uncaptured = tape.sync_regs.iter().map(|(name, _)| name.clone()).collect();
+        Self { tape, state, mem, uncaptured, cycles: 0 }
     }
 
     /// The compiled program this simulator executes.
@@ -778,10 +827,15 @@ impl CompiledSimulator {
     ///
     /// Returns [`SimError::NoSuchPort`] if the signal does not exist, and
     /// [`SimError::SyncReadBeforeClock`] when the signal depends on a sequential
-    /// memory read and no clock edge has happened yet (mirroring the interpreter).
+    /// memory read whose own clock domain has not ticked yet (mirroring the
+    /// interpreter).
     pub fn peek(&self, name: &str) -> Result<u128, SimError> {
-        if self.cycles == 0 && self.tape.sync_tainted.contains(name) {
-            return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+        if !self.uncaptured.is_empty() {
+            if let Some(sources) = self.tape.sync_sources.get(name) {
+                if sources.iter().any(|s| self.uncaptured.contains(s)) {
+                    return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+                }
+            }
         }
         self.tape
             .index
@@ -795,13 +849,43 @@ impl CompiledSimulator {
         exec(&self.tape.comb, &mut self.state, &self.mem);
     }
 
-    /// Advances one clock cycle: combinational program, register staging, simultaneous
-    /// commit (memory writes first, while every operand slot still holds its pre-edge
-    /// value, then registers), combinational program again.
+    /// Advances one clock cycle on **every** domain: combinational program, register
+    /// staging, simultaneous commit (memory writes first, while every operand slot
+    /// still holds its pre-edge value, then registers), combinational program again.
     pub fn step(&mut self) {
+        self.step_filtered(None);
+    }
+
+    /// Edges one clock domain: the full program runs, but only commits tagged with
+    /// `domain` are applied (see [`crate::SimEngine::step_clock`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domain` is not a clock domain of the
+    /// compiled design.
+    pub fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        let idx = self
+            .tape
+            .domains
+            .iter()
+            .position(|d| d == domain)
+            .ok_or_else(|| SimError::NoSuchClock(domain.to_string()))?;
+        self.step_filtered(Some(idx as u32));
+        Ok(())
+    }
+
+    /// The design's clock domains, in first-appearance order.
+    pub fn clock_domains(&self) -> &[String] {
+        &self.tape.domains
+    }
+
+    fn step_filtered(&mut self, domain: Option<u32>) {
         self.eval();
         exec(&self.tape.reg_program, &mut self.state, &self.mem);
         for commit in &self.tape.mem_commits {
+            if domain.is_some_and(|d| commit.domain != d) {
+                continue;
+            }
             if self.state[commit.en as usize].bits & 1 == 0 {
                 continue;
             }
@@ -823,8 +907,19 @@ impl CompiledSimulator {
             }
         }
         for commit in &self.tape.commits {
+            if domain.is_some_and(|d| commit.domain != d) {
+                continue;
+            }
             self.state[commit.reg as usize].bits =
                 self.state[commit.staged as usize].bits & commit.mask;
+        }
+        if !self.uncaptured.is_empty() {
+            let sync_regs = &self.tape.sync_regs;
+            self.uncaptured.retain(|name| {
+                !sync_regs
+                    .iter()
+                    .any(|(reg, reg_domain)| reg == name && domain.is_none_or(|d| *reg_domain == d))
+            });
         }
         self.cycles += 1;
         self.eval();
@@ -838,6 +933,10 @@ impl CompiledSimulator {
     }
 
     /// Asserts the `reset` input (when present) for `cycles` cycles, then deasserts it.
+    ///
+    /// Each cycle is a full [`step`](Self::step), so the pulse edges **every** clock
+    /// domain. Memory init images are not restored — initialization applies at time
+    /// zero only.
     ///
     /// # Errors
     ///
@@ -933,6 +1032,14 @@ impl crate::engine::SimEngine for CompiledSimulator {
     fn step(&mut self) -> Result<(), SimError> {
         CompiledSimulator::step(self);
         Ok(())
+    }
+
+    fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        CompiledSimulator::step_clock(self, domain)
+    }
+
+    fn clock_domains(&self) -> Vec<String> {
+        self.tape.domains.clone()
     }
 
     fn cycles(&self) -> u64 {

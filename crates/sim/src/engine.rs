@@ -81,13 +81,37 @@ pub trait SimEngine {
     /// references, non-ground expressions).
     fn eval(&mut self) -> Result<(), SimError>;
 
-    /// Advances one clock cycle: evaluate, compute register next-states (applying
-    /// synchronous reset), commit them simultaneously, re-evaluate.
+    /// Advances one clock cycle on **every** domain: evaluate, compute register
+    /// next-states (applying synchronous reset), commit them simultaneously,
+    /// re-evaluate. For a single-clock design this is the only stepping primitive
+    /// needed; for a multi-clock design it models all clocks edging at the same
+    /// instant (the lockstep schedule, bit-identical to the pre-`step_clock`
+    /// behaviour).
     ///
     /// # Errors
     ///
     /// Same conditions as [`eval`](Self::eval).
     fn step(&mut self) -> Result<(), SimError>;
+
+    /// Edges **one** clock domain: evaluate, compute next-states, but commit only the
+    /// registers and memory write ports clocked by `domain`, then re-evaluate. State
+    /// in other domains is untouched — their registers keep pre-edge values, exactly
+    /// like the unclocked `always` blocks in the emitted Verilog.
+    ///
+    /// Domain names are mangled clock nets, e.g. `"clock"` for the implicit clock of
+    /// a `Module` or `"clk_b"` for a `with_clock` scope (see
+    /// [`clock_domains`](Self::clock_domains)). Each call counts as one cycle in
+    /// [`cycles`](Self::cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domain` is not a clock domain of the
+    /// design; otherwise the same conditions as [`eval`](Self::eval).
+    fn step_clock(&mut self, domain: &str) -> Result<(), SimError>;
+
+    /// The design's clock domains, in first-appearance order (register declaration
+    /// order, then memory write ports). Empty for purely combinational designs.
+    fn clock_domains(&self) -> Vec<String>;
 
     /// Number of clock cycles simulated so far.
     fn cycles(&self) -> u64;
@@ -149,6 +173,12 @@ pub trait SimEngine {
     }
 
     /// Asserts the `reset` input (when present) for `cycles` cycles, then deasserts it.
+    ///
+    /// Each cycle is a full [`step`](Self::step), so the reset pulse edges **every**
+    /// clock domain — registers with a synchronous reset take their init value in all
+    /// domains, keeping reset semantics identical across engines under per-domain
+    /// stepping. Memory init images are **not** restored: initialization applies at
+    /// time zero only.
     ///
     /// # Errors
     ///

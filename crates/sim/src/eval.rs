@@ -193,7 +193,7 @@ pub fn eval_expr_with_mems(
                 eval_expr_with_mems(fval, env, infos, mems)
             }
         }
-        Expression::MemRead { mem, addr, sync: false } => {
+        Expression::MemRead { mem, addr, sync: false, .. } => {
             let state = mems.get(mem).ok_or_else(|| EvalError::UnknownSignal(mem.clone()))?;
             let a = eval_expr_with_mems(addr, env, infos, mems)?.as_u128();
             let word = if a < state.words.len() as u128 { state.words[a as usize] } else { 0 };

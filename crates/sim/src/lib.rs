@@ -50,6 +50,7 @@ pub mod batched;
 pub mod compiled;
 pub mod engine;
 pub mod eval;
+pub mod schedule;
 pub mod simulator;
 pub mod testbench;
 
@@ -57,6 +58,7 @@ pub use batched::BatchedSimulator;
 pub use compiled::{CompiledSimulator, Tape};
 pub use engine::{EngineKind, SimEngine};
 pub use eval::{apply_prim, eval_expr, EvalError, EvalValue};
+pub use schedule::{Edge, EdgeQueue};
 pub use simulator::{SimError, Simulator};
 pub use testbench::{
     record_reference_trace, run_testbench, run_testbench_against_trace, run_testbench_batched,

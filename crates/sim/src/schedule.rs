@@ -1,0 +1,226 @@
+//! Timestamped per-domain edge schedules for multi-clock simulation.
+//!
+//! [`SimEngine::step_clock`] edges one clock domain at a time; driving a multi-clock
+//! design therefore needs a *schedule* deciding which domain edges next. [`EdgeQueue`]
+//! is that scheduler: a queue of `(time, domain)` events, built either from periodic
+//! clocks ([`EdgeQueue::periodic`] — e.g. a 3:1 ratio between two domains) or from an
+//! arbitrary interleaving ([`EdgeQueue::from_events`], handy for fuzzing random CDC
+//! timings).
+//!
+//! Ties are deterministic: events at the same timestamp fire in the order the domains
+//! were added (periodic) or pushed (explicit). A *simultaneous* edge of several
+//! domains is different from two back-to-back `step_clock` calls — model it by
+//! calling [`SimEngine::step`] yourself, or keep domains on coprime periods; the
+//! queue itself always issues one domain per event, which is the conservative CDC
+//! interpretation (no two clocks are ever exactly aligned).
+//!
+//! # Example
+//!
+//! ```
+//! use rechisel_hcl::prelude::*;
+//! use rechisel_sim::{EdgeQueue, EngineKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A two-domain design: `fast` counts on clk_f, `slow` counts on clk_s.
+//! let mut m = ModuleBuilder::raw("TwoClocks");
+//! let clk_f = m.input("clk_f", Type::Clock);
+//! let clk_s = m.input("clk_s", Type::Clock);
+//! let f = m.output("f", Type::uint(8));
+//! let s = m.output("s", Type::uint(8));
+//! m.with_clock(&clk_f, |m| {
+//!     let c = m.reg("fast", Type::uint(8));
+//!     m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+//!     m.connect(&f, &c);
+//! });
+//! m.with_clock(&clk_s, |m| {
+//!     let c = m.reg("slow", Type::uint(8));
+//!     m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+//!     m.connect(&s, &c);
+//! });
+//! let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+//! let mut sim = EngineKind::Compiled.simulator(&netlist)?;
+//!
+//! // clk_f every 2 time units, clk_s every 6: a 3:1 edge ratio.
+//! let queue = EdgeQueue::periodic(&[("clk_f", 2), ("clk_s", 6)], 12);
+//! queue.run(sim.as_mut())?;
+//! assert_eq!(sim.peek("f")?, 6); // edges at t = 2, 4, 6, 8, 10, 12
+//! assert_eq!(sim.peek("s")?, 2); // edges at t = 6, 12
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::SimEngine;
+use crate::simulator::SimError;
+
+/// One scheduled clock edge: the domain to step and the virtual time it fires at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Virtual timestamp (arbitrary units; only the ordering matters).
+    pub time: u64,
+    /// Clock-domain name, as reported by [`SimEngine::clock_domains`].
+    pub domain: String,
+}
+
+/// An ordered queue of per-domain clock edges (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct EdgeQueue {
+    /// Events sorted by time; same-time events keep their insertion order.
+    events: Vec<Edge>,
+}
+
+impl EdgeQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a queue from periodic clocks: each `(domain, period)` fires at
+    /// `period, 2*period, ...` up to and including `horizon`. Same-time events fire
+    /// in the order the domains are listed. Zero periods are ignored (a zero-period
+    /// clock would fire infinitely often).
+    pub fn periodic(clocks: &[(&str, u64)], horizon: u64) -> Self {
+        let mut queue = Self::new();
+        for t in 1..=horizon {
+            for (domain, period) in clocks {
+                if *period > 0 && t % *period == 0 {
+                    queue.push(t, domain);
+                }
+            }
+        }
+        queue
+    }
+
+    /// Builds a queue from explicit `(time, domain)` events. The events are sorted
+    /// by time with a stable sort, so same-time events keep the given order.
+    pub fn from_events(events: impl IntoIterator<Item = (u64, String)>) -> Self {
+        let mut events: Vec<Edge> =
+            events.into_iter().map(|(time, domain)| Edge { time, domain }).collect();
+        events.sort_by_key(|e| e.time);
+        Self { events }
+    }
+
+    /// Appends one edge, keeping the queue sorted (stable: ties go after existing
+    /// events at the same time).
+    pub fn push(&mut self, time: u64, domain: &str) {
+        let at = self.events.partition_point(|e| e.time <= time);
+        self.events.insert(at, Edge { time, domain: domain.to_string() });
+    }
+
+    /// The scheduled edges, in firing order.
+    pub fn events(&self) -> &[Edge] {
+        &self.events
+    }
+
+    /// Number of scheduled edges.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no edges are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drives `sim` through every scheduled edge in order, one
+    /// [`step_clock`](SimEngine::step_clock) per event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when an event names a domain the design
+    /// does not have; the simulator is left at the last successfully applied edge.
+    pub fn run(&self, sim: &mut dyn SimEngine) -> Result<(), SimError> {
+        for edge in &self.events {
+            sim.step_clock(&edge.domain)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    #[test]
+    fn periodic_schedules_interleave_by_time() {
+        let q = EdgeQueue::periodic(&[("a", 2), ("b", 3)], 6);
+        let got: Vec<(u64, &str)> =
+            q.events().iter().map(|e| (e.time, e.domain.as_str())).collect();
+        assert_eq!(got, vec![(2, "a"), (3, "b"), (4, "a"), (6, "a"), (6, "b")]);
+        assert_eq!(q.len(), 5);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn zero_periods_are_ignored() {
+        let q = EdgeQueue::periodic(&[("a", 0), ("b", 2)], 4);
+        assert_eq!(q.len(), 2);
+        assert!(q.events().iter().all(|e| e.domain == "b"));
+    }
+
+    #[test]
+    fn pushes_keep_stable_time_order() {
+        let mut q = EdgeQueue::new();
+        q.push(5, "x");
+        q.push(1, "y");
+        q.push(5, "z");
+        let got: Vec<(u64, &str)> =
+            q.events().iter().map(|e| (e.time, e.domain.as_str())).collect();
+        assert_eq!(got, vec![(1, "y"), (5, "x"), (5, "z")]);
+    }
+
+    #[test]
+    fn from_events_sorts_stably() {
+        let q = EdgeQueue::from_events([(3, "a".to_string()), (1, "b".into()), (3, "c".into())]);
+        let got: Vec<&str> = q.events().iter().map(|e| e.domain.as_str()).collect();
+        assert_eq!(got, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn run_drives_unequal_ratios() {
+        // Two independent counters on two clocks; a 3:1 schedule must advance them
+        // 3:1. Uses the interpreter through the trait object.
+        let mut m = ModuleBuilder::raw("TwoClocks");
+        let clk_f = m.input("clk_f", Type::Clock);
+        let clk_s = m.input("clk_s", Type::Clock);
+        let f = m.output("f", Type::uint(8));
+        let s = m.output("s", Type::uint(8));
+        m.with_clock(&clk_f, |m| {
+            let c = m.reg("fast", Type::uint(8));
+            m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+            m.connect(&f, &c);
+        });
+        m.with_clock(&clk_s, |m| {
+            let c = m.reg("slow", Type::uint(8));
+            m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+            m.connect(&s, &c);
+        });
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        for kind in
+            [crate::EngineKind::Interp, crate::EngineKind::Compiled, crate::EngineKind::Batched]
+        {
+            let mut sim = kind.simulator(&netlist).unwrap();
+            assert_eq!(sim.clock_domains(), vec!["clk_f".to_string(), "clk_s".to_string()]);
+            let q = EdgeQueue::periodic(&[("clk_f", 1), ("clk_s", 3)], 9);
+            q.run(sim.as_mut()).unwrap();
+            assert_eq!(sim.peek("f").unwrap(), 9, "engine {kind}");
+            assert_eq!(sim.peek("s").unwrap(), 3, "engine {kind}");
+            assert_eq!(sim.cycles(), 12);
+        }
+    }
+
+    #[test]
+    fn unknown_domains_error() {
+        let mut m = ModuleBuilder::new("R");
+        let a = m.input("a", Type::uint(4));
+        let o = m.output("o", Type::uint(4));
+        let r = m.reg("r", Type::uint(4));
+        m.connect(&r, &a);
+        m.connect(&o, &r);
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let mut sim = crate::EngineKind::Compiled.simulator(&netlist).unwrap();
+        let q = EdgeQueue::from_events([(1, "ghost".to_string())]);
+        assert!(matches!(q.run(sim.as_mut()), Err(SimError::NoSuchClock(d)) if d == "ghost"));
+    }
+}

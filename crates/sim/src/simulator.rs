@@ -48,11 +48,14 @@ pub enum SimError {
         value: u128,
     },
     /// A signal fed by a sequential (registered) memory read was peeked before the
-    /// first clock edge: the implicit read register has never captured a word.
+    /// first edge of the read port's clock domain: the implicit read register has
+    /// never captured a word.
     SyncReadBeforeClock {
         /// The peeked signal.
         signal: String,
     },
+    /// A clock domain passed to `step_clock` does not exist in the design.
+    NoSuchClock(String),
     /// Expression evaluation failed (lowering bug or corrupted netlist).
     Eval(EvalError),
 }
@@ -78,6 +81,7 @@ impl std::fmt::Display for SimError {
                      least once before peeking it"
                 )
             }
+            SimError::NoSuchClock(name) => write!(f, "no such clock domain: {name}"),
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
         }
     }
@@ -120,9 +124,14 @@ pub struct Simulator {
     values: BTreeMap<String, u128>,
     /// Current contents of every memory.
     mems: BTreeMap<String, MemState>,
-    /// Signals that depend on a sequential memory read and therefore cannot be
-    /// peeked before the first clock edge.
-    sync_tainted: std::collections::BTreeSet<String>,
+    /// For every signal depending on a sequential memory read, the implicit read
+    /// registers it depends on; peeking is rejected while any of them is uncaptured.
+    sync_sources: BTreeMap<String, std::collections::BTreeSet<String>>,
+    /// Implicit read registers whose clock domain has never edged (they have never
+    /// captured a word).
+    uncaptured: std::collections::BTreeSet<String>,
+    /// Clock domains in first-appearance order (cached from the netlist).
+    domains: Vec<String>,
     cycles: u64,
 }
 
@@ -145,8 +154,15 @@ impl Simulator {
             .iter()
             .map(|m| (m.name.clone(), MemState::with_init(m.info, m.depth, &m.init)))
             .collect();
-        let sync_tainted = netlist.sync_read_tainted();
-        Self { netlist, values, mems, sync_tainted, cycles: 0 }
+        let sync_sources = netlist.sync_read_sources();
+        let uncaptured = netlist.mems.iter().flat_map(|m| m.sync_reads.iter().cloned()).collect();
+        let domains = netlist.clock_domains();
+        Self { netlist, values, mems, sync_sources, uncaptured, domains, cycles: 0 }
+    }
+
+    /// The design's clock domains, in first-appearance order.
+    pub fn clock_domains(&self) -> &[String] {
+        &self.domains
     }
 
     /// The underlying netlist.
@@ -188,11 +204,15 @@ impl Simulator {
     ///
     /// Returns [`SimError::NoSuchPort`] if the signal does not exist, and
     /// [`SimError::SyncReadBeforeClock`] when the signal depends on a sequential
-    /// memory read and no clock edge has happened yet (the implicit read register
+    /// memory read whose clock domain has not edged yet (the implicit read register
     /// has never captured a word).
     pub fn peek(&self, name: &str) -> Result<u128, SimError> {
-        if self.cycles == 0 && self.sync_tainted.contains(name) {
-            return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+        if !self.uncaptured.is_empty() {
+            if let Some(sources) = self.sync_sources.get(name) {
+                if sources.iter().any(|s| self.uncaptured.contains(s)) {
+                    return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+                }
+            }
         }
         self.values.get(name).copied().ok_or_else(|| SimError::NoSuchPort(name.to_string()))
     }
@@ -255,16 +275,37 @@ impl Simulator {
         Ok(())
     }
 
-    /// Advances one clock cycle: evaluates combinational logic, computes every
-    /// register's next value (applying synchronous reset) and every enabled memory
-    /// write, commits them simultaneously, and re-evaluates.
+    /// Advances one clock cycle on **every** domain: evaluates combinational logic,
+    /// computes every register's next value (applying synchronous reset) and every
+    /// enabled memory write, commits them simultaneously, and re-evaluates.
     ///
-    /// Memory writes observe read-under-write "old data" semantics: all next-states
-    /// and write ports are staged against the pre-edge state before anything commits.
+    /// Memory writes observe nonblocking-assignment semantics: all next-states and
+    /// write ports are staged against the pre-edge state before anything commits.
     pub fn step(&mut self) -> Result<(), SimError> {
+        self.step_filtered(None)
+    }
+
+    /// Edges one clock domain only: registers and memory write ports in other
+    /// domains keep their pre-edge state (see `SimEngine::step_clock`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domain` is not a clock domain of the
+    /// design; otherwise the same conditions as [`Simulator::step`].
+    pub fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        if !self.domains.iter().any(|d| d == domain) {
+            return Err(SimError::NoSuchClock(domain.to_string()));
+        }
+        self.step_filtered(Some(domain))
+    }
+
+    /// Shared stage-then-commit edge: with `domain == None` every register and write
+    /// port commits (the lockstep all-domain edge `step` has always performed); with
+    /// `Some(d)` only state clocked by `d` commits.
+    fn step_filtered(&mut self, domain: Option<&str>) -> Result<(), SimError> {
         self.eval()?;
         let mut next_values: Vec<(String, u128)> = Vec::with_capacity(self.netlist.regs.len());
-        for reg in &self.netlist.regs {
+        for reg in self.netlist.regs.iter().filter(|r| domain.is_none_or(|d| r.clock == d)) {
             let next =
                 eval_expr_with_mems(&reg.next, &self.values, &self.netlist.signals, &self.mems)?;
             let value = match &reg.reset {
@@ -301,7 +342,7 @@ impl Simulator {
         let mut mem_commits: Vec<(usize, usize, u128)> = Vec::new();
         for (mem_index, mem) in self.netlist.mems.iter().enumerate() {
             let word_mask = mask(u128::MAX, mem.info.width);
-            for port in &mem.writes {
+            for port in mem.writes.iter().filter(|w| domain.is_none_or(|d| w.clock == d)) {
                 let en = eval_expr_with_mems(
                     &port.enable,
                     &self.values,
@@ -355,6 +396,17 @@ impl Simulator {
                 state.words[addr] = word;
             }
         }
+        // An implicit read register leaves the uncaptured set on the first edge of
+        // its own clock domain — edges of other domains don't capture anything.
+        if !self.uncaptured.is_empty() {
+            self.uncaptured.retain(|name| {
+                !self
+                    .netlist
+                    .regs
+                    .iter()
+                    .any(|r| r.name == *name && domain.is_none_or(|d| r.clock == d))
+            });
+        }
         self.cycles += 1;
         self.eval()
     }
@@ -368,6 +420,9 @@ impl Simulator {
     }
 
     /// Asserts the `reset` input (when present) for `cycles` cycles, then deasserts it.
+    ///
+    /// Each pulse cycle is a full [`Simulator::step`], so reset edges **every** clock
+    /// domain; memory init images are not restored (time-zero preload only).
     pub fn reset(&mut self, cycles: u32) -> Result<(), SimError> {
         let has_reset =
             self.netlist.ports.iter().any(|p| p.name == "reset" && p.direction == Direction::Input);
@@ -412,6 +467,14 @@ impl crate::engine::SimEngine for Simulator {
 
     fn step(&mut self) -> Result<(), SimError> {
         Simulator::step(self)
+    }
+
+    fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        Simulator::step_clock(self, domain)
+    }
+
+    fn clock_domains(&self) -> Vec<String> {
+        self.domains.clone()
     }
 
     fn cycles(&self) -> u64 {

@@ -207,7 +207,7 @@ fn emit_expr(expr: &Expression, netlist: &Netlist) -> Result<VExpr, EmitError> {
         // Sequential reads are hoisted into implicit registers by lowering; a
         // surviving sync read means the netlist skipped lowering.
         Expression::MemRead { sync: true, .. } => Err(EmitError::Unsupported(expr.to_string())),
-        Expression::MemRead { mem, addr, sync: false } => {
+        Expression::MemRead { mem, addr, sync: false, .. } => {
             let indexed =
                 VExpr::Index { base: mem.clone(), index: Box::new(emit_expr(addr, netlist)?) };
             // The engines define out-of-range reads as zero; plain `mem[addr]` would
