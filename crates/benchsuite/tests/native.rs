@@ -1,0 +1,281 @@
+//! Native-engine integration tests: golden generated sources + AOT differential
+//! parity.
+//!
+//! Two properties pin the native codegen engine:
+//!
+//! * **Codegen is reviewable.** The straight-line Rust emitted for one reference
+//!   circuit per suite family is stored as a golden file; codegen churn shows up as
+//!   a readable source diff, the same `RECHISEL_BLESS=1` convention as the trace and
+//!   Verilog goldens. These tests are pure emission — no builds — so they are cheap.
+//! * **Machine code is mechanically indistinguishable from the interpreter.** For
+//!   generated circuits × random stimulus, and for real suite references, the AOT
+//!   built-and-`dlopen`ed engine must agree with the interpreter peek for peek
+//!   (as `Result`s, `SyncReadBeforeClock` taint included), memory word for memory
+//!   word, cycle for cycle — the same bar the compiled and batched engines clear.
+//!   Each distinct design costs one `cargo build` (cached process-wide), so the
+//!   AOT case count is kept small by default and raised in CI's dedicated job via
+//!   `RECHISEL_NATIVE_FUZZ_CASES`.
+
+use rechisel_benchsuite::circuits::{arithmetic, cdc, combinational, fsm, memory, sequential};
+use rechisel_benchsuite::{random_circuit, random_stimulus, RandomCircuitConfig, SourceFamily};
+use rechisel_firrtl::lower_circuit;
+use rechisel_sim::{
+    codegen, native_or_fallback, run_testbench, run_testbench_with, CompiledSimulator, EngineKind,
+    SimEngine, Simulator, Tape,
+};
+
+// --- golden generated sources ---------------------------------------------------------
+
+/// Emits the native source for a case's reference design and compares it against the
+/// stored golden file (or rewrites it under `RECHISEL_BLESS=1`).
+fn check_native_golden(case: &rechisel_benchsuite::BenchmarkCase, golden_name: &str, golden: &str) {
+    let tape = Tape::compile(case.reference_netlist()).unwrap();
+    let got = codegen::emit_tape_source(&tape)
+        .unwrap_or_else(|e| panic!("{}: native codegen failed: {e}", case.id));
+    if std::env::var("RECHISEL_BLESS").is_ok() {
+        let path = format!("{}/tests/golden/{golden_name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    assert_eq!(
+        got, golden,
+        "{} generated source diverges from tests/golden/{golden_name} \
+         (run with RECHISEL_BLESS=1 to re-record after an intentional codegen change)",
+        case.id
+    );
+}
+
+#[test]
+fn native_golden_arithmetic_alu4() {
+    check_native_golden(
+        &arithmetic::alu(4, SourceFamily::Rtllm),
+        "native_arithmetic_alu4.rs",
+        include_str!("golden/native_arithmetic_alu4.rs"),
+    );
+}
+
+#[test]
+fn native_golden_combinational_vector5() {
+    check_native_golden(
+        &combinational::vector5(),
+        "native_combinational_vector5.rs",
+        include_str!("golden/native_combinational_vector5.rs"),
+    );
+}
+
+#[test]
+fn native_golden_fsm_seq101() {
+    check_native_golden(
+        &fsm::sequence_detector(&[1, 0, 1], SourceFamily::HdlBits),
+        "native_fsm_seq101.rs",
+        include_str!("golden/native_fsm_seq101.rs"),
+    );
+}
+
+#[test]
+fn native_golden_sequential_counter_up4() {
+    check_native_golden(
+        &sequential::counter_up(4, SourceFamily::HdlBits),
+        "native_sequential_counter_up4.rs",
+        include_str!("golden/native_sequential_counter_up4.rs"),
+    );
+}
+
+#[test]
+fn native_golden_memory_fifo8x4() {
+    check_native_golden(
+        &memory::fifo(8, 4, SourceFamily::VerilogEval),
+        "native_memory_fifo8x4.rs",
+        include_str!("golden/native_memory_fifo8x4.rs"),
+    );
+}
+
+// --- AOT differential parity ----------------------------------------------------------
+
+/// Generated-circuit count for the AOT property: each case is a real `cargo build`
+/// of the generated crate, so the default stays small; CI raises it.
+fn native_fuzz_cases() -> u64 {
+    std::env::var("RECHISEL_NATIVE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// A splitmix64 step, for deterministic seed streams.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One differential run of the native engine (or its documented fallback) against
+/// the interpreter: every named signal compared as a peek `Result`, every memory
+/// word, outputs and cycles — after construction, reset, and every eval/step.
+/// Returns `true` when the run actually exercised machine code (no fallback).
+fn native_differential_run(seed: u64, config: &RandomCircuitConfig) -> bool {
+    let circuit = random_circuit(seed, config);
+    let netlist = lower_circuit(&circuit)
+        .unwrap_or_else(|e| panic!("seed {seed}: generated circuit fails to lower: {e}"));
+    let names: Vec<String> = netlist.slot_assignment().iter().map(|(_, n)| n.to_string()).collect();
+    let mems: Vec<(String, usize)> =
+        netlist.mems.iter().map(|m| (m.name.clone(), m.depth)).collect();
+
+    let mut interp = Simulator::new(netlist.clone());
+    let (mut native, fallback) = native_or_fallback(&netlist)
+        .unwrap_or_else(|e| panic!("seed {seed}: native construction failed: {e}"));
+    let native = native.as_mut();
+
+    let check = |interp: &Simulator, native: &dyn SimEngine, at: &str| {
+        for name in &names {
+            let a = interp.peek(name);
+            let b = native.peek(name);
+            assert_eq!(
+                a, b,
+                "seed {seed}: signal {name} diverges {at} (interp {a:?} vs native {b:?})"
+            );
+        }
+        for (mem, depth) in &mems {
+            for addr in 0..*depth as u128 {
+                let a = interp.peek_mem(mem, addr).unwrap();
+                let b = native.peek_mem(mem, addr).unwrap();
+                assert_eq!(a, b, "seed {seed}: memory word {mem}[{addr}] diverges {at}");
+            }
+        }
+    };
+
+    check(&interp, native, "at construction");
+    interp.reset(2).unwrap();
+    native.reset(2).unwrap();
+    check(&interp, native, "after reset");
+
+    for (cycle, assignment) in random_stimulus(&netlist, 10, seed).iter().enumerate() {
+        for (name, value) in assignment {
+            interp.poke(name, *value).unwrap();
+            native.poke(name, *value).unwrap();
+        }
+        interp.eval().unwrap();
+        native.eval().unwrap();
+        check(&interp, native, &format!("eval {cycle}"));
+        interp.step().unwrap();
+        native.step().unwrap();
+        check(&interp, native, &format!("step {cycle}"));
+        assert_eq!(interp.outputs(), native.outputs(), "seed {seed} cycle {cycle}");
+        assert_eq!(interp.cycles(), native.cycles(), "seed {seed} cycle {cycle}");
+    }
+    fallback.is_none()
+}
+
+#[test]
+fn native_engine_agrees_on_generated_circuits() {
+    // Deterministic seed stream (reproduces forever); alternate narrow and wide
+    // populations so the word-boundary arithmetic is covered too.
+    let mut state = 0x5EED_0000_0000_0001;
+    let (mut built, mut fell_back) = (0u64, 0u64);
+    for i in 0..native_fuzz_cases() {
+        let seed = mix(&mut state);
+        let config =
+            if i % 2 == 0 { RandomCircuitConfig::default() } else { RandomCircuitConfig::wide() };
+        if native_differential_run(seed, &config) {
+            built += 1;
+        } else {
+            fell_back += 1;
+        }
+    }
+    println!("native differential: {built} AOT builds, {fell_back} compiled fallbacks");
+    assert!(built > 0, "no generated circuit exercised the native engine at all");
+}
+
+#[test]
+fn native_engine_agrees_on_suite_references() {
+    // Real benchmark-suite designs, one per family: byte-identical testbench
+    // reports between the interpreter and the native engine. The DUT and reference
+    // share one netlist, so each case costs a single cached AOT build.
+    let cases = [
+        arithmetic::alu(4, SourceFamily::Rtllm),
+        fsm::sequence_detector(&[1, 0, 1], SourceFamily::HdlBits),
+        memory::fifo(8, 4, SourceFamily::VerilogEval),
+    ];
+    for case in &cases {
+        let netlist = case.reference_netlist();
+        let tester = case.tester();
+        let tb = tester.testbench();
+        let interp = run_testbench(netlist, netlist, tb).unwrap();
+        let native = run_testbench_with(EngineKind::Native, netlist, netlist, tb).unwrap();
+        assert_eq!(interp, native, "case {}", case.id);
+        assert!(native.passed(), "case {}", case.id);
+    }
+}
+
+#[test]
+fn native_engine_agrees_on_per_domain_edges() {
+    // Multi-clock stepping: a CDC async FIFO driven edge by edge on each domain; the
+    // native engine must track the compiled tape through per-domain commits and the
+    // per-domain `SyncReadBeforeClock` taint clearing.
+    let case = cdc::async_fifo(8, 4, SourceFamily::Rtllm);
+    let netlist = case.reference_netlist();
+    let names: Vec<String> = netlist.slot_assignment().iter().map(|(_, n)| n.to_string()).collect();
+
+    let mut compiled = CompiledSimulator::new(netlist).unwrap();
+    let (mut native, fallback) = native_or_fallback(netlist).unwrap();
+    assert!(fallback.is_none(), "async FIFO must be codegen-compatible");
+    let native = native.as_mut();
+
+    let domains = native.clock_domains();
+    assert_eq!(domains, SimEngine::clock_domains(&compiled));
+    assert!(domains.len() >= 2, "async FIFO must have two clock domains");
+
+    let mut state = 0xC0C_0000_0000_0007;
+    for edge in 0..64u32 {
+        for assignment in random_stimulus(netlist, 1, u64::from(edge)) {
+            for (name, value) in assignment {
+                compiled.poke(&name, value).unwrap();
+                native.poke(&name, value).unwrap();
+            }
+        }
+        let domain = &domains[(mix(&mut state) as usize) % domains.len()];
+        compiled.step_clock(domain).unwrap();
+        native.step_clock(domain).unwrap();
+        for name in &names {
+            assert_eq!(
+                compiled.peek(name),
+                native.peek(name),
+                "signal {name} diverges after edge {edge} on {domain}"
+            );
+        }
+        assert_eq!(SimEngine::outputs(&compiled), native.outputs(), "edge {edge}");
+        assert_eq!(compiled.cycles(), native.cycles(), "edge {edge}");
+    }
+}
+
+#[test]
+fn native_engine_falls_back_on_dynamic_shapes() {
+    // A deliberately dynamic design (`dshl`: result width tracks the shift value)
+    // must degrade to the compiled engine with a typed notice — and still simulate.
+    use rechisel_hcl::prelude::*;
+    let mut m = ModuleBuilder::new("DynSuite");
+    let a = m.input("a", Type::uint(8));
+    let sh = m.input("sh", Type::uint(3));
+    let out = m.output("out", Type::uint(16));
+    m.connect(&out, &a.dshl(&sh).bits(15, 0));
+    let netlist = lower_circuit(&m.into_circuit()).unwrap();
+
+    let (mut sim, fallback) = native_or_fallback(&netlist).unwrap();
+    let fallback = fallback.expect("dynamic shapes must report a fallback");
+    assert!(fallback.reason.recoverable());
+    assert!(fallback.to_string().contains("dynamically-shaped"), "got: {fallback}");
+
+    sim.poke("a", 1).unwrap();
+    sim.poke("sh", 4).unwrap();
+    sim.eval().unwrap();
+    assert_eq!(sim.peek("out").unwrap(), 16);
+
+    // The EngineKind seam degrades the same way, silently producing a working engine.
+    let mut via_kind = EngineKind::Native.simulator(&netlist).unwrap();
+    via_kind.poke("a", 1).unwrap();
+    via_kind.poke("sh", 2).unwrap();
+    via_kind.eval().unwrap();
+    assert_eq!(via_kind.peek("out").unwrap(), 4);
+}

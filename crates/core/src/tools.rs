@@ -214,6 +214,12 @@ impl FunctionalTester {
                     run_testbench_against_trace(&mut dut_sim, &trace, &self.testbench)
                 }
             }),
+            EngineKind::Native => self.reference_trace().and_then(|trace| {
+                // AOT-compiled DUT (falling back to the compiled tape for designs
+                // outside the codegen's reach) against the shared reference trace.
+                let (mut dut_sim, _fallback) = rechisel_sim::native_or_fallback(dut)?;
+                run_testbench_against_trace(dut_sim.as_mut(), &trace, &self.testbench)
+            }),
         };
         match outcome {
             Ok(report) => report,
@@ -375,7 +381,9 @@ mod tests {
         m.connect(&out, &a.not().bits(7, 0));
         let bad = compiler.compile(&m.into_circuit()).unwrap().netlist;
 
-        for kind in [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched] {
+        let kinds =
+            [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched, EngineKind::Native];
+        for kind in kinds {
             let tester = FunctionalTester::new(reference.clone(), tb.clone()).with_engine(kind);
             let reports = tester.test_batch(&[&good, &bad, &good]);
             assert_eq!(reports.len(), 3, "engine {kind}");
@@ -398,7 +406,9 @@ mod tests {
         let y = m.output("other", Type::bool());
         m.connect(&y, &x);
         let alien = compiler.compile(&m.into_circuit()).unwrap().netlist;
-        for kind in [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched] {
+        let kinds =
+            [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched, EngineKind::Native];
+        for kind in kinds {
             let tester = FunctionalTester::new(reference.clone(), tb.clone()).with_engine(kind);
             let report = tester.test(&alien);
             assert!(!report.passed(), "engine {kind}");

@@ -397,6 +397,7 @@ impl Client {
                 EngineKind::Interp => "interp",
                 EngineKind::Compiled => "compiled",
                 EngineKind::Batched => "batched",
+                EngineKind::Native => "native",
             };
             body.push(("engine", Json::from(name)));
         }

@@ -162,6 +162,7 @@ fn engine_by_name(name: &str) -> Option<EngineKind> {
         "interp" => Some(EngineKind::Interp),
         "compiled" => Some(EngineKind::Compiled),
         "batched" => Some(EngineKind::Batched),
+        "native" => Some(EngineKind::Native),
         _ => None,
     }
 }

@@ -1,0 +1,822 @@
+//! Native codegen: emit a compiled [`Tape`] as straight-line Rust source.
+//!
+//! This is the Verilator move applied to the instruction tape: instead of a `for` loop
+//! dispatching on an [`Instr`](crate::compiled) enum per operation, every instruction
+//! of the levelized program becomes one line of Rust — a shift, a mask, a mux select —
+//! with slot indices, masks, constants and commit lists baked in as literals. The
+//! emitted module exposes a tiny C ABI (`rechisel_native_step` & friends over a
+//! `*mut u128` state array and a `*mut u128` memory array) that the AOT driver in
+//! [`crate::native`] compiles with `cargo build` and loads with `dlopen`, behind the
+//! ordinary [`SimEngine`](crate::SimEngine) trait.
+//!
+//! Three things make the straight-line form legal:
+//!
+//! * **All-specialized tapes only write bits.** Named slots have pinned metadata and
+//!   specialized instructions touch `bits` alone, so the generated state is a bare
+//!   `[u128; SLOTS]` — widths and sign-extension shifts are compile-time literals.
+//! * **Constant slots are pooled and never written** after tape construction, so their
+//!   values are inlined as literals instead of loads (the constant pool does not even
+//!   need to exist in the generated code, though the host still allocates the full
+//!   slot array so peeks and slot indices stay identical).
+//! * **Dynamic shapes are rejected, not approximated.** A tape containing a generic
+//!   `Prim1`/`Prim2`/`Mux` instruction (a `dshl` whose result width tracks the shift
+//!   *value*, mux arms of different shapes) fails with [`CodegenError::DynamicShape`];
+//!   [`EngineKind::Native`](crate::EngineKind) then falls back to the compiled tape
+//!   engine rather than emitting uncompilable or slow source.
+//!
+//! [`RustBackend`] plugs the same emission into the staged pipeline as a first-class
+//! [`EmitBackend`] — generated Rust is an artifact exactly like emitted Verilog, and
+//! the benchsuite pins it with golden files.
+
+use std::fmt::Write as _;
+
+use rechisel_firrtl::diagnostics::{Diagnostic, ErrorCode};
+use rechisel_firrtl::ir::{Circuit, PrimOp, SourceInfo};
+use rechisel_firrtl::lower::Netlist;
+use rechisel_firrtl::pipeline::EmitBackend;
+
+use crate::compiled::{ext, CmpKind, Instr, MemCommit, Meta, Tape};
+
+/// ABI version stamped into every generated module and checked at load time.
+pub const NATIVE_ABI_VERSION: u64 = 1;
+
+/// Package name of the generated crate (library name `rechisel_native_gen`).
+pub const GENERATED_CRATE_NAME: &str = "rechisel-native-gen";
+
+/// Errors produced while emitting native source from a tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The tape contains a generic instruction whose result shape is only known at
+    /// run time (`dshl` results, mux arms of different shapes). Straight-line code
+    /// bakes widths and masks in as literals, so these tapes cannot be compiled
+    /// natively; the native engine falls back to the compiled tape instead.
+    DynamicShape {
+        /// Debug rendering of the offending instruction.
+        instruction: String,
+    },
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::DynamicShape { instruction } => write!(
+                f,
+                "tape contains a dynamically-shaped instruction that cannot be compiled to \
+                 straight-line code: {instruction}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// A self-contained generated crate: manifest plus library source.
+///
+/// The crate has zero dependencies and carries its own `[workspace]` table, so it
+/// builds offline anywhere — including inside another workspace's checkout — with a
+/// bare `cargo build --release --offline`.
+#[derive(Debug, Clone)]
+pub struct GeneratedCrate {
+    /// `src/lib.rs` of the generated crate.
+    pub lib_rs: String,
+    /// `Cargo.toml` of the generated crate.
+    pub cargo_toml: String,
+    /// FNV-1a digest of the source (sans the fingerprint export itself); the loader
+    /// checks it against `rechisel_native_fingerprint()` to reject stale artifacts.
+    pub fingerprint: u64,
+}
+
+/// FNV-1a 64-bit digest, used to fingerprint generated sources.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-tape emission state: which slots hold pooled constants that can be inlined.
+struct Emitter<'t> {
+    tape: &'t Tape,
+    /// `Some(bits)` for slots that are never written after construction (the pooled
+    /// constants): reads of them are emitted as literals instead of loads.
+    constant: Vec<Option<u128>>,
+}
+
+impl<'t> Emitter<'t> {
+    fn new(tape: &'t Tape) -> Self {
+        // A slot is an inlineable constant iff nothing ever writes it: it is not a
+        // named slot (pokes and peeks go through those), not an instruction
+        // destination, and not a register commit target. What remains is exactly the
+        // constant pool plus dead temporaries, both frozen at their initial bits.
+        let mut written = vec![false; tape.init.len()];
+        for name_slot in tape.index.values() {
+            written[*name_slot as usize] = true;
+        }
+        for instr in tape.comb.iter().chain(tape.reg_program.iter()) {
+            if let Some(dst) = instr_dst(instr) {
+                written[dst as usize] = true;
+            }
+        }
+        for commit in &tape.commits {
+            written[commit.reg as usize] = true;
+        }
+        let constant = written
+            .iter()
+            .enumerate()
+            .map(|(slot, w)| if *w { None } else { Some(tape.init[slot].bits) })
+            .collect();
+        Self { tape, constant }
+    }
+
+    /// The static shape of `slot`, `None` when its width tracks a run-time value.
+    fn meta(&self, slot: u32) -> Option<Meta> {
+        self.tape.metas[slot as usize]
+    }
+
+    /// A `u128` expression reading `slot`: a literal for constants, a load otherwise.
+    fn src(&self, slot: u32) -> String {
+        match self.constant[slot as usize] {
+            Some(v) => format!("{v:#x}u128"),
+            None => format!("s[{slot}]"),
+        }
+    }
+
+    /// An `i128` expression reading `slot` sign-extended through bit 127 by `shift`.
+    fn sext_src(&self, slot: u32, shift: u32) -> String {
+        match self.constant[slot as usize] {
+            Some(v) => format!("({}i128)", ext(v, shift)),
+            None if shift == 0 => format!("(s[{slot}] as i128)"),
+            None => format!("sx(s[{slot}], {shift})"),
+        }
+    }
+
+    /// One straight-line statement per instruction. Generic instructions are the
+    /// dynamic-shape cases and are rejected.
+    fn instr(&self, instr: &Instr) -> Result<String, CodegenError> {
+        Ok(match *instr {
+            Instr::CopyMask { dst, src, mask } => {
+                if mask == u128::MAX {
+                    format!("s[{dst}] = {};", self.src(src))
+                } else {
+                    format!("s[{dst}] = {} & {mask:#x};", self.src(src))
+                }
+            }
+            Instr::Not { dst, a, mask } => format!("s[{dst}] = !{} & {mask:#x};", self.src(a)),
+            Instr::And { dst, a, b } => {
+                format!("s[{dst}] = {} & {};", self.src(a), self.src(b))
+            }
+            Instr::Or { dst, a, b } => format!("s[{dst}] = {} | {};", self.src(a), self.src(b)),
+            Instr::Xor { dst, a, b } => {
+                format!("s[{dst}] = {} ^ {};", self.src(a), self.src(b))
+            }
+            Instr::AddSub { dst, a, b, sa, sb, mask, sub } => {
+                let op = if sub { "wrapping_sub" } else { "wrapping_add" };
+                format!(
+                    "s[{dst}] = {}.{op}({}) as u128 & {mask:#x};",
+                    self.sext_src(a, sa),
+                    self.sext_src(b, sb)
+                )
+            }
+            Instr::Cmp { dst, a, b, sa, sb, kind, signed } => {
+                let op = match kind {
+                    CmpKind::Eq => "==",
+                    CmpKind::Neq => "!=",
+                    CmpKind::Lt => "<",
+                    CmpKind::Leq => "<=",
+                    CmpKind::Gt => ">",
+                    CmpKind::Geq => ">=",
+                };
+                // Equality always compares per-operand signed interpretations;
+                // orderings are signed iff either operand is (mirroring `exec`).
+                let (lhs, rhs) = if matches!(kind, CmpKind::Eq | CmpKind::Neq) || signed {
+                    (self.sext_src(a, sa), self.sext_src(b, sb))
+                } else {
+                    (self.src(a), self.src(b))
+                };
+                format!("s[{dst}] = u128::from({lhs} {op} {rhs});")
+            }
+            Instr::MuxBits { dst, c, t, f } => format!(
+                "s[{dst}] = if {} & 1 != 0 {{ {} }} else {{ {} }};",
+                self.src(c),
+                self.src(t),
+                self.src(f)
+            ),
+            Instr::Slice { dst, a, lo, mask } => {
+                if lo == 0 {
+                    format!("s[{dst}] = {} & {mask:#x};", self.src(a))
+                } else {
+                    format!("s[{dst}] = ({} >> {lo}) & {mask:#x};", self.src(a))
+                }
+            }
+            Instr::CatBits { dst, a, b, shift, mask } => {
+                format!("s[{dst}] = (({} << {shift}) | {}) & {mask:#x};", self.src(a), self.src(b))
+            }
+            Instr::MemRead { dst, addr, base, depth } => {
+                let a = self.src(addr);
+                format!(
+                    "s[{dst}] = if {a} < {depth}u128 {{ m[{base}usize + {a} as usize] }} \
+                     else {{ 0 }};"
+                )
+            }
+            Instr::Prim1 { op, dst, a, p0, p1 } => match (self.meta(a), self.meta(dst)) {
+                (Some(am), Some(rm)) => self.prim1(instr, op, dst, a, p0, p1, am, rm)?,
+                _ => return Err(CodegenError::DynamicShape { instruction: format!("{instr:?}") }),
+            },
+            Instr::Prim2 { op, dst, a, b } => match (self.meta(a), self.meta(b), self.meta(dst)) {
+                (Some(am), Some(bm), Some(rm)) => self.prim2(instr, op, dst, a, b, am, bm, rm)?,
+                _ => return Err(CodegenError::DynamicShape { instruction: format!("{instr:?}") }),
+            },
+            // A generic select only exists when the arm shapes differ (the builder
+            // gives its destination a dynamic shape) — never expressible here.
+            Instr::Mux { .. } => {
+                return Err(CodegenError::DynamicShape { instruction: format!("{instr:?}") })
+            }
+        })
+    }
+
+    /// A generic unary instruction whose operand and result shapes are static: the
+    /// [`apply_prim`](crate::eval::apply_prim) semantics specialized to literals.
+    #[allow(clippy::too_many_arguments)]
+    fn prim1(
+        &self,
+        instr: &Instr,
+        op: PrimOp,
+        dst: u32,
+        a: u32,
+        p0: i64,
+        p1: i64,
+        am: Meta,
+        rm: Meta,
+    ) -> Result<String, CodegenError> {
+        use PrimOp::*;
+        let src = self.src(a);
+        let m = rm.mask();
+        Ok(match op {
+            Not => format!("s[{dst}] = !{src} & {m:#x};"),
+            Shl => {
+                let n = p0.max(0) as u32;
+                if n >= 128 {
+                    format!("s[{dst}] = 0;")
+                } else {
+                    format!("s[{dst}] = ({src} << {n}) & {m:#x};")
+                }
+            }
+            Shr => {
+                let n = p0.max(0) as u32;
+                if am.signed {
+                    format!(
+                        "s[{dst}] = ({} >> {}) as u128 & {m:#x};",
+                        self.sext_src(a, am.sext_shift()),
+                        n.min(127)
+                    )
+                } else if n >= 128 {
+                    format!("s[{dst}] = 0;")
+                } else {
+                    format!("s[{dst}] = ({src} >> {n}) & {m:#x};")
+                }
+            }
+            Bits => {
+                let lo = p1.max(0) as u32;
+                if lo >= 128 {
+                    format!("s[{dst}] = 0;")
+                } else {
+                    format!("s[{dst}] = ({src} >> {lo}) & {m:#x};")
+                }
+            }
+            AndR => format!("s[{dst}] = u128::from({src} == {:#x});", am.mask()),
+            OrR => format!("s[{dst}] = u128::from({src} != 0);"),
+            XorR => format!("s[{dst}] = u128::from({src}.count_ones() & 1 == 1);"),
+            AsUInt | AsSInt => format!("s[{dst}] = {src} & {m:#x};"),
+            AsBool | AsClock | AsAsyncReset => format!("s[{dst}] = {src} & 1;"),
+            Neg => format!(
+                "s[{dst}] = {}.wrapping_neg() as u128 & {m:#x};",
+                self.sext_src(a, am.sext_shift())
+            ),
+            Pad => {
+                if am.signed {
+                    format!("s[{dst}] = {} as u128 & {m:#x};", self.sext_src(a, am.sext_shift()))
+                } else {
+                    format!("s[{dst}] = {src};")
+                }
+            }
+            Tail => format!("s[{dst}] = {src} & {m:#x};"),
+            Head => {
+                let keep = (p0.max(0) as u32).max(1);
+                let shift = am.width.saturating_sub(keep);
+                if shift == 0 {
+                    format!("s[{dst}] = {src} & {m:#x};")
+                } else if shift >= 128 {
+                    format!("s[{dst}] = 0;")
+                } else {
+                    format!("s[{dst}] = ({src} >> {shift}) & {m:#x};")
+                }
+            }
+            _ => return Err(CodegenError::DynamicShape { instruction: format!("{instr:?}") }),
+        })
+    }
+
+    /// A generic binary instruction whose operand and result shapes are static. The
+    /// shapes the builder's specialized instructions do not cover: multiplication,
+    /// division/remainder (with the divide-by-zero-yields-zero rule), dynamic right
+    /// shifts, and word-boundary concatenations.
+    #[allow(clippy::too_many_arguments)]
+    fn prim2(
+        &self,
+        instr: &Instr,
+        op: PrimOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        am: Meta,
+        bm: Meta,
+        rm: Meta,
+    ) -> Result<String, CodegenError> {
+        use PrimOp::*;
+        let m = rm.mask();
+        let ea = self.sext_src(a, am.sext_shift());
+        let eb = self.sext_src(b, bm.sext_shift());
+        let signed = am.signed || bm.signed;
+        Ok(match op {
+            Mul => format!("s[{dst}] = {ea}.wrapping_mul({eb}) as u128 & {m:#x};"),
+            Div => {
+                if signed {
+                    format!(
+                        "s[{dst}] = if {eb} == 0 {{ 0 }} else \
+                         {{ {ea}.wrapping_div({eb}) as u128 & {m:#x} }};"
+                    )
+                } else {
+                    format!(
+                        "s[{dst}] = if {} == 0 {{ 0 }} else {{ ({} / {}) & {m:#x} }};",
+                        self.src(b),
+                        self.src(a),
+                        self.src(b)
+                    )
+                }
+            }
+            Rem => {
+                if signed {
+                    format!(
+                        "s[{dst}] = if {eb} == 0 {{ 0 }} else \
+                         {{ {ea}.wrapping_rem({eb}) as u128 & {m:#x} }};"
+                    )
+                } else {
+                    format!(
+                        "s[{dst}] = if {} == 0 {{ 0 }} else {{ ({} % {}) & {m:#x} }};",
+                        self.src(b),
+                        self.src(a),
+                        self.src(b)
+                    )
+                }
+            }
+            Dshr => {
+                // The shift amount is the *unsigned* bit pattern of b (mirroring
+                // `apply_prim`); a logical over-shift zeroes, an arithmetic one
+                // sign-fills (shift clamped to 127).
+                if am.signed {
+                    format!("s[{dst}] = ({ea} >> {}.min(127)) as u128 & {m:#x};", self.src(b))
+                } else {
+                    format!(
+                        "s[{dst}] = if {} >= 128 {{ 0 }} else {{ ({} >> {}) & {m:#x} }};",
+                        self.src(b),
+                        self.src(a),
+                        self.src(b)
+                    )
+                }
+            }
+            Cat => {
+                if bm.width >= 128 {
+                    // The low part fills the whole word; the high part shifts out.
+                    format!("s[{dst}] = {};", self.src(b))
+                } else {
+                    format!(
+                        "s[{dst}] = (({} << {}) | {}) & {m:#x};",
+                        self.src(a),
+                        bm.width,
+                        self.src(b)
+                    )
+                }
+            }
+            _ => return Err(CodegenError::DynamicShape { instruction: format!("{instr:?}") }),
+        })
+    }
+
+    /// One staged memory write. The guard (`domain == N`) is baked in for the
+    /// filtered commit path and omitted for the all-domain path; the merge and the
+    /// whole-word store mirror `CompiledSimulator::step_filtered` line for line.
+    fn mem_commit(&self, c: &MemCommit, out: &mut String, indent: &str, filtered: bool) {
+        let (open, inner) = if filtered {
+            let _ = writeln!(out, "{indent}if d == {} {{", c.domain);
+            (format!("{indent}    "), true)
+        } else {
+            (indent.to_string(), false)
+        };
+        let _ = writeln!(out, "{open}if {} & 1 != 0 {{", self.src(c.en));
+        let _ = writeln!(out, "{open}    let a = {};", self.src(c.addr));
+        let _ = writeln!(out, "{open}    if a < {}u128 {{", c.depth);
+        let _ = writeln!(out, "{open}        let v = {} & {:#x};", self.src(c.val), c.mask);
+        let word = match c.lane {
+            None => "v".to_string(),
+            Some((lane, old)) => {
+                let _ =
+                    writeln!(out, "{open}        let lanes = {} & {:#x};", self.src(lane), c.mask);
+                format!("({} & !lanes) | (v & lanes)", self.src(old))
+            }
+        };
+        let _ = writeln!(out, "{open}        m[{}usize + a as usize] = {word};", c.base);
+        let _ = writeln!(out, "{open}    }}");
+        let _ = writeln!(out, "{open}}}");
+        if inner {
+            let _ = writeln!(out, "{indent}}}");
+        }
+    }
+}
+
+/// The destination slot an instruction writes, if any (all instructions write one).
+fn instr_dst(instr: &Instr) -> Option<u32> {
+    Some(match *instr {
+        Instr::CopyMask { dst, .. }
+        | Instr::Not { dst, .. }
+        | Instr::And { dst, .. }
+        | Instr::Or { dst, .. }
+        | Instr::Xor { dst, .. }
+        | Instr::AddSub { dst, .. }
+        | Instr::Cmp { dst, .. }
+        | Instr::MuxBits { dst, .. }
+        | Instr::Slice { dst, .. }
+        | Instr::CatBits { dst, .. }
+        | Instr::Prim1 { dst, .. }
+        | Instr::Prim2 { dst, .. }
+        | Instr::Mux { dst, .. }
+        | Instr::MemRead { dst, .. } => dst,
+    })
+}
+
+/// Emits the generated module's `lib.rs` for a tape.
+///
+/// The source is deterministic for a given tape (stable slot indices, stable
+/// orderings), so it can be pinned by golden files and fingerprinted for caching.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::DynamicShape`] when the tape contains generic
+/// (dynamically-shaped) instructions.
+///
+/// # Example
+///
+/// ```
+/// use rechisel_hcl::prelude::*;
+/// use rechisel_sim::{codegen, Tape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ModuleBuilder::new("AddOne");
+/// let a = m.input("a", Type::uint(8));
+/// let out = m.output("out", Type::uint(8));
+/// m.connect(&out, &a.add(&Signal::lit_w(1, 8)).bits(7, 0));
+/// let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+/// let tape = Tape::compile(&netlist)?;
+///
+/// let source = codegen::emit_tape_source(&tape)?;
+/// assert!(source.contains("rechisel_native_step"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn emit_tape_source(tape: &Tape) -> Result<String, CodegenError> {
+    let em = Emitter::new(tape);
+    let slots = tape.init.len();
+    let mw = tape.mem_init.len();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// Generated by rechisel-sim native codegen for module `{}` — do not edit.",
+        tape.name
+    );
+    let _ = writeln!(
+        out,
+        "// slots: {slots}, mem words: {mw}, clock domains: {}, instructions/cycle: {}",
+        tape.domains.len(),
+        tape.instructions_per_cycle()
+    );
+    out.push_str("#![allow(dead_code, unused_variables, clippy::all)]\n\n");
+
+    // Sign-extension helper shared by add/sub/compare lines.
+    out.push_str("#[inline(always)]\n");
+    out.push_str("fn sx(bits: u128, shift: u32) -> i128 {\n");
+    out.push_str("    ((bits << shift) as i128) >> shift\n");
+    out.push_str("}\n\n");
+
+    // Combinational program (runs before and after every commit).
+    let _ = writeln!(out, "#[inline]\nfn comb(s: &mut [u128; {slots}], m: &[u128; {mw}]) {{");
+    for instr in &tape.comb {
+        let _ = writeln!(out, "    {}", em.instr(instr)?);
+    }
+    out.push_str("}\n\n");
+
+    // Register/memory-port staging program (writes staging slots only).
+    let _ = writeln!(out, "#[inline]\nfn stage(s: &mut [u128; {slots}], m: &[u128; {mw}]) {{");
+    for instr in &tape.reg_program {
+        let _ = writeln!(out, "    {}", em.instr(instr)?);
+    }
+    out.push_str("}\n\n");
+
+    // All-domain commit: memory writes first (operands still pre-edge), registers
+    // second — the branch-free body of `step()`.
+    let _ =
+        writeln!(out, "#[inline]\nfn commit_all(s: &mut [u128; {slots}], m: &mut [u128; {mw}]) {{");
+    for c in &tape.mem_commits {
+        em.mem_commit(c, &mut out, "    ", false);
+    }
+    for c in &tape.commits {
+        if c.mask == u128::MAX {
+            let _ = writeln!(out, "    s[{}] = {};", c.reg, em.src(c.staged));
+        } else {
+            let _ = writeln!(out, "    s[{}] = {} & {:#x};", c.reg, em.src(c.staged), c.mask);
+        }
+    }
+    out.push_str("}\n\n");
+
+    // Domain-filtered commit: identical, with each commit guarded by its baked-in
+    // domain index (the `step_clock` path).
+    let _ = writeln!(
+        out,
+        "#[inline]\nfn commit_domain(s: &mut [u128; {slots}], m: &mut [u128; {mw}], d: u32) {{"
+    );
+    for c in &tape.mem_commits {
+        em.mem_commit(c, &mut out, "    ", true);
+    }
+    for c in &tape.commits {
+        let store = if c.mask == u128::MAX {
+            format!("s[{}] = {};", c.reg, em.src(c.staged))
+        } else {
+            format!("s[{}] = {} & {:#x};", c.reg, em.src(c.staged), c.mask)
+        };
+        let _ = writeln!(out, "    if d == {} {{ {store} }}", c.domain);
+    }
+    out.push_str("}\n\n");
+
+    // The exported C ABI. Pointers come from the host's `Vec<u128>` allocations of
+    // exactly SLOTS/MEM_WORDS elements; fixed-size array references let rustc elide
+    // bounds checks on every literal index.
+    let _ = writeln!(
+        out,
+        "/// # Safety\n/// `state` must point to {slots} u128 words and `mem` to {mw}.\n\
+         #[no_mangle]\n\
+         pub unsafe extern \"C\" fn rechisel_native_eval(state: *mut u128, mem: *const u128) {{\n    \
+         let s = &mut *(state as *mut [u128; {slots}]);\n    \
+         let m = &*(mem as *const [u128; {mw}]);\n    \
+         comb(s, m);\n}}\n"
+    );
+    let _ = writeln!(
+        out,
+        "/// # Safety\n/// `state` must point to {slots} u128 words and `mem` to {mw}.\n\
+         #[no_mangle]\n\
+         pub unsafe extern \"C\" fn rechisel_native_step(state: *mut u128, mem: *mut u128) {{\n    \
+         let s = &mut *(state as *mut [u128; {slots}]);\n    \
+         let m = &mut *(mem as *mut [u128; {mw}]);\n    \
+         comb(s, m);\n    \
+         stage(s, m);\n    \
+         commit_all(s, m);\n    \
+         comb(s, m);\n}}\n"
+    );
+    let _ = writeln!(
+        out,
+        "/// # Safety\n/// `state` must point to {slots} u128 words and `mem` to {mw}.\n\
+         #[no_mangle]\n\
+         pub unsafe extern \"C\" fn rechisel_native_step_domain(\n    \
+         state: *mut u128,\n    \
+         mem: *mut u128,\n    \
+         domain: u32,\n\
+         ) {{\n    \
+         let s = &mut *(state as *mut [u128; {slots}]);\n    \
+         let m = &mut *(mem as *mut [u128; {mw}]);\n    \
+         comb(s, m);\n    \
+         stage(s, m);\n    \
+         commit_domain(s, m, domain);\n    \
+         comb(s, m);\n}}\n"
+    );
+    let _ = writeln!(
+        out,
+        "#[no_mangle]\npub extern \"C\" fn rechisel_native_abi() -> u64 {{\n    \
+         {NATIVE_ABI_VERSION}\n}}\n"
+    );
+    let _ = writeln!(
+        out,
+        "#[no_mangle]\npub extern \"C\" fn rechisel_native_slots() -> u64 {{\n    {slots}\n}}\n"
+    );
+    let _ = writeln!(
+        out,
+        "#[no_mangle]\npub extern \"C\" fn rechisel_native_mem_words() -> u64 {{\n    {mw}\n}}\n"
+    );
+    let _ = writeln!(
+        out,
+        "#[no_mangle]\npub extern \"C\" fn rechisel_native_domains() -> u64 {{\n    {}\n}}\n",
+        tape.domains.len()
+    );
+    Ok(out)
+}
+
+/// Emits the complete generated crate (manifest + source + fingerprint) for a tape.
+///
+/// The fingerprint export is appended *after* digesting the rest of the source, so
+/// the loader can verify that a `dlopen`ed artifact was built from exactly this
+/// emission.
+///
+/// # Errors
+///
+/// Same conditions as [`emit_tape_source`].
+pub fn generate_crate(tape: &Tape) -> Result<GeneratedCrate, CodegenError> {
+    let mut lib_rs = emit_tape_source(tape)?;
+    let fingerprint = fnv1a64(lib_rs.as_bytes());
+    let _ = writeln!(
+        lib_rs,
+        "#[no_mangle]\npub extern \"C\" fn rechisel_native_fingerprint() -> u64 {{\n    \
+         {fingerprint:#x}\n}}"
+    );
+    let cargo_toml = format!(
+        "# Generated by rechisel-sim native codegen — build artifact, do not edit.\n\
+         [package]\n\
+         name = \"{GENERATED_CRATE_NAME}\"\n\
+         version = \"0.0.0\"\n\
+         edition = \"2021\"\n\
+         \n\
+         # Detach from any enclosing workspace so the crate builds standalone.\n\
+         [workspace]\n\
+         \n\
+         [lib]\n\
+         crate-type = [\"cdylib\"]\n\
+         \n\
+         [profile.release]\n\
+         opt-level = 3\n"
+    );
+    Ok(GeneratedCrate { lib_rs, cargo_toml, fingerprint })
+}
+
+/// The native-codegen [`EmitBackend`]: generated Rust as a first-class pipeline
+/// artifact, exactly like emitted Verilog.
+///
+/// # Example
+///
+/// ```
+/// use rechisel_firrtl::pipeline::Pipeline;
+/// use rechisel_hcl::prelude::*;
+/// use rechisel_sim::RustBackend;
+///
+/// let mut m = ModuleBuilder::new("Inverter");
+/// let a = m.input("a", Type::bool());
+/// let y = m.output("y", Type::bool());
+/// m.connect(&y, &a.not());
+///
+/// let pipeline = Pipeline::new(RustBackend);
+/// let output = pipeline.run(&m.into_circuit()).expect("clean design");
+/// assert_eq!(output.backend, "rust");
+/// assert!(output.output.contains("rechisel_native_step"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RustBackend;
+
+impl EmitBackend for RustBackend {
+    fn name(&self) -> &'static str {
+        "rust"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "rs"
+    }
+
+    fn emit(&self, _circuit: &Circuit, netlist: &Netlist) -> Result<String, Diagnostic> {
+        let tape = Tape::compile(netlist).map_err(|e| {
+            Diagnostic::error(
+                ErrorCode::UnknownReference,
+                SourceInfo::unknown(),
+                format!("native codegen could not compile the netlist to a tape: {e}"),
+            )
+        })?;
+        emit_tape_source(&tape).map_err(|e| {
+            Diagnostic::error(
+                ErrorCode::WidthInferenceFailure,
+                SourceInfo::unknown(),
+                format!("native codegen failed: {e}"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    fn counter_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Counter");
+        let en = m.input("en", Type::bool());
+        let out = m.output("out", Type::uint(8));
+        let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+        m.when(&en, |m| {
+            let next = count.add(&Signal::lit_w(1, 8)).bits(7, 0);
+            m.connect(&count, &next);
+        });
+        m.connect(&out, &count);
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn emits_straight_line_source_with_the_full_abi() {
+        let tape = Tape::compile(&counter_netlist()).unwrap();
+        let source = emit_tape_source(&tape).unwrap();
+        for symbol in [
+            "rechisel_native_eval",
+            "rechisel_native_step",
+            "rechisel_native_step_domain",
+            "rechisel_native_abi",
+            "rechisel_native_slots",
+            "rechisel_native_mem_words",
+            "rechisel_native_domains",
+        ] {
+            assert!(source.contains(symbol), "missing export {symbol}");
+        }
+        // Straight-line means no interpreter loop and no dispatch on Instr.
+        assert!(!source.contains("apply_prim"));
+        assert!(!source.contains("match"));
+    }
+
+    #[test]
+    fn constants_are_inlined_as_literals() {
+        // The counter's `+ 1` literal lives in the constant pool; the generated
+        // source must read it as a literal, never as a state load.
+        let tape = Tape::compile(&counter_netlist()).unwrap();
+        let em = Emitter::new(&tape);
+        let inlined = em.constant.iter().flatten().count();
+        assert!(inlined >= 1, "expected at least one pooled constant to inline");
+        let source = emit_tape_source(&tape).unwrap();
+        assert!(source.contains("u128"), "inlined literals carry explicit suffixes");
+    }
+
+    #[test]
+    fn generated_crate_is_fingerprinted_and_standalone() {
+        let tape = Tape::compile(&counter_netlist()).unwrap();
+        let gen = generate_crate(&tape).unwrap();
+        assert!(gen.cargo_toml.contains("[workspace]"), "must detach from outer workspaces");
+        assert!(gen.cargo_toml.contains("cdylib"));
+        assert!(gen.lib_rs.contains("rechisel_native_fingerprint"));
+        assert!(gen.lib_rs.contains(&format!("{:#x}", gen.fingerprint)));
+        // Deterministic: the same tape emits byte-identical source.
+        let again = generate_crate(&tape).unwrap();
+        assert_eq!(gen.lib_rs, again.lib_rs);
+        assert_eq!(gen.fingerprint, again.fingerprint);
+    }
+
+    #[test]
+    fn dynamic_shapes_are_rejected_with_a_typed_error() {
+        // `dshl` result width tracks the shift value — the canonical dynamic shape.
+        let mut m = ModuleBuilder::new("Dyn");
+        let a = m.input("a", Type::uint(8));
+        let sh = m.input("sh", Type::uint(3));
+        let out = m.output("out", Type::uint(16));
+        m.connect(&out, &a.dshl(&sh).bits(15, 0));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let tape = Tape::compile(&netlist).unwrap();
+        match emit_tape_source(&tape) {
+            Err(CodegenError::DynamicShape { instruction }) => {
+                assert!(instruction.contains("Prim2"), "got {instruction}");
+            }
+            other => panic!("expected DynamicShape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rust_backend_is_a_first_class_emit_backend() {
+        let mut m = ModuleBuilder::new("Buf");
+        let a = m.input("a", Type::bool());
+        let y = m.output("y", Type::bool());
+        m.connect(&y, &a);
+        let circuit = m.into_circuit();
+        let netlist = lower_circuit(&circuit).unwrap();
+        let backend = RustBackend;
+        assert_eq!(backend.name(), "rust");
+        assert_eq!(backend.file_extension(), "rs");
+        let source = backend.emit(&circuit, &netlist).unwrap();
+        assert!(source.contains("rechisel_native_step"));
+    }
+
+    #[test]
+    fn rust_backend_reports_dynamic_shapes_as_diagnostics() {
+        let mut m = ModuleBuilder::new("Dyn");
+        let a = m.input("a", Type::uint(8));
+        let sh = m.input("sh", Type::uint(3));
+        let out = m.output("out", Type::uint(16));
+        m.connect(&out, &a.dshl(&sh).bits(15, 0));
+        let circuit = m.into_circuit();
+        let netlist = lower_circuit(&circuit).unwrap();
+        let err = RustBackend.emit(&circuit, &netlist).unwrap_err();
+        assert!(err.message.contains("native codegen failed"), "got {}", err.message);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

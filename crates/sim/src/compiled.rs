@@ -40,13 +40,13 @@ impl Meta {
         Meta { width: v.width, signed: v.signed }
     }
 
-    fn mask(self) -> u128 {
+    pub(crate) fn mask(self) -> u128 {
         mask(u128::MAX, self.width)
     }
 
     /// Left-shift amount that sign-extends a `width`-bit value through bit 127 (0 when
     /// no extension is needed — unsigned, width 0, or already 128 bits wide).
-    fn sext_shift(self) -> u32 {
+    pub(crate) fn sext_shift(self) -> u32 {
         if self.signed && self.width > 0 && self.width < 128 {
             128 - self.width
         } else {
@@ -208,6 +208,11 @@ pub struct Tape {
     pub(crate) inputs: BTreeMap<String, InPort>,
     pub(crate) outputs: Vec<(String, u32)>,
     pub(crate) has_reset: bool,
+    /// Per-slot static shape, `None` for dynamically-shaped slots (generic
+    /// instruction results whose width tracks a run-time value). Named slots and
+    /// constants are always `Some`; the native codegen consumes this to bake widths
+    /// and sign-extension shifts in as literals.
+    pub(crate) metas: Vec<Option<Meta>>,
 }
 
 impl Tape {
@@ -389,6 +394,12 @@ impl<'n> Builder<'n> {
                     Not => Some(Instr::Not { dst, a, mask: rm.mask() }),
                     Bits if p1.max(0) < 128 => {
                         Some(Instr::Slice { dst, a, lo: p1.max(0) as u32, mask: rm.mask() })
+                    }
+                    // A static right shift of an unsigned operand is a slice from
+                    // bit p0 (the result width already saturates at max(w-n, 1)).
+                    // Signed operands need an arithmetic shift and stay generic.
+                    Shr if !am.signed && p0.max(0) < 128 => {
+                        Some(Instr::Slice { dst, a, lo: p0.max(0) as u32, mask: rm.mask() })
                     }
                     // A static left shift is concatenation with an empty low part:
                     // shift the operand into place and mask to the saturating result
@@ -649,6 +660,7 @@ impl<'n> Builder<'n> {
             inputs,
             outputs,
             has_reset,
+            metas: self.metas,
         })
     }
 }

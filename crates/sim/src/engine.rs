@@ -19,6 +19,13 @@
 //!   through this seam it runs as a 1-lane batch, and the dedicated lane API unlocks
 //!   the batched throughput for sweep workloads.
 //!
+//! * [`NativeSimulator`](crate::NativeSimulator) (selected by [`EngineKind::Native`])
+//!   goes one step further than the tape: the levelized program is emitted as
+//!   straight-line Rust source, AOT-compiled with `cargo build`, and `dlopen`ed —
+//!   every step is a single call into machine code with the slot layout and commit
+//!   lists baked in. Designs the codegen cannot express fall back to the compiled
+//!   tape (see [`crate::native_or_fallback`]).
+//!
 //! All engines execute the *same* operator kernel ([`crate::eval::apply_prim`]) and
 //! are pinned cycle-for-cycle identical by the differential fuzz suite in
 //! `rechisel-benchsuite`.
@@ -210,15 +217,21 @@ pub enum EngineKind {
     /// Lane-batched tape engine ([`BatchedSimulator`]); a 1-lane batch through this
     /// seam, with the full lane API available on the concrete type.
     Batched,
+    /// AOT-compiled straight-line machine code
+    /// ([`NativeSimulator`](crate::NativeSimulator)); pays a one-time `cargo build`
+    /// per design (cached process-wide), then steps with no interpretation at all.
+    /// Falls back to [`CompiledSimulator`] for designs outside the codegen's reach.
+    Native,
 }
 
 impl EngineKind {
-    /// A short display name (`"interp"` / `"compiled"` / `"batched"`).
+    /// A short display name (`"interp"` / `"compiled"` / `"batched"` / `"native"`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Interp => "interp",
             EngineKind::Compiled => "compiled",
             EngineKind::Batched => "batched",
+            EngineKind::Native => "native",
         }
     }
 
@@ -229,12 +242,16 @@ impl EngineKind {
     /// [`EngineKind::Compiled`] and [`EngineKind::Batched`] return [`SimError::Eval`]
     /// when the netlist cannot be compiled to a tape (dangling references or
     /// non-ground expressions — conditions the interpreter would only report at
-    /// evaluation time).
+    /// evaluation time). [`EngineKind::Native`] additionally returns
+    /// [`SimError::NativeBuild`] when the AOT build or load fails for environmental
+    /// reasons; unsupported tape shapes fall back to the compiled engine silently
+    /// here (use [`crate::native_or_fallback`] directly to observe the fallback).
     pub fn simulator(self, netlist: &Netlist) -> Result<Box<dyn SimEngine>, SimError> {
         match self {
             EngineKind::Interp => Ok(Box::new(Simulator::new(netlist.clone()))),
             EngineKind::Compiled => Ok(Box::new(CompiledSimulator::new(netlist)?)),
             EngineKind::Batched => Ok(Box::new(BatchedSimulator::new(netlist, 1)?)),
+            EngineKind::Native => crate::native::native_or_fallback(netlist).map(|(sim, _)| sim),
         }
     }
 }
@@ -266,7 +283,9 @@ mod tests {
 
     #[test]
     fn both_kinds_drive_the_same_trait_object_protocol() {
-        for kind in [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched] {
+        let kinds =
+            [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched, EngineKind::Native];
+        for kind in kinds {
             let mut sim = kind.simulator(&counter()).unwrap();
             assert!(sim.has_reset());
             sim.reset(2).unwrap();
@@ -284,5 +303,6 @@ mod tests {
         assert_eq!(EngineKind::Interp.name(), "interp");
         assert_eq!(EngineKind::Compiled.to_string(), "compiled");
         assert_eq!(EngineKind::Batched.to_string(), "batched");
+        assert_eq!(EngineKind::Native.to_string(), "native");
     }
 }

@@ -1,0 +1,780 @@
+//! The native engine: AOT-compiled straight-line simulation behind [`SimEngine`].
+//!
+//! [`NativeSimulator`] drives machine code instead of an instruction tape. The
+//! pipeline is generate → build → load:
+//!
+//! 1. [`crate::codegen`] emits the levelized [`Tape`] as a self-contained, zero-dep
+//!    Rust crate (`step`/`step_clock` as straight-line shifts and masks),
+//! 2. an AOT driver writes the crate to a scratch directory and invokes
+//!    `cargo build --release --offline` on it,
+//! 3. the produced `cdylib` is loaded with `dlopen` and its fingerprint-checked
+//!    entry points are called through the ordinary [`SimEngine`] trait — peek/poke,
+//!    memory access, per-domain clock stepping and the `SyncReadBeforeClock` taint
+//!    all behave exactly like the compiled tape engine, so goldens and the
+//!    differential fuzz run unmodified against it.
+//!
+//! Builds are cached process-wide by source fingerprint: constructing many
+//! simulators for the same design (a fuzz run, a benchmark) compiles the generated
+//! crate once. Tapes the codegen cannot express ([dynamic
+//! shapes](crate::CodegenError::DynamicShape)) and non-unix hosts degrade gracefully
+//! — [`native_or_fallback`] returns a [`CompiledSimulator`] plus a typed
+//! [`NativeFallback`] notice instead of failing, which is what
+//! [`EngineKind::Native`](crate::EngineKind) uses.
+//!
+//! Environment knobs: `RECHISEL_NATIVE_DIR` pins the scratch directory (and keeps
+//! the generated sources for inspection/artifact upload); `RECHISEL_NATIVE_KEEP=1`
+//! keeps artifacts in the default temp location too.
+
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rechisel_firrtl::lower::Netlist;
+
+use crate::codegen::{generate_crate, CodegenError, GeneratedCrate, NATIVE_ABI_VERSION};
+use crate::compiled::{CompiledSimulator, Tape};
+use crate::engine::SimEngine;
+use crate::eval::mask;
+use crate::simulator::SimError;
+
+/// Errors from the AOT generate→build→load pipeline.
+#[derive(Debug)]
+pub enum NativeBuildError {
+    /// The netlist could not be compiled to a tape at all (no engine could run it).
+    Compile(SimError),
+    /// The tape compiled but contains shapes the codegen cannot express; the caller
+    /// should fall back to the compiled tape engine.
+    Unsupported(CodegenError),
+    /// The host platform has no dynamic loader support (non-unix).
+    Platform(&'static str),
+    /// Filesystem trouble while writing the generated crate.
+    Io(String),
+    /// `cargo build` of the generated crate failed.
+    Build {
+        /// Trailing stderr of the failed build.
+        stderr: String,
+    },
+    /// The built artifact could not be loaded or failed its ABI/fingerprint check.
+    Load(String),
+}
+
+impl NativeBuildError {
+    /// Whether falling back to the compiled tape engine is the right response:
+    /// true for *expected* limitations (unsupported tape shapes, missing platform
+    /// support), false for environmental failures (I/O, build, load) that indicate
+    /// something is broken and should surface as an error.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, NativeBuildError::Unsupported(_) | NativeBuildError::Platform(_))
+    }
+}
+
+impl std::fmt::Display for NativeBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NativeBuildError::Compile(e) => write!(f, "tape compilation failed: {e}"),
+            NativeBuildError::Unsupported(e) => write!(f, "unsupported by native codegen: {e}"),
+            NativeBuildError::Platform(what) => write!(f, "platform unsupported: {what}"),
+            NativeBuildError::Io(e) => write!(f, "could not write generated crate: {e}"),
+            NativeBuildError::Build { stderr } => {
+                write!(f, "cargo build of the generated crate failed:\n{stderr}")
+            }
+            NativeBuildError::Load(e) => write!(f, "could not load built artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeBuildError {}
+
+/// Options controlling where generated crates are written and whether they are kept.
+#[derive(Debug, Clone, Default)]
+pub struct NativeOptions {
+    /// Base directory for generated crates; a unique subdirectory per build is
+    /// created inside it. Defaults to the system temp directory.
+    pub dir: Option<PathBuf>,
+    /// Keep the generated sources and build tree after loading (for inspection or
+    /// CI artifact upload). Implied by setting `RECHISEL_NATIVE_DIR`.
+    pub keep_artifacts: bool,
+}
+
+impl NativeOptions {
+    /// Options from the environment: `RECHISEL_NATIVE_DIR` pins (and keeps) the
+    /// scratch directory, `RECHISEL_NATIVE_KEEP=1` keeps artifacts anywhere.
+    pub fn from_env() -> Self {
+        let dir = std::env::var_os("RECHISEL_NATIVE_DIR").map(PathBuf::from);
+        let keep_artifacts =
+            dir.is_some() || std::env::var_os("RECHISEL_NATIVE_KEEP").is_some_and(|v| v == "1");
+        Self { dir, keep_artifacts }
+    }
+}
+
+/// Minimal `dlopen` binding — raw libc symbols, no crates. `dlopen`/`dlsym` live in
+/// libc itself on every platform we build for (glibc ≥ 2.34 folded libdl in), so no
+/// link flags are needed.
+#[cfg(unix)]
+mod dl {
+    use std::ffi::{c_char, c_int, c_void, CString};
+    use std::os::unix::ffi::OsStrExt;
+    use std::path::Path;
+
+    extern "C" {
+        fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+        fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        fn dlerror() -> *mut c_char;
+        fn dlclose(handle: *mut c_void) -> c_int;
+    }
+
+    const RTLD_NOW: c_int = 2;
+
+    fn last_error() -> String {
+        // Safety: dlerror returns a thread-local NUL-terminated string or null.
+        unsafe {
+            let msg = dlerror();
+            if msg.is_null() {
+                "unknown dlerror".to_string()
+            } else {
+                std::ffi::CStr::from_ptr(msg).to_string_lossy().into_owned()
+            }
+        }
+    }
+
+    /// An owned shared-library handle; closed on drop.
+    #[derive(Debug)]
+    pub(crate) struct Handle(*mut c_void);
+
+    // Safety: the handle is only used for dlsym lookups, which glibc allows from any
+    // thread, and the loaded code is stateless (all state is caller-provided).
+    unsafe impl Send for Handle {}
+    unsafe impl Sync for Handle {}
+
+    impl Handle {
+        pub(crate) fn open(path: &Path) -> Result<Self, String> {
+            let c_path = CString::new(path.as_os_str().as_bytes())
+                .map_err(|_| "path contains a NUL byte".to_string())?;
+            // Safety: c_path is a valid NUL-terminated string.
+            let handle = unsafe { dlopen(c_path.as_ptr(), RTLD_NOW) };
+            if handle.is_null() {
+                Err(last_error())
+            } else {
+                Ok(Self(handle))
+            }
+        }
+
+        pub(crate) fn sym(&self, name: &str) -> Result<*mut c_void, String> {
+            let c_name = CString::new(name).map_err(|_| "symbol contains NUL".to_string())?;
+            // Safety: self.0 is a live handle, c_name a valid C string.
+            let sym = unsafe { dlsym(self.0, c_name.as_ptr()) };
+            if sym.is_null() {
+                Err(format!("missing symbol `{name}`: {}", last_error()))
+            } else {
+                Ok(sym)
+            }
+        }
+    }
+
+    impl Drop for Handle {
+        fn drop(&mut self) {
+            // Safety: self.0 came from a successful dlopen and is closed only once.
+            unsafe {
+                dlclose(self.0);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod dl {
+    use std::ffi::c_void;
+    use std::path::Path;
+
+    /// Stub handle for hosts without a dynamic loader; open always fails, which
+    /// surfaces as a recoverable [`super::NativeBuildError::Platform`] upstream.
+    #[derive(Debug)]
+    pub(crate) struct Handle;
+
+    impl Handle {
+        pub(crate) fn open(_path: &Path) -> Result<Self, String> {
+            Err("dlopen is unavailable on this platform".to_string())
+        }
+
+        pub(crate) fn sym(&self, _name: &str) -> Result<*mut c_void, String> {
+            Err("dlsym is unavailable on this platform".to_string())
+        }
+    }
+}
+
+type EvalFn = unsafe extern "C" fn(*mut u128, *const u128);
+type StepFn = unsafe extern "C" fn(*mut u128, *mut u128);
+type StepDomainFn = unsafe extern "C" fn(*mut u128, *mut u128, u32);
+
+/// A loaded generated library with its resolved entry points.
+#[derive(Debug)]
+struct NativeLib {
+    /// Keeps the mapping alive for as long as any simulator holds the fn pointers.
+    _handle: dl::Handle,
+    eval: EvalFn,
+    step: StepFn,
+    step_domain: StepDomainFn,
+}
+
+/// Process-wide build cache keyed by generated-source fingerprint: one `cargo build`
+/// per distinct design per process, however many simulators are constructed.
+fn lib_cache() -> &'static Mutex<HashMap<u64, Arc<NativeLib>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<NativeLib>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).take(32).collect()
+}
+
+fn getter(handle: &dl::Handle, name: &str) -> Result<u64, NativeBuildError> {
+    let sym = handle.sym(name).map_err(NativeBuildError::Load)?;
+    // Safety: the symbol is an extern "C" fn() -> u64 by construction of the
+    // generated source; a mismatched artifact is caught by the checks below.
+    let f: extern "C" fn() -> u64 = unsafe { std::mem::transmute(sym) };
+    Ok(f())
+}
+
+/// Writes the generated crate to a unique directory, builds it offline, loads the
+/// produced `cdylib`, and verifies its ABI version, fingerprint and layout.
+fn build_and_load(
+    tape: &Tape,
+    gen: &GeneratedCrate,
+    options: &NativeOptions,
+) -> Result<Arc<NativeLib>, NativeBuildError> {
+    if !cfg!(unix) {
+        return Err(NativeBuildError::Platform("native engine requires a unix dynamic loader"));
+    }
+
+    // dlopen caches by path, so every build gets a unique directory: two different
+    // designs must never reuse a .so path within one process lifetime.
+    static BUILD_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = BUILD_SEQ.fetch_add(1, Ordering::Relaxed);
+    let base = options.dir.clone().unwrap_or_else(std::env::temp_dir);
+    let dir = base.join(format!(
+        "rechisel-native-{}-{}-{seq}",
+        sanitize(tape.name()),
+        std::process::id()
+    ));
+
+    let io = |e: std::io::Error| NativeBuildError::Io(format!("{}: {e}", dir.display()));
+    std::fs::create_dir_all(dir.join("src")).map_err(io)?;
+    std::fs::write(dir.join("Cargo.toml"), &gen.cargo_toml).map_err(io)?;
+    std::fs::write(dir.join("src").join("lib.rs"), &gen.lib_rs).map_err(io)?;
+
+    // Use the invoking cargo when running under `cargo test`/`cargo bench` (the
+    // CARGO env var), a plain `cargo` from PATH otherwise. CARGO_TARGET_DIR is
+    // forced inside the scratch dir so the build never contends for the enclosing
+    // workspace's target/ lock.
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["build", "--release", "--offline", "--quiet"])
+        .current_dir(&dir)
+        .env("CARGO_TARGET_DIR", dir.join("target"))
+        .env("CARGO_NET_OFFLINE", "true")
+        .output()
+        .map_err(|e| NativeBuildError::Io(format!("could not spawn cargo: {e}")))?;
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        let tail: String = stderr.chars().rev().take(4000).collect::<String>();
+        let stderr = tail.chars().rev().collect();
+        if !options.keep_artifacts {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        return Err(NativeBuildError::Build { stderr });
+    }
+
+    let release = dir.join("target").join("release");
+    let so = ["librechisel_native_gen.so", "librechisel_native_gen.dylib"]
+        .iter()
+        .map(|f| release.join(f))
+        .find(|p| p.exists())
+        .ok_or_else(|| {
+            NativeBuildError::Load(format!("no cdylib artifact under {}", release.display()))
+        })?;
+
+    let handle = dl::Handle::open(&so).map_err(NativeBuildError::Load)?;
+
+    let abi = getter(&handle, "rechisel_native_abi")?;
+    if abi != NATIVE_ABI_VERSION {
+        return Err(NativeBuildError::Load(format!(
+            "ABI mismatch: artifact has v{abi}, host expects v{NATIVE_ABI_VERSION}"
+        )));
+    }
+    let fingerprint = getter(&handle, "rechisel_native_fingerprint")?;
+    if fingerprint != gen.fingerprint {
+        return Err(NativeBuildError::Load(format!(
+            "fingerprint mismatch: artifact {fingerprint:#x}, generated {:#x}",
+            gen.fingerprint
+        )));
+    }
+    let slots = getter(&handle, "rechisel_native_slots")?;
+    let mem_words = getter(&handle, "rechisel_native_mem_words")?;
+    if slots != tape.init.len() as u64 || mem_words != tape.mem_init.len() as u64 {
+        return Err(NativeBuildError::Load(format!(
+            "layout mismatch: artifact {slots} slots/{mem_words} mem words, tape {}/{}",
+            tape.init.len(),
+            tape.mem_init.len()
+        )));
+    }
+
+    let eval_sym = handle.sym("rechisel_native_eval").map_err(NativeBuildError::Load)?;
+    let step_sym = handle.sym("rechisel_native_step").map_err(NativeBuildError::Load)?;
+    let dom_sym = handle.sym("rechisel_native_step_domain").map_err(NativeBuildError::Load)?;
+    // Safety: the exported signatures are fixed by the codegen templates; the
+    // fingerprint check above proves the artifact was built from this emission.
+    let lib = unsafe {
+        NativeLib {
+            eval: std::mem::transmute::<*mut std::ffi::c_void, EvalFn>(eval_sym),
+            step: std::mem::transmute::<*mut std::ffi::c_void, StepFn>(step_sym),
+            step_domain: std::mem::transmute::<*mut std::ffi::c_void, StepDomainFn>(dom_sym),
+            _handle: handle,
+        }
+    };
+
+    // On Linux the mapping stays valid after the files are unlinked, so the scratch
+    // tree can go as soon as the library is open.
+    if !options.keep_artifacts {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(Arc::new(lib))
+}
+
+/// Builds (or fetches from the process-wide cache) the native library for a tape.
+fn lib_for_tape(tape: &Tape, options: &NativeOptions) -> Result<Arc<NativeLib>, NativeBuildError> {
+    let gen = generate_crate(tape).map_err(NativeBuildError::Unsupported)?;
+    let mut cache = lib_cache().lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(lib) = cache.get(&gen.fingerprint) {
+        return Ok(Arc::clone(lib));
+    }
+    let lib = build_and_load(tape, &gen, options)?;
+    cache.insert(gen.fingerprint, Arc::clone(&lib));
+    Ok(lib)
+}
+
+/// The native engine: executes AOT-compiled straight-line machine code for a tape.
+///
+/// Construction pays a one-time `cargo build` of the generated crate (cached
+/// process-wide per design); every subsequent `step` is a single call into compiled
+/// code. Semantics — commit ordering, per-domain stepping, the
+/// [`SyncReadBeforeClock`](SimError::SyncReadBeforeClock) taint — match
+/// [`CompiledSimulator`] exactly.
+///
+/// # Example
+///
+/// ```no_run
+/// use rechisel_hcl::prelude::*;
+/// use rechisel_sim::{NativeOptions, NativeSimulator, SimEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ModuleBuilder::new("Counter");
+/// let en = m.input("en", Type::bool());
+/// let out = m.output("out", Type::uint(8));
+/// let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+/// m.when(&en, |m| m.connect(&count, &count.add(&Signal::lit_w(1, 8)).bits(7, 0)));
+/// m.connect(&out, &count);
+/// let netlist = rechisel_firrtl::lower_circuit(&m.into_circuit())?;
+///
+/// // Generates, builds and loads the design's machine code.
+/// let mut sim = NativeSimulator::new(&netlist, &NativeOptions::from_env())?;
+/// sim.poke("en", 1)?;
+/// sim.step();
+/// assert_eq!(sim.peek("out")?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NativeSimulator {
+    tape: Arc<Tape>,
+    lib: Arc<NativeLib>,
+    /// Bit values per slot — widths/signedness are baked into the generated code,
+    /// so unlike the tape interpreter no per-slot metadata is carried at run time.
+    state: Vec<u128>,
+    mem: Vec<u128>,
+    uncaptured: BTreeSet<String>,
+    cycles: u64,
+}
+
+impl NativeSimulator {
+    /// Compiles `netlist`, emits + builds + loads its native code.
+    ///
+    /// # Errors
+    ///
+    /// [`NativeBuildError::Compile`] when the netlist cannot be compiled to a tape
+    /// at all; [`NativeBuildError::Unsupported`] for tapes with dynamic shapes
+    /// (fall back to [`CompiledSimulator`] — or use [`native_or_fallback`], which
+    /// does); other variants for platform/build/load failures.
+    pub fn new(netlist: &Netlist, options: &NativeOptions) -> Result<Self, NativeBuildError> {
+        let tape = Tape::compile(netlist).map_err(NativeBuildError::Compile)?;
+        Self::from_tape(Arc::new(tape), options)
+    }
+
+    /// Builds and loads native code for an already-compiled (possibly shared) tape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NativeSimulator::new`] minus tape compilation.
+    pub fn from_tape(tape: Arc<Tape>, options: &NativeOptions) -> Result<Self, NativeBuildError> {
+        let lib = lib_for_tape(&tape, options)?;
+        let state = tape.init.iter().map(|v| v.bits).collect();
+        let mem = tape.mem_init.clone();
+        let uncaptured = tape.sync_regs.iter().map(|(name, _)| name.clone()).collect();
+        Ok(Self { tape, lib, state, mem, uncaptured, cycles: 0 })
+    }
+
+    /// The compiled program this simulator's machine code was generated from.
+    pub fn tape(&self) -> &Arc<Tape> {
+        &self.tape
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn run_eval(&mut self) {
+        // Safety: state/mem are Vecs of exactly the slot/word counts the artifact
+        // was layout-checked against at load time.
+        unsafe { (self.lib.eval)(self.state.as_mut_ptr(), self.mem.as_ptr()) }
+    }
+
+    /// Drives an input port (same validation as [`CompiledSimulator::poke`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchPort`] / [`SimError::ValueTooWide`].
+    pub fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        let port =
+            self.tape.inputs.get(name).ok_or_else(|| SimError::NoSuchPort(name.to_string()))?;
+        if value != mask(value, port.width) {
+            return Err(SimError::ValueTooWide {
+                port: port.name.clone(),
+                width: port.width,
+                value,
+            });
+        }
+        self.state[port.slot as usize] = value;
+        Ok(())
+    }
+
+    /// Reads the current value of any signal, with the
+    /// [`SyncReadBeforeClock`](SimError::SyncReadBeforeClock) guard.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchPort`] / [`SimError::SyncReadBeforeClock`].
+    pub fn peek(&self, name: &str) -> Result<u128, SimError> {
+        if !self.uncaptured.is_empty() {
+            if let Some(sources) = self.tape.sync_sources.get(name) {
+                if sources.iter().any(|s| self.uncaptured.contains(s)) {
+                    return Err(SimError::SyncReadBeforeClock { signal: name.to_string() });
+                }
+            }
+        }
+        self.tape
+            .index
+            .get(name)
+            .map(|slot| self.state[*slot as usize])
+            .ok_or_else(|| SimError::NoSuchPort(name.to_string()))
+    }
+
+    /// Re-evaluates all combinational logic.
+    pub fn eval(&mut self) {
+        self.run_eval();
+    }
+
+    /// Advances one clock cycle on **every** domain.
+    pub fn step(&mut self) {
+        // Safety: see run_eval; the generated step also writes mem.
+        unsafe { (self.lib.step)(self.state.as_mut_ptr(), self.mem.as_mut_ptr()) }
+        self.uncaptured.clear();
+        self.cycles += 1;
+    }
+
+    /// Edges one clock domain, committing only state tagged with it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchClock`] for unknown domains.
+    pub fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        let idx = self
+            .tape
+            .domains
+            .iter()
+            .position(|d| d == domain)
+            .ok_or_else(|| SimError::NoSuchClock(domain.to_string()))?;
+        // Safety: see run_eval.
+        unsafe {
+            (self.lib.step_domain)(self.state.as_mut_ptr(), self.mem.as_mut_ptr(), idx as u32)
+        }
+        if !self.uncaptured.is_empty() {
+            let sync_regs = &self.tape.sync_regs;
+            let d = idx as u32;
+            self.uncaptured
+                .retain(|name| !sync_regs.iter().any(|(reg, rd)| reg == name && *rd == d));
+        }
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// The design's clock domains, in first-appearance order.
+    pub fn clock_domains(&self) -> &[String] {
+        &self.tape.domains
+    }
+
+    /// Reads all output ports in port order (raw values, no taint guard).
+    pub fn outputs(&self) -> Vec<(String, u128)> {
+        self.tape
+            .outputs
+            .iter()
+            .map(|(name, slot)| (name.clone(), self.state[*slot as usize]))
+            .collect()
+    }
+
+    fn tape_mem(&self, mem: &str) -> Result<(u32, u32, u32), SimError> {
+        self.tape
+            .mems
+            .iter()
+            .find(|m| m.name == mem)
+            .map(|m| (m.base, m.depth, m.width))
+            .ok_or_else(|| SimError::NoSuchMem(mem.to_string()))
+    }
+
+    /// Reads one memory word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchMem`] / [`SimError::MemAddrOutOfRange`].
+    pub fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        let (base, depth, _) = self.tape_mem(mem)?;
+        if addr >= u128::from(depth) {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: depth as usize,
+                addr,
+            });
+        }
+        Ok(self.mem[(base + addr as u32) as usize])
+    }
+
+    /// Overwrites one memory word, validating address and value.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchMem`] / [`SimError::MemAddrOutOfRange`] /
+    /// [`SimError::MemValueTooWide`].
+    pub fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        let (base, depth, width) = self.tape_mem(mem)?;
+        if addr >= u128::from(depth) {
+            return Err(SimError::MemAddrOutOfRange {
+                mem: mem.to_string(),
+                depth: depth as usize,
+                addr,
+            });
+        }
+        if value != mask(value, width) {
+            return Err(SimError::MemValueTooWide { mem: mem.to_string(), width, value });
+        }
+        self.mem[(base + addr as u32) as usize] = value;
+        Ok(())
+    }
+}
+
+impl SimEngine for NativeSimulator {
+    fn poke(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        NativeSimulator::poke(self, name, value)
+    }
+
+    fn peek(&self, name: &str) -> Result<u128, SimError> {
+        NativeSimulator::peek(self, name)
+    }
+
+    fn eval(&mut self) -> Result<(), SimError> {
+        NativeSimulator::eval(self);
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), SimError> {
+        NativeSimulator::step(self);
+        Ok(())
+    }
+
+    fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
+        NativeSimulator::step_clock(self, domain)
+    }
+
+    fn clock_domains(&self) -> Vec<String> {
+        self.tape.domains.clone()
+    }
+
+    fn cycles(&self) -> u64 {
+        NativeSimulator::cycles(self)
+    }
+
+    fn outputs(&self) -> Vec<(String, u128)> {
+        NativeSimulator::outputs(self)
+    }
+
+    fn has_reset(&self) -> bool {
+        self.tape.has_reset
+    }
+
+    fn peek_mem(&self, mem: &str, addr: u128) -> Result<u128, SimError> {
+        NativeSimulator::peek_mem(self, mem, addr)
+    }
+
+    fn poke_mem(&mut self, mem: &str, addr: u128, value: u128) -> Result<(), SimError> {
+        NativeSimulator::poke_mem(self, mem, addr, value)
+    }
+
+    fn mem_names(&self) -> Vec<String> {
+        self.tape.mems.iter().map(|m| m.name.clone()).collect()
+    }
+
+    fn mem_depth(&self, mem: &str) -> Option<usize> {
+        self.tape.mems.iter().find(|m| m.name == mem).map(|m| m.depth as usize)
+    }
+}
+
+/// Notice that the native engine fell back to the compiled tape, and why.
+#[derive(Debug)]
+pub struct NativeFallback {
+    /// The recoverable reason for the fallback (see
+    /// [`NativeBuildError::recoverable`]).
+    pub reason: NativeBuildError,
+}
+
+impl std::fmt::Display for NativeFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "native engine fell back to the compiled tape: {}", self.reason)
+    }
+}
+
+/// Builds a native simulator, degrading gracefully to [`CompiledSimulator`] when the
+/// design (or platform) is outside the codegen's reach.
+///
+/// This is the constructor behind [`EngineKind::Native`](crate::EngineKind):
+/// recoverable build errors — dynamic shapes, no dynamic loader — return the
+/// compiled engine plus a typed [`NativeFallback`] notice (also warned to stderr
+/// once per process); environmental failures (I/O, cargo, dlopen) surface as
+/// [`SimError::NativeBuild`].
+///
+/// # Errors
+///
+/// [`SimError::Eval`] when the netlist cannot be compiled to a tape at all;
+/// [`SimError::NativeBuild`] for non-recoverable AOT failures.
+pub fn native_or_fallback(
+    netlist: &Netlist,
+) -> Result<(Box<dyn SimEngine>, Option<NativeFallback>), SimError> {
+    let tape = Arc::new(Tape::compile(netlist)?);
+    match NativeSimulator::from_tape(Arc::clone(&tape), &NativeOptions::from_env()) {
+        Ok(sim) => Ok((Box::new(sim), None)),
+        Err(reason) if reason.recoverable() => {
+            static WARNED: AtomicBool = AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "rechisel-sim: native engine falling back to compiled tape: {reason} \
+                     (warned once per process)"
+                );
+            }
+            let sim = CompiledSimulator::from_tape(tape);
+            Ok((Box::new(sim), Some(NativeFallback { reason })))
+        }
+        Err(e) => Err(SimError::NativeBuild(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechisel_firrtl::lower_circuit;
+    use rechisel_hcl::prelude::*;
+
+    fn counter_netlist() -> Netlist {
+        let mut m = ModuleBuilder::new("Counter");
+        let en = m.input("en", Type::bool());
+        let out = m.output("out", Type::uint(8));
+        let count = m.reg_init("count", Type::uint(8), &Signal::lit_w(0, 8));
+        m.when(&en, |m| m.connect(&count, &count.add(&Signal::lit_w(1, 8)).bits(7, 0)));
+        m.connect(&out, &count);
+        lower_circuit(&m.into_circuit()).unwrap()
+    }
+
+    #[test]
+    fn native_counter_matches_compiled() {
+        let netlist = counter_netlist();
+        let mut native = NativeSimulator::new(&netlist, &NativeOptions::from_env()).unwrap();
+        let mut compiled = CompiledSimulator::new(&netlist).unwrap();
+        for sim in [&mut native as &mut dyn SimEngine, &mut compiled as &mut dyn SimEngine] {
+            sim.reset(2).unwrap();
+            sim.poke("en", 1).unwrap();
+            sim.step_n(5).unwrap();
+        }
+        assert_eq!(native.peek("out").unwrap(), 5);
+        assert_eq!(native.peek("out").unwrap(), compiled.peek("out").unwrap());
+        assert_eq!(native.cycles(), compiled.cycles());
+        assert_eq!(SimEngine::outputs(&native), SimEngine::outputs(&compiled));
+    }
+
+    #[test]
+    fn builds_are_cached_by_fingerprint() {
+        let netlist = counter_netlist();
+        let a = NativeSimulator::new(&netlist, &NativeOptions::from_env()).unwrap();
+        let b = NativeSimulator::new(&netlist, &NativeOptions::from_env()).unwrap();
+        assert!(Arc::ptr_eq(&a.lib, &b.lib), "same design must reuse the cached build");
+    }
+
+    #[test]
+    fn poke_and_peek_validate_like_the_compiled_engine() {
+        let netlist = counter_netlist();
+        let mut sim = NativeSimulator::new(&netlist, &NativeOptions::from_env()).unwrap();
+        assert!(matches!(sim.poke("nope", 1), Err(SimError::NoSuchPort(_))));
+        assert!(matches!(sim.poke("en", 2), Err(SimError::ValueTooWide { .. })));
+        assert!(matches!(sim.peek("nope"), Err(SimError::NoSuchPort(_))));
+        assert!(matches!(sim.step_clock("aux"), Err(SimError::NoSuchClock(_))));
+    }
+
+    #[test]
+    fn dynamic_shapes_fall_back_to_the_compiled_engine() {
+        let mut m = ModuleBuilder::new("Dyn");
+        let a = m.input("a", Type::uint(8));
+        let sh = m.input("sh", Type::uint(3));
+        let out = m.output("out", Type::uint(16));
+        m.connect(&out, &a.dshl(&sh).bits(15, 0));
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+
+        // Direct construction reports the typed unsupported error...
+        let err = NativeSimulator::new(&netlist, &NativeOptions::from_env()).unwrap_err();
+        assert!(matches!(err, NativeBuildError::Unsupported(CodegenError::DynamicShape { .. })));
+        assert!(err.recoverable());
+
+        // ...and the fallback constructor degrades to a working compiled engine.
+        let (mut sim, fallback) = native_or_fallback(&netlist).unwrap();
+        let fallback = fallback.expect("dynamic shape must report a fallback");
+        assert!(matches!(fallback.reason, NativeBuildError::Unsupported(_)));
+        sim.poke("a", 0b1).unwrap();
+        sim.poke("sh", 3).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 0b1000);
+    }
+
+    #[test]
+    fn native_or_fallback_uses_native_when_supported() {
+        let (mut sim, fallback) = native_or_fallback(&counter_netlist()).unwrap();
+        assert!(fallback.is_none());
+        sim.poke("en", 1).unwrap();
+        sim.step_n(3).unwrap();
+        assert_eq!(sim.peek("out").unwrap(), 3);
+    }
+
+    #[test]
+    fn options_from_env_defaults_are_quiet() {
+        // Not asserting on the env-sensitive fields (the CI job sets them); just
+        // pin the default shape.
+        let opts = NativeOptions::default();
+        assert!(opts.dir.is_none());
+        assert!(!opts.keep_artifacts);
+    }
+}

@@ -58,6 +58,11 @@ pub enum SimError {
     NoSuchClock(String),
     /// Expression evaluation failed (lowering bug or corrupted netlist).
     Eval(EvalError),
+    /// The native engine's AOT generate→build→load pipeline failed for an
+    /// environmental reason (I/O, `cargo build`, `dlopen`). Unsupported tape shapes
+    /// do **not** produce this — they fall back to the compiled engine (see
+    /// `native_or_fallback`).
+    NativeBuild(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -83,6 +88,7 @@ impl std::fmt::Display for SimError {
             }
             SimError::NoSuchClock(name) => write!(f, "no such clock domain: {name}"),
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SimError::NativeBuild(e) => write!(f, "native engine build failed: {e}"),
         }
     }
 }
