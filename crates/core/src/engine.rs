@@ -41,7 +41,7 @@ use crate::agents::{Generator, Inspector, Reviewer};
 use crate::feedback::{ErrorKind, Feedback};
 use crate::knowledge::CommonErrorKnowledge;
 use crate::spec::Spec;
-use crate::tools::{ChiselCompiler, FunctionalTester};
+use crate::tools::{ChiselCompiler, FunctionalTester, IncrementalCompiler};
 use crate::trace::{Trace, TraceEntry};
 use crate::workflow::{IterationStatus, WorkflowConfig, WorkflowResult};
 
@@ -284,6 +284,7 @@ impl Engine {
             inspector,
             spec: Cow::Owned(spec),
             tester: Cow::Owned(tester),
+            recompiler: self.compiler.incremental(),
         }
     }
 
@@ -309,6 +310,7 @@ impl Engine {
             inspector,
             spec: Cow::Borrowed(spec),
             tester: Cow::Borrowed(tester),
+            recompiler: self.compiler.incremental(),
         }
     }
 
@@ -469,6 +471,10 @@ pub struct Session<'e, G, R, I> {
     inspector: I,
     spec: Cow<'e, Spec>,
     tester: Cow<'e, FunctionalTester>,
+    /// Per-session incremental compiler: consecutive candidates of one run form a
+    /// revision chain, so each compiles against the previous one (when
+    /// [`WorkflowConfig::incremental_enabled`] is set; otherwise unused).
+    recompiler: IncrementalCompiler,
 }
 
 impl<G, R, I> Session<'_, G, R, I>
@@ -500,23 +506,33 @@ where
     }
 
     /// Evaluates one candidate: compile, then simulate (workflow steps ❷/❸).
-    fn evaluate(&self, candidate: &crate::candidate::Candidate) -> (Feedback, Option<String>) {
-        match self.engine.compiler.compile(&candidate.circuit) {
-            Err(diagnostics) => (Feedback::Syntax { diagnostics }, None),
-            Ok(compiled) => {
-                let report = self.tester.test(&compiled.netlist);
-                if report.passed() {
-                    (Feedback::Success, Some(compiled.verilog))
-                } else {
-                    (
-                        Feedback::Functional {
-                            failures: report.failures,
-                            total_points: report.total_points,
-                        },
-                        None,
-                    )
-                }
+    ///
+    /// With [`WorkflowConfig::incremental_enabled`] (the default) the candidate is
+    /// diffed against the session's previous revision so small edits reuse
+    /// check/lower/tape work; the feedback is identical either way.
+    fn evaluate(&mut self, candidate: &crate::candidate::Candidate) -> (Feedback, Option<String>) {
+        let (netlist, verilog, tape) = if self.engine.config.incremental_enabled {
+            match self.recompiler.compile(&candidate.circuit) {
+                Err(diagnostics) => return (Feedback::Syntax { diagnostics }, None),
+                Ok(compiled) => (compiled.netlist, compiled.verilog, compiled.tape),
             }
+        } else {
+            match self.engine.compiler.compile(&candidate.circuit) {
+                Err(diagnostics) => return (Feedback::Syntax { diagnostics }, None),
+                Ok(compiled) => (Arc::new(compiled.netlist), compiled.verilog, None),
+            }
+        };
+        let report = self.tester.test_with_tape(&netlist, tape);
+        if report.passed() {
+            (Feedback::Success, Some(verilog))
+        } else {
+            (
+                Feedback::Functional {
+                    failures: report.failures,
+                    total_points: report.total_points,
+                },
+                None,
+            )
         }
     }
 
@@ -791,6 +807,41 @@ mod tests {
         assert_eq!(session.spec().name, "Pass");
         assert_eq!(session.engine().config().max_iterations, 0);
         assert!(session.tester().testbench().checked_points() > 0);
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_sessions_agree() {
+        // The same scripted reflection run — broken, functionally wrong, fixed —
+        // must produce identical feedback with incremental compilation on and off.
+        let wrong = |name: &str| {
+            let mut m = ModuleBuilder::new(name);
+            let a = m.input("a", Type::uint(8));
+            let out = m.output("out", Type::uint(8));
+            m.connect(&out, &a.not().bits(7, 0));
+            m.into_circuit()
+        };
+        let sequence =
+            || vec![bad_circuit("Pass"), wrong("Pass"), wrong("Pass"), good_circuit("Pass")];
+        let run = |incremental: bool| {
+            let engine = Engine::builder()
+                .config(WorkflowConfig::default().with_incremental(incremental))
+                .build();
+            let mut session = engine.session(
+                ScriptedGenerator::new(sequence()),
+                TemplateReviewer::new(),
+                TraceInspector::new(),
+                spec(),
+                tester(),
+            );
+            session.run(0)
+        };
+        let incremental = run(true);
+        let scratch = run(false);
+        assert!(incremental.success);
+        assert_eq!(incremental.statuses, scratch.statuses);
+        assert_eq!(incremental.success_iteration, scratch.success_iteration);
+        assert_eq!(incremental.escapes, scratch.escapes);
+        assert_eq!(incremental.final_verilog, scratch.final_verilog);
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub use knowledge::{CommonErrorKnowledge, ErrorGuidance};
 pub use rechisel_sim::EngineKind;
 pub use revision::{RevisionItem, RevisionPlan};
 pub use spec::{PortSpec, Spec};
-pub use tools::{ChiselCompiler, Compiled, FunctionalTester};
+pub use tools::{
+    ChiselCompiler, Compiled, FunctionalTester, IncrementalCompiled, IncrementalCompiler,
+};
 pub use trace::{Trace, TraceEntry};
 pub use workflow::{IterationStatus, Workflow, WorkflowConfig, WorkflowResult};

@@ -8,6 +8,7 @@ use rechisel_firrtl::diagnostics::Diagnostic;
 use rechisel_firrtl::ir::Circuit;
 use rechisel_firrtl::lower::Netlist;
 use rechisel_firrtl::pipeline::{PassManager, Pipeline};
+use rechisel_firrtl::{IncrementalLowering, RecompileOutcome};
 use rechisel_sim::{
     record_reference_trace, run_testbench, run_testbench_against_trace, run_testbench_batched,
     BatchedSimulator, CompiledSimulator, EngineKind, OutputTrace, SimError, SimReport, Tape,
@@ -79,6 +80,145 @@ impl ChiselCompiler {
     pub fn compile(&self, circuit: &Circuit) -> Result<Compiled, Vec<Diagnostic>> {
         let (netlist, verilog) = self.pipeline.run_ref(circuit)?;
         Ok(Compiled { netlist, verilog })
+    }
+
+    /// An incremental session over this compiler: the returned
+    /// [`IncrementalCompiler`] diffs each circuit against the previous one it saw
+    /// and reuses check/lower/tape work where the edit allows.
+    pub fn incremental(&self) -> IncrementalCompiler {
+        IncrementalCompiler::new(self.clone())
+    }
+}
+
+/// The output of one [`IncrementalCompiler::compile`] call.
+///
+/// Unlike [`Compiled`], the netlist is shared (`Arc`) — on a cache hit it is
+/// literally the previous revision's netlist — and the compiled simulation
+/// [`Tape`] rides along so the tester does not recompile the DUT.
+#[derive(Debug, Clone)]
+pub struct IncrementalCompiled {
+    /// The lowered netlist (shared with the compiler's internal cache).
+    pub netlist: Arc<Netlist>,
+    /// The emitted Verilog source (always re-emitted in full; emission is cheap
+    /// relative to checking/lowering and the serving layer wants exact text).
+    pub verilog: String,
+    /// The compiled simulation tape, patched from the previous revision's tape
+    /// when the edit allowed it. `None` when tape compilation failed (the design
+    /// still simulates through the interpreter path, or fails functionally).
+    pub tape: Option<Arc<Tape>>,
+    /// Which reuse tier the compilation hit (see
+    /// [`RecompileOutcome`]).
+    pub outcome: RecompileOutcome,
+}
+
+/// A stateful compiler for the reflection loop: consecutive revisions of one
+/// session compile against the previous revision's artifacts.
+///
+/// Wraps a [`ChiselCompiler`] with an [`IncrementalLowering`] (check + lower
+/// reuse) and the previous revision's [`Tape`] (spliced by
+/// [`Tape::patch`] on single-statement edits). Failed revisions keep the last
+/// *good* state, so a broken candidate in the middle of a session does not force
+/// the next one to rebuild from scratch.
+///
+/// # Example
+///
+/// ```
+/// use rechisel_core::ChiselCompiler;
+/// use rechisel_firrtl::RecompileOutcome;
+/// use rechisel_hcl::prelude::*;
+///
+/// let build = |invert: bool| {
+///     let mut m = ModuleBuilder::new("Top");
+///     let a = m.input("a", Type::uint(8));
+///     let out = m.output("out", Type::uint(8));
+///     let expr = if invert { a.not().bits(7, 0) } else { a };
+///     m.connect(&out, &expr);
+///     m.into_circuit()
+/// };
+///
+/// let mut inc = ChiselCompiler::new().incremental();
+/// let first = inc.compile(&build(false)).unwrap();
+/// assert!(matches!(first.outcome, RecompileOutcome::FullRebuild(_)));
+/// // One rewired output: the second compile patches instead of rebuilding.
+/// let second = inc.compile(&build(true)).unwrap();
+/// assert!(matches!(second.outcome, RecompileOutcome::Patched { .. }));
+/// assert!(second.verilog.contains("module Top"));
+/// ```
+#[derive(Debug)]
+pub struct IncrementalCompiler {
+    compiler: ChiselCompiler,
+    lowering: IncrementalLowering,
+    /// The previous *good* revision's tape (if it compiled).
+    tape: Option<Arc<Tape>>,
+    tape_patches: u64,
+    tape_rebuilds: u64,
+}
+
+impl IncrementalCompiler {
+    /// Wraps `compiler`; the first [`compile`](Self::compile) call is always a full
+    /// rebuild.
+    pub fn new(compiler: ChiselCompiler) -> Self {
+        let lowering = IncrementalLowering::with_passes(compiler.pipeline().passes().clone());
+        Self { compiler, lowering, tape: None, tape_patches: 0, tape_rebuilds: 0 }
+    }
+
+    /// The wrapped from-scratch compiler.
+    pub fn compiler(&self) -> &ChiselCompiler {
+        &self.compiler
+    }
+
+    /// `(patched, rebuilt)` tape counts so far — observability for tests and
+    /// telemetry; patches should dominate in a healthy reflection loop.
+    pub fn tape_stats(&self) -> (u64, u64) {
+        (self.tape_patches, self.tape_rebuilds)
+    }
+
+    /// Compiles a circuit, reusing as much of the previous revision as the diff
+    /// allows (see [`IncrementalLowering::recompile`] for the reuse tiers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error-severity diagnostics when checking or lowering fails —
+    /// identical to [`ChiselCompiler::compile`] on the same circuit. The previous
+    /// good revision is kept, so the *next* compile still diffs against it.
+    pub fn compile(&mut self, circuit: &Circuit) -> Result<IncrementalCompiled, Vec<Diagnostic>> {
+        let result = self
+            .lowering
+            .recompile(circuit)
+            .map_err(|report| report.errors().cloned().collect::<Vec<_>>())?;
+        let verilog = self
+            .compiler
+            .pipeline()
+            .backend()
+            .emit(circuit, &result.netlist)
+            .map_err(|d| vec![d])?;
+        let tape = self.next_tape(&result.outcome, &result.netlist);
+        self.tape = tape.clone();
+        Ok(IncrementalCompiled { netlist: result.netlist, verilog, tape, outcome: result.outcome })
+    }
+
+    /// The tape for this revision: reused on `Identical`, spliced by
+    /// [`Tape::patch`] on `Patched` (falling back to a full compile if the patch
+    /// is rejected), recompiled otherwise.
+    fn next_tape(&mut self, outcome: &RecompileOutcome, netlist: &Netlist) -> Option<Arc<Tape>> {
+        match (outcome, &self.tape) {
+            (RecompileOutcome::Identical, Some(tape)) => Some(Arc::clone(tape)),
+            (RecompileOutcome::Patched { patched_defs }, Some(prev)) => {
+                match prev.patch(netlist, patched_defs) {
+                    Ok(patched) => {
+                        self.tape_patches += 1;
+                        Some(Arc::new(patched))
+                    }
+                    Err(_) => self.full_tape(netlist),
+                }
+            }
+            _ => self.full_tape(netlist),
+        }
+    }
+
+    fn full_tape(&mut self, netlist: &Netlist) -> Option<Arc<Tape>> {
+        self.tape_rebuilds += 1;
+        Tape::compile(netlist).ok().map(Arc::new)
     }
 }
 
@@ -198,10 +338,23 @@ impl FunctionalTester {
     /// are reported as a fully failing report rather than an `Err`, because from the
     /// workflow's point of view they are simply a non-functional design.
     pub fn test(&self, dut: &Netlist) -> SimReport {
+        self.test_with_tape(dut, None)
+    }
+
+    /// Like [`test`](Self::test), but reuses an already-compiled tape of `dut` on
+    /// the compiled-engine path — e.g. the patched tape an
+    /// [`IncrementalCompiler`] produced alongside the netlist — instead of
+    /// recompiling the DUT from scratch. `tape` must be the compilation of `dut`
+    /// (patched or fresh; a mismatched tape produces nonsense reports). Engines
+    /// with their own execution formats (interpreter, batched, native) ignore it.
+    pub fn test_with_tape(&self, dut: &Netlist, tape: Option<Arc<Tape>>) -> SimReport {
         let outcome = match self.engine {
             EngineKind::Interp => run_testbench(dut, &self.reference, &self.testbench),
             EngineKind::Compiled => self.reference_trace().and_then(|trace| {
-                let mut dut_sim = CompiledSimulator::new(dut)?;
+                let mut dut_sim = match tape {
+                    Some(tape) => CompiledSimulator::from_tape(tape),
+                    None => CompiledSimulator::new(dut)?,
+                };
                 run_testbench_against_trace(&mut dut_sim, &trace, &self.testbench)
             }),
             EngineKind::Batched => self.reference_trace().and_then(|trace| {
@@ -281,6 +434,96 @@ mod tests {
         let compiler = ChiselCompiler::new();
         let errs = compiler.compile(&m.into_circuit()).unwrap_err();
         assert!(!errs.is_empty());
+    }
+
+    /// `out = a` / `out = not(a)` over a register stage — a top-module connect
+    /// rewrite, the shape the incremental patch tier accepts.
+    fn staged(name: &str, invert: bool) -> Circuit {
+        let mut m = ModuleBuilder::new(name);
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        let r = m.reg_init("r", Type::uint(8), &Signal::lit_w(0, 8));
+        m.connect(&r, &a);
+        let expr = if invert { r.not().bits(7, 0) } else { r.clone() };
+        m.connect(&out, &expr);
+        m.into_circuit()
+    }
+
+    #[test]
+    fn incremental_compiler_tracks_the_from_scratch_compiler() {
+        use rechisel_firrtl::RecompileOutcome;
+
+        let scratch = ChiselCompiler::new();
+        let mut inc = scratch.incremental();
+
+        let first = inc.compile(&staged("Top", false)).unwrap();
+        assert!(matches!(first.outcome, RecompileOutcome::FullRebuild(_)));
+
+        let second = inc.compile(&staged("Top", true)).unwrap();
+        assert!(
+            matches!(second.outcome, RecompileOutcome::Patched { .. }),
+            "one rewired connect should hit the patch tier, got {:?}",
+            second.outcome
+        );
+        // The incremental products are bit-identical to the from-scratch ones.
+        let reference = scratch.compile(&staged("Top", true)).unwrap();
+        assert_eq!(second.verilog, reference.verilog);
+        assert_eq!(second.netlist.structural_digest(), reference.netlist.structural_digest());
+        // The patched tape belongs to the patched netlist (satellite-3 invariant).
+        let tape = second.tape.as_ref().expect("tape compiles");
+        assert_eq!(tape.source_digest(), second.netlist.structural_digest());
+        let (patches, rebuilds) = inc.tape_stats();
+        assert_eq!((patches, rebuilds), (1, 1));
+
+        // Resubmitting the same circuit is free: same Arc, no new tape.
+        let third = inc.compile(&staged("Top", true)).unwrap();
+        assert!(matches!(third.outcome, RecompileOutcome::Identical));
+        assert!(Arc::ptr_eq(&third.netlist, &second.netlist));
+        assert!(Arc::ptr_eq(third.tape.as_ref().unwrap(), tape));
+        assert_eq!(inc.tape_stats(), (1, 1));
+    }
+
+    #[test]
+    fn incremental_compiler_reports_the_same_diagnostics_as_scratch() {
+        let scratch = ChiselCompiler::new();
+        let mut inc = scratch.incremental();
+        inc.compile(&staged("Top", false)).unwrap();
+
+        let mut m = ModuleBuilder::new("Top");
+        let _a = m.input("a", Type::uint(8));
+        let _out = m.output("out", Type::uint(8)); // never driven
+        let broken = m.into_circuit();
+
+        let inc_errs = inc.compile(&broken).unwrap_err();
+        let scratch_errs = scratch.compile(&broken).unwrap_err();
+        assert_eq!(inc_errs, scratch_errs);
+        // The failed revision kept the last good state: the next edit of the
+        // original design still compiles (and still patches against it).
+        let fixed = inc.compile(&staged("Top", true)).unwrap();
+        assert!(fixed.tape.is_some());
+    }
+
+    #[test]
+    fn prebuilt_tape_reports_match_recompiled_ones() {
+        let compiler = ChiselCompiler::new();
+        let reference = compiler.compile(&passthrough("Ref")).unwrap().netlist;
+        let tb = Testbench::random_for(&reference, 8, 0, 3);
+        let tester = FunctionalTester::new(reference, tb);
+
+        let mut inc = compiler.incremental();
+        let good = inc.compile(&passthrough("Dut")).unwrap();
+        let report = tester.test_with_tape(&good.netlist, good.tape.clone());
+        assert!(report.passed());
+        assert_eq!(report, tester.test(&good.netlist));
+
+        let mut m = ModuleBuilder::new("Dut");
+        let a = m.input("a", Type::uint(8));
+        let out = m.output("out", Type::uint(8));
+        m.connect(&out, &a.not().bits(7, 0));
+        let wrong = inc.compile(&m.into_circuit()).unwrap();
+        let report = tester.test_with_tape(&wrong.netlist, wrong.tape.clone());
+        assert!(!report.passed());
+        assert_eq!(report, tester.test(&wrong.netlist));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`pipeline`] — the staged [`Pipeline`] (`Circuit → CheckedCircuit → Netlist →
 //!   emitted output`) with its named-pass [`PassManager`] and the pluggable
 //!   [`EmitBackend`] seam.
+//! * [`diff`] and [`incremental`] — structural diffing between circuit revisions and
+//!   the incremental recompilation driver used by the reflection loop to reuse checks
+//!   and patch netlists instead of rebuilding from scratch.
 //! * [`printer`] — FIRRTL-flavoured and pseudo-Chisel pretty-printers.
 //!
 //! # Example
@@ -52,7 +55,9 @@
 
 pub mod check;
 pub mod diagnostics;
+pub mod diff;
 pub mod fingerprint;
+pub mod incremental;
 pub mod ir;
 pub mod lower;
 pub mod passes;
@@ -63,7 +68,9 @@ pub mod typeenv;
 
 pub use check::{check_circuit, check_circuit_with, CheckOptions};
 pub use diagnostics::{Diagnostic, DiagnosticReport, ErrorCode, Severity};
-pub use fingerprint::Fingerprint;
+pub use diff::{CircuitDiff, ModuleDiff, StatementEdit};
+pub use fingerprint::{fingerprint_statement, Fingerprint};
+pub use incremental::{IncrementalLowering, IncrementalResult, RebuildReason, RecompileOutcome};
 pub use ir::{Circuit, Expression, Module, ModuleKind, Port, PrimOp, SourceInfo, Statement, Type};
 pub use lower::{
     lower_circuit, MemSlot, NetDef, NetMem, NetMemWrite, NetPort, NetReg, Netlist, SignalInfo,

@@ -22,6 +22,8 @@ pub struct ModuleBuilder {
     scopes: Vec<Vec<Statement>>,
     /// Clock override stack for `with_clock`.
     clocks: Vec<Expression>,
+    /// Reset override stack for `with_reset` / `with_clock_and_reset`.
+    resets: Vec<Expression>,
     /// Synthetic source file name.
     file: String,
     /// Synthetic line counter.
@@ -46,7 +48,14 @@ impl ModuleBuilder {
             ty: Type::bool(),
             info: SourceInfo::new(&file, 1, 1),
         });
-        Self { module, scopes: vec![Vec::new()], clocks: Vec::new(), file, line: 1 }
+        Self {
+            module,
+            scopes: vec![Vec::new()],
+            clocks: Vec::new(),
+            resets: Vec::new(),
+            file,
+            line: 1,
+        }
     }
 
     /// Starts a `RawModule` (no implicit clock or reset).
@@ -57,6 +66,7 @@ impl ModuleBuilder {
             module: Module::new(name, ModuleKind::RawModule),
             scopes: vec![Vec::new()],
             clocks: Vec::new(),
+            resets: Vec::new(),
             file,
             line: 1,
         }
@@ -150,10 +160,7 @@ impl ModuleBuilder {
             name: name.to_string(),
             ty: ty.clone(),
             clock,
-            reset: Some(RegReset {
-                reset: Expression::reference("reset"),
-                init: init.expr().clone(),
-            }),
+            reset: Some(RegReset { reset: self.current_reset(), init: init.expr().clone() }),
             info,
         });
         Signal::new(Expression::reference(name), ty)
@@ -452,10 +459,43 @@ impl ModuleBuilder {
         self.clocks.pop();
     }
 
+    /// Overrides the reset net used by `reg_init`-style registers declared inside
+    /// `f` (`withReset`): their [`RegReset`] references `reset` instead of the
+    /// implicit `"reset"` port, so the register only takes its init value when that
+    /// net is asserted on its own clock edge.
+    pub fn with_reset(&mut self, reset: &Signal, f: impl FnOnce(&mut Self)) {
+        self.resets.push(reset.expr().clone());
+        f(self);
+        self.resets.pop();
+    }
+
+    /// Overrides both the clock and the reset for registers declared inside `f`
+    /// (`withClockAndReset`) — the Chisel idiom for a CDC island with its own
+    /// synchronized reset.
+    pub fn with_clock_and_reset(
+        &mut self,
+        clock: &Signal,
+        reset: &Signal,
+        f: impl FnOnce(&mut Self),
+    ) {
+        self.clocks.push(clock.expr().clone());
+        self.resets.push(reset.expr().clone());
+        f(self);
+        self.resets.pop();
+        self.clocks.pop();
+    }
+
     fn current_clock(&self) -> ClockSpec {
         match self.clocks.last() {
             Some(e) => ClockSpec::Explicit(e.clone()),
             None => ClockSpec::Implicit,
+        }
+    }
+
+    fn current_reset(&self) -> Expression {
+        match self.resets.last() {
+            Some(e) => e.clone(),
+            None => Expression::reference("reset"),
         }
     }
 
@@ -645,6 +685,52 @@ mod tests {
         assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
         let netlist = lower_circuit(&c).unwrap();
         assert_eq!(netlist.regs.len(), 1);
+    }
+
+    #[test]
+    fn with_clock_and_reset_overrides_reg_init_nets() {
+        let mut m = ModuleBuilder::new("Island");
+        let clk_b = m.input("clk_b", Type::Clock);
+        let rst_b = m.input("rst_b", Type::bool());
+        let out = m.output("out", Type::uint(4));
+        m.with_clock_and_reset(&clk_b, &rst_b, |m| {
+            let r = m.reg_init("r", Type::uint(4), &Signal::lit_w(0, 4));
+            m.connect(&r, &r.add(&Signal::lit_w(1, 4)).bits(3, 0));
+            m.connect(&out, &r);
+        });
+        let c = m.into_circuit();
+        assert!(!check_circuit(&c).has_errors(), "{:?}", check_circuit(&c));
+        let reg = c.modules[0]
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Statement::Reg { clock, reset, .. } => Some((clock.clone(), reset.clone())),
+                _ => None,
+            })
+            .expect("reg recorded");
+        assert_eq!(reg.0, ClockSpec::Explicit(Expression::reference("clk_b")));
+        let reset = reg.1.expect("reset recorded");
+        assert_eq!(reset.reset, Expression::reference("rst_b"));
+        // Outside the scope the implicit nets are back.
+        let mut m = ModuleBuilder::new("Outer");
+        let clk_b = m.input("clk_b", Type::Clock);
+        let rst_b = m.input("rst_b", Type::bool());
+        m.with_clock_and_reset(&clk_b, &rst_b, |_| {});
+        let out = m.output("o", Type::uint(1));
+        let r = m.reg_init("r", Type::uint(1), &Signal::lit_w(0, 1));
+        m.connect(&r, &r);
+        m.connect(&out, &r);
+        let c = m.into_circuit();
+        let reg = c.modules[0]
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Statement::Reg { clock, reset, .. } => Some((clock.clone(), reset.clone())),
+                _ => None,
+            })
+            .expect("reg recorded");
+        assert_eq!(reg.0, ClockSpec::Implicit);
+        assert_eq!(reg.1.expect("reset").reset, Expression::reference("reset"));
     }
 
     #[test]

@@ -400,10 +400,10 @@ impl<W: Word> Core<W> {
     }
 
     /// The clock edge: register staging, then memory commits (while every operand
-    /// slot still holds its pre-edge value), then register commits. With a `domain`
-    /// filter only the commits of that clock domain apply (full staging still runs —
-    /// staged temps of other domains are simply discarded).
-    fn edge(&mut self, tape: &Tape, lanes: usize, domain: Option<u32>) {
+    /// slot still holds its pre-edge value), then register commits. With a `domains`
+    /// filter only the commits of the listed clock domains apply (full staging still
+    /// runs — staged temps of other domains are simply discarded).
+    fn edge(&mut self, tape: &Tape, lanes: usize, domains: Option<&[u32]>) {
         exec_batched(
             &tape.reg_program,
             &mut self.bits,
@@ -413,7 +413,7 @@ impl<W: Word> Core<W> {
             lanes,
         );
         for commit in &tape.mem_commits {
-            if domain.is_some_and(|d| commit.domain != d) {
+            if domains.is_some_and(|ds| !ds.contains(&commit.domain)) {
                 continue;
             }
             let en0 = commit.en as usize * lanes;
@@ -439,7 +439,7 @@ impl<W: Word> Core<W> {
             }
         }
         for commit in &tape.commits {
-            if domain.is_some_and(|d| commit.domain != d) {
+            if domains.is_some_and(|ds| !ds.contains(&commit.domain)) {
                 continue;
             }
             let m = W::from_u128(commit.mask);
@@ -610,14 +610,38 @@ impl BatchedSimulator {
     /// Returns [`SimError::NoSuchClock`] when `domain` is not a clock domain of the
     /// compiled design.
     pub fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
-        let idx = self
-            .tape
+        let idx = self.domain_index(domain)?;
+        self.step_filtered(Some(&[idx]));
+        Ok(())
+    }
+
+    /// Edges several clock domains **simultaneously** on every lane: one edge event,
+    /// one cycle, with every listed domain's commits applied against the same staged
+    /// pre-edge state (see [`SimEngine::step_clocks`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domains` is empty or names a domain
+    /// that is not a clock domain of the compiled design.
+    pub fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError> {
+        if domains.is_empty() {
+            return Err(SimError::NoSuchClock("(empty domain set)".to_string()));
+        }
+        let mut indices = Vec::with_capacity(domains.len());
+        for domain in domains {
+            indices.push(self.domain_index(domain)?);
+        }
+        self.step_filtered(Some(&indices));
+        Ok(())
+    }
+
+    fn domain_index(&self, domain: &str) -> Result<u32, SimError> {
+        self.tape
             .domains
             .iter()
             .position(|d| d == domain)
-            .ok_or_else(|| SimError::NoSuchClock(domain.to_string()))?;
-        self.step_filtered(Some(idx as u32));
-        Ok(())
+            .map(|i| i as u32)
+            .ok_or_else(|| SimError::NoSuchClock(domain.to_string()))
     }
 
     /// The design's clock domains, in first-appearance order.
@@ -625,16 +649,16 @@ impl BatchedSimulator {
         &self.tape.domains
     }
 
-    fn step_filtered(&mut self, domain: Option<u32>) {
+    fn step_filtered(&mut self, domains: Option<&[u32]>) {
         self.eval();
         let Self { tape, lanes, planes, .. } = self;
-        on_core!(planes, c => c.edge(tape, *lanes, domain));
+        on_core!(planes, c => c.edge(tape, *lanes, domains));
         if !self.uncaptured.is_empty() {
             let sync_regs = &self.tape.sync_regs;
             self.uncaptured.retain(|name| {
-                !sync_regs
-                    .iter()
-                    .any(|(reg, reg_domain)| reg == name && domain.is_none_or(|d| *reg_domain == d))
+                !sync_regs.iter().any(|(reg, reg_domain)| {
+                    reg == name && domains.is_none_or(|ds| ds.contains(reg_domain))
+                })
             });
         }
         self.cycles += 1;
@@ -984,6 +1008,10 @@ impl SimEngine for BatchedSimulator {
 
     fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
         BatchedSimulator::step_clock(self, domain)
+    }
+
+    fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError> {
+        BatchedSimulator::step_clocks(self, domains)
     }
 
     fn clock_domains(&self) -> Vec<String> {

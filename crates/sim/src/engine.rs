@@ -116,6 +116,28 @@ pub trait SimEngine {
     /// design; otherwise the same conditions as [`eval`](Self::eval).
     fn step_clock(&mut self, domain: &str) -> Result<(), SimError>;
 
+    /// Edges **several** clock domains simultaneously: one edge event, one cycle,
+    /// with every listed domain's registers and memory write ports staged against the
+    /// same pre-edge state and committed together. This is the coincident-edge
+    /// primitive: two domains whose edges land on the same timestamp must be stepped
+    /// through one `step_clocks(&[a, b])` call — stepping them back to back instead
+    /// lets the second domain observe the first domain's *post*-edge values, which is
+    /// observably different whenever state crosses domains (e.g. a cross-domain
+    /// register exchange swaps on a simultaneous edge but duplicates on back-to-back
+    /// edges).
+    ///
+    /// `step_clocks(&[d])` is equivalent to [`step_clock(d)`](Self::step_clock), and
+    /// listing every domain is equivalent to [`step`](Self::step). Duplicate names
+    /// are allowed and redundant. Each call counts as **one** cycle in
+    /// [`cycles`](Self::cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domains` is empty or names a domain
+    /// that is not a clock domain of the design; otherwise the same conditions as
+    /// [`eval`](Self::eval).
+    fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError>;
+
     /// The design's clock domains, in first-appearance order (register declaration
     /// order, then memory write ports). Empty for purely combinational designs.
     fn clock_domains(&self) -> Vec<String>;
@@ -194,6 +216,35 @@ pub trait SimEngine {
         if self.has_reset() {
             self.poke("reset", 1)?;
             self.step_n(cycles)?;
+            self.poke("reset", 0)?;
+            self.eval()?;
+        }
+        Ok(())
+    }
+
+    /// Asserts the `reset` input (when present) for `cycles` cycles, edging **only**
+    /// `domain` — registers and write ports in other clock domains keep their state,
+    /// so one side of a CDC design can be reset independently while the other keeps
+    /// running. Registers in `domain` whose reset net is a `with_reset` override (see
+    /// `ModuleBuilder::with_clock_and_reset`) only take their init value when their
+    /// own reset net is asserted.
+    ///
+    /// [`reset`](Self::reset) remains the all-domain pulse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domain` is not a clock domain of the
+    /// design (even for designs without a reset port — the domain name is validated
+    /// first); otherwise the same conditions as [`step_clock`](Self::step_clock).
+    fn reset_domain(&mut self, domain: &str, cycles: u32) -> Result<(), SimError> {
+        if !self.clock_domains().iter().any(|d| d == domain) {
+            return Err(SimError::NoSuchClock(domain.to_string()));
+        }
+        if self.has_reset() {
+            self.poke("reset", 1)?;
+            for _ in 0..cycles {
+                self.step_clock(domain)?;
+            }
             self.poke("reset", 0)?;
             self.eval()?;
         }
@@ -294,6 +345,95 @@ mod tests {
             assert_eq!(sim.peek("out").unwrap(), 5, "engine {kind}");
             assert_eq!(sim.cycles(), 7);
             assert_eq!(sim.outputs(), vec![("out".to_string(), 5)]);
+        }
+    }
+
+    #[test]
+    fn reset_domain_pulses_only_that_domain() {
+        // Two free-running counters on independent clocks, one shared reset net.
+        let mut m = ModuleBuilder::raw("PerDomainReset");
+        let clk_a = m.input("clk_a", Type::Clock);
+        let clk_b = m.input("clk_b", Type::Clock);
+        let _reset = m.input("reset", Type::bool());
+        let oa = m.output("oa", Type::uint(8));
+        let ob = m.output("ob", Type::uint(8));
+        m.with_clock(&clk_a, |m| {
+            let c = m.reg_init("a", Type::uint(8), &Signal::lit_w(0, 8));
+            m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+            m.connect(&oa, &c);
+        });
+        m.with_clock(&clk_b, |m| {
+            let c = m.reg_init("b", Type::uint(8), &Signal::lit_w(0, 8));
+            m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+            m.connect(&ob, &c);
+        });
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        let kinds =
+            [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched, EngineKind::Native];
+        for kind in kinds {
+            let mut sim = kind.simulator(&netlist).unwrap();
+            sim.step_n(3).unwrap();
+            assert_eq!(sim.peek("oa").unwrap(), 3, "engine {kind}");
+            assert_eq!(sim.peek("ob").unwrap(), 3, "engine {kind}");
+            // Resetting only clk_a's side: `a` takes its init value while `b` keeps
+            // both its value and its standstill (its domain never edges).
+            sim.reset_domain("clk_a", 2).unwrap();
+            assert_eq!(sim.peek("oa").unwrap(), 0, "engine {kind}");
+            assert_eq!(sim.peek("ob").unwrap(), 3, "engine {kind}");
+            assert_eq!(sim.cycles(), 5, "engine {kind}");
+            // The all-domain pulse still resets everything.
+            sim.reset(1).unwrap();
+            assert_eq!(sim.peek("oa").unwrap(), 0, "engine {kind}");
+            assert_eq!(sim.peek("ob").unwrap(), 0, "engine {kind}");
+            // Unknown domains are rejected up front.
+            assert!(matches!(
+                sim.reset_domain("ghost", 1),
+                Err(SimError::NoSuchClock(d)) if d == "ghost"
+            ));
+        }
+    }
+
+    #[test]
+    fn step_clocks_validates_and_merges_domains() {
+        let netlist = {
+            let mut m = ModuleBuilder::raw("Two");
+            let clk_a = m.input("clk_a", Type::Clock);
+            let clk_b = m.input("clk_b", Type::Clock);
+            let o = m.output("o", Type::uint(8));
+            let mut tmp = None;
+            m.with_clock(&clk_a, |m| {
+                let c = m.reg("a", Type::uint(8));
+                m.connect(&c, &c.add(&Signal::lit_w(1, 8)).bits(7, 0));
+                tmp = Some(c);
+            });
+            let a = tmp.unwrap();
+            m.with_clock(&clk_b, |m| {
+                let c = m.reg("b", Type::uint(8));
+                m.connect(&c, &a);
+                m.connect(&o, &c);
+            });
+            lower_circuit(&m.into_circuit()).unwrap()
+        };
+        let kinds =
+            [EngineKind::Interp, EngineKind::Compiled, EngineKind::Batched, EngineKind::Native];
+        for kind in kinds {
+            let mut sim = kind.simulator(&netlist).unwrap();
+            // One simultaneous edge: `b` captures a's PRE-edge value (0), `a` -> 1.
+            sim.step_clocks(&["clk_a", "clk_b"]).unwrap();
+            assert_eq!(sim.peek("a").unwrap(), 1, "engine {kind}");
+            assert_eq!(sim.peek("o").unwrap(), 0, "engine {kind}");
+            assert_eq!(sim.cycles(), 1, "engine {kind}");
+            // Duplicates collapse; a singleton set equals step_clock.
+            sim.step_clocks(&["clk_a", "clk_a"]).unwrap();
+            assert_eq!(sim.peek("a").unwrap(), 2, "engine {kind}");
+            assert_eq!(sim.peek("o").unwrap(), 0, "engine {kind}");
+            // Empty and unknown sets error without stepping.
+            assert!(matches!(sim.step_clocks(&[]), Err(SimError::NoSuchClock(_))));
+            assert!(matches!(
+                sim.step_clocks(&["clk_a", "ghost"]),
+                Err(SimError::NoSuchClock(d)) if d == "ghost"
+            ));
+            assert_eq!(sim.cycles(), 2, "engine {kind}");
         }
     }
 

@@ -519,6 +519,48 @@ impl NativeSimulator {
         Ok(())
     }
 
+    /// Edges several clock domains **simultaneously** (one edge event, one cycle;
+    /// see `SimEngine::step_clocks`).
+    ///
+    /// The generated machine code has entry points for the all-domain edge and
+    /// single-domain edges only, so a genuinely multi-domain subset edge is executed
+    /// through the shared tape interpreter on this simulator's state — bit-identical
+    /// by construction (both run the same tape), at tape-interpreter speed for that
+    /// one edge. Single-domain sets take the native path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domains` is empty or names a domain
+    /// that is not a clock domain of the design.
+    pub fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError> {
+        if domains.is_empty() {
+            return Err(SimError::NoSuchClock("(empty domain set)".to_string()));
+        }
+        let mut indices: Vec<u32> = Vec::with_capacity(domains.len());
+        for domain in domains {
+            let idx = self
+                .tape
+                .domains
+                .iter()
+                .position(|d| d == *domain)
+                .ok_or_else(|| SimError::NoSuchClock((*domain).to_string()))?
+                as u32;
+            if !indices.contains(&idx) {
+                indices.push(idx);
+            }
+        }
+        if let [idx] = indices[..] {
+            let domain = self.tape.domains[idx as usize].clone();
+            return self.step_clock(&domain);
+        }
+        let mut scratch = CompiledSimulator::from_tape(Arc::clone(&self.tape));
+        scratch.load_raw(&self.state, &self.mem, &self.uncaptured);
+        scratch.step_clocks(domains)?;
+        scratch.store_raw(&mut self.state, &mut self.mem, &mut self.uncaptured);
+        self.cycles += 1;
+        Ok(())
+    }
+
     /// The design's clock domains, in first-appearance order.
     pub fn clock_domains(&self) -> &[String] {
         &self.tape.domains
@@ -603,6 +645,10 @@ impl SimEngine for NativeSimulator {
 
     fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
         NativeSimulator::step_clock(self, domain)
+    }
+
+    fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError> {
+        NativeSimulator::step_clocks(self, domains)
     }
 
     fn clock_domains(&self) -> Vec<String> {

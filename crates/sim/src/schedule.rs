@@ -7,12 +7,15 @@
 //! arbitrary interleaving ([`EdgeQueue::from_events`], handy for fuzzing random CDC
 //! timings).
 //!
-//! Ties are deterministic: events at the same timestamp fire in the order the domains
-//! were added (periodic) or pushed (explicit). A *simultaneous* edge of several
-//! domains is different from two back-to-back `step_clock` calls — model it by
-//! calling [`SimEngine::step`] yourself, or keep domains on coprime periods; the
-//! queue itself always issues one domain per event, which is the conservative CDC
-//! interpretation (no two clocks are ever exactly aligned).
+//! Ties are **simultaneous**: events at the same timestamp are grouped into one
+//! multi-domain edge and fired through a single [`SimEngine::step_clocks`] call, so
+//! every tied domain stages against the same pre-edge state — exactly what aligned
+//! clock edges mean in hardware, and observably different from two back-to-back
+//! `step_clock` calls whenever state crosses the tied domains (a cross-domain
+//! register exchange swaps on the simultaneous edge but duplicates back-to-back).
+//! Within a tie, duplicate domain names collapse; [`EdgeQueue::events`] still
+//! reports the individual `(time, domain)` events in deterministic order (domains
+//! as added for [`EdgeQueue::periodic`], as pushed for explicit queues).
 //!
 //! # Example
 //!
@@ -121,16 +124,31 @@ impl EdgeQueue {
         self.events.is_empty()
     }
 
-    /// Drives `sim` through every scheduled edge in order, one
-    /// [`step_clock`](SimEngine::step_clock) per event.
+    /// Drives `sim` through every scheduled edge in time order. Events sharing a
+    /// timestamp fire as **one** simultaneous multi-domain edge
+    /// ([`step_clocks`](SimEngine::step_clocks), one cycle); lone events fire as a
+    /// plain [`step_clock`](SimEngine::step_clock).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::NoSuchClock`] when an event names a domain the design
     /// does not have; the simulator is left at the last successfully applied edge.
     pub fn run(&self, sim: &mut dyn SimEngine) -> Result<(), SimError> {
-        for edge in &self.events {
-            sim.step_clock(&edge.domain)?;
+        let mut at = 0;
+        while at < self.events.len() {
+            let time = self.events[at].time;
+            let end = at + self.events[at..].partition_point(|e| e.time == time);
+            let mut domains: Vec<&str> = Vec::with_capacity(end - at);
+            for edge in &self.events[at..end] {
+                if !domains.contains(&edge.domain.as_str()) {
+                    domains.push(&edge.domain);
+                }
+            }
+            match domains[..] {
+                [domain] => sim.step_clock(domain)?,
+                _ => sim.step_clocks(&domains)?,
+            }
+            at = end;
         }
         Ok(())
     }
@@ -206,7 +224,65 @@ mod tests {
             q.run(sim.as_mut()).unwrap();
             assert_eq!(sim.peek("f").unwrap(), 9, "engine {kind}");
             assert_eq!(sim.peek("s").unwrap(), 3, "engine {kind}");
-            assert_eq!(sim.cycles(), 12);
+            // 12 scheduled events, but the ties at t = 3, 6, 9 merge into one
+            // simultaneous edge each: 9 cycles.
+            assert_eq!(sim.cycles(), 9);
+        }
+    }
+
+    /// The semantic heart of the tie fix: registers exchanging values across two
+    /// domains. On a simultaneous edge both stage the other's PRE-edge value and the
+    /// pair swaps; fired back-to-back, the second domain would observe the first's
+    /// post-edge value and the pair duplicates instead.
+    #[test]
+    fn tied_edges_fire_simultaneously_not_back_to_back() {
+        let mut m = ModuleBuilder::raw("Exchange");
+        let clk_a = m.input("clk_a", Type::Clock);
+        let clk_b = m.input("clk_b", Type::Clock);
+        let load = m.input("load", Type::bool());
+        let ia = m.input("ia", Type::uint(8));
+        let ib = m.input("ib", Type::uint(8));
+        let oa = m.output("oa", Type::uint(8));
+        let ob = m.output("ob", Type::uint(8));
+        let mut regs = (None, None);
+        m.with_clock(&clk_a, |m| regs.0 = Some(m.reg("a", Type::uint(8))));
+        m.with_clock(&clk_b, |m| regs.1 = Some(m.reg("b", Type::uint(8))));
+        let (a, b) = (regs.0.unwrap(), regs.1.unwrap());
+        m.connect(&a, &load.mux(&ia, &b));
+        m.connect(&b, &load.mux(&ib, &a));
+        m.connect(&oa, &a);
+        m.connect(&ob, &b);
+        let netlist = lower_circuit(&m.into_circuit()).unwrap();
+        for kind in
+            [crate::EngineKind::Interp, crate::EngineKind::Compiled, crate::EngineKind::Batched]
+        {
+            let preload = |sim: &mut dyn SimEngine| {
+                sim.poke("load", 1).unwrap();
+                sim.poke("ia", 1).unwrap();
+                sim.poke("ib", 2).unwrap();
+                sim.step().unwrap();
+                sim.poke("load", 0).unwrap();
+                sim.eval().unwrap();
+            };
+
+            // Both clocks tie at every timestamp: each event is one simultaneous
+            // edge, so the registers keep swapping 1 <-> 2.
+            let mut sim = kind.simulator(&netlist).unwrap();
+            preload(sim.as_mut());
+            let q = EdgeQueue::periodic(&[("clk_a", 1), ("clk_b", 1)], 3);
+            q.run(sim.as_mut()).unwrap();
+            assert_eq!(sim.cycles(), 4, "engine {kind}");
+            assert_eq!(sim.peek("oa").unwrap(), 2, "engine {kind}");
+            assert_eq!(sim.peek("ob").unwrap(), 1, "engine {kind}");
+
+            // The broken back-to-back interpretation visibly diverges: after
+            // `a` edges alone, `b` captures a's POST-edge value and duplicates.
+            let mut sim = kind.simulator(&netlist).unwrap();
+            preload(sim.as_mut());
+            sim.step_clock("clk_a").unwrap();
+            sim.step_clock("clk_b").unwrap();
+            assert_eq!(sim.peek("oa").unwrap(), 2, "engine {kind}");
+            assert_eq!(sim.peek("ob").unwrap(), 2, "engine {kind}");
         }
     }
 

@@ -63,6 +63,10 @@ pub enum SimError {
     /// do **not** produce this — they fall back to the compiled engine (see
     /// `native_or_fallback`).
     NativeBuild(String),
+    /// A netlist handed to [`Tape::patch`](crate::Tape::patch) does not structurally
+    /// match the tape it would patch (different defs, registers or memories). The
+    /// caller should fall back to a full [`Tape::compile`](crate::Tape::compile).
+    TapeMismatch(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -89,6 +93,9 @@ impl std::fmt::Display for SimError {
             SimError::NoSuchClock(name) => write!(f, "no such clock domain: {name}"),
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
             SimError::NativeBuild(e) => write!(f, "native engine build failed: {e}"),
+            SimError::TapeMismatch(why) => {
+                write!(f, "netlist does not match the tape being patched: {why}")
+            }
         }
     }
 }
@@ -302,16 +309,44 @@ impl Simulator {
         if !self.domains.iter().any(|d| d == domain) {
             return Err(SimError::NoSuchClock(domain.to_string()));
         }
-        self.step_filtered(Some(domain))
+        self.step_filtered(Some(&[domain]))
     }
 
-    /// Shared stage-then-commit edge: with `domain == None` every register and write
+    /// Edges several clock domains **simultaneously**: one edge event, one cycle,
+    /// with every listed domain's registers and write ports staged against the same
+    /// pre-edge state (see `SimEngine::step_clocks`). This is *not* equivalent to
+    /// stepping the domains back to back — cross-domain register exchanges observe
+    /// each other's pre-edge values only on a simultaneous edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchClock`] when `domains` is empty or names a domain
+    /// that is not a clock domain of the design; otherwise the same conditions as
+    /// [`Simulator::step`].
+    pub fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError> {
+        if domains.is_empty() {
+            return Err(SimError::NoSuchClock("(empty domain set)".to_string()));
+        }
+        for domain in domains {
+            if !self.domains.iter().any(|d| d == domain) {
+                return Err(SimError::NoSuchClock(domain.to_string()));
+            }
+        }
+        self.step_filtered(Some(domains))
+    }
+
+    /// Shared stage-then-commit edge: with `domains == None` every register and write
     /// port commits (the lockstep all-domain edge `step` has always performed); with
-    /// `Some(d)` only state clocked by `d` commits.
-    fn step_filtered(&mut self, domain: Option<&str>) -> Result<(), SimError> {
+    /// `Some(set)` only state clocked by a listed domain commits.
+    fn step_filtered(&mut self, domains: Option<&[&str]>) -> Result<(), SimError> {
         self.eval()?;
         let mut next_values: Vec<(String, u128)> = Vec::with_capacity(self.netlist.regs.len());
-        for reg in self.netlist.regs.iter().filter(|r| domain.is_none_or(|d| r.clock == d)) {
+        for reg in self
+            .netlist
+            .regs
+            .iter()
+            .filter(|r| domains.is_none_or(|ds| ds.iter().any(|d| *d == r.clock)))
+        {
             let next =
                 eval_expr_with_mems(&reg.next, &self.values, &self.netlist.signals, &self.mems)?;
             let value = match &reg.reset {
@@ -348,7 +383,11 @@ impl Simulator {
         let mut mem_commits: Vec<(usize, usize, u128)> = Vec::new();
         for (mem_index, mem) in self.netlist.mems.iter().enumerate() {
             let word_mask = mask(u128::MAX, mem.info.width);
-            for port in mem.writes.iter().filter(|w| domain.is_none_or(|d| w.clock == d)) {
+            for port in mem
+                .writes
+                .iter()
+                .filter(|w| domains.is_none_or(|ds| ds.iter().any(|d| *d == w.clock)))
+            {
                 let en = eval_expr_with_mems(
                     &port.enable,
                     &self.values,
@@ -406,11 +445,9 @@ impl Simulator {
         // its own clock domain — edges of other domains don't capture anything.
         if !self.uncaptured.is_empty() {
             self.uncaptured.retain(|name| {
-                !self
-                    .netlist
-                    .regs
-                    .iter()
-                    .any(|r| r.name == *name && domain.is_none_or(|d| r.clock == d))
+                !self.netlist.regs.iter().any(|r| {
+                    r.name == *name && domains.is_none_or(|ds| ds.iter().any(|d| *d == r.clock))
+                })
             });
         }
         self.cycles += 1;
@@ -477,6 +514,10 @@ impl crate::engine::SimEngine for Simulator {
 
     fn step_clock(&mut self, domain: &str) -> Result<(), SimError> {
         Simulator::step_clock(self, domain)
+    }
+
+    fn step_clocks(&mut self, domains: &[&str]) -> Result<(), SimError> {
+        Simulator::step_clocks(self, domains)
     }
 
     fn clock_domains(&self) -> Vec<String> {
